@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Section 3.6 reproduction: machine packaging.
+ *
+ * Paper claims for the 4096-PE machine built from two-chip 4x4
+ * switches: ~65,000 chips total, 19% in the network, 64 PE boards of
+ * 352 chips and 64 MM boards of 672 chips, with memory chips
+ * dominating the count.
+ */
+
+#include <cstdio>
+
+#include "analytic/packaging.h"
+#include "common/table.h"
+
+int
+main()
+{
+    using namespace ultra;
+    using analytic::packageMachine;
+
+    std::printf("Section 3.6: machine packaging "
+                "(4 chips/PE-PNI, 9 chips/MM-MNI, 2 chips/4x4 switch)\n");
+    TextTable table;
+    table.setHeader({"PEs", "PE chips", "MM chips", "net chips",
+                     "total", "net %", "PE boards", "chips/PE board",
+                     "chips/MM board"});
+    for (std::uint64_t n : {64u, 256u, 1024u, 4096u, 16384u}) {
+        const auto pkg = packageMachine(n);
+        table.addRow({std::to_string(n), std::to_string(pkg.peChips),
+                      std::to_string(pkg.mmChips),
+                      std::to_string(pkg.networkChips),
+                      std::to_string(pkg.totalChips()),
+                      TextTable::pct(pkg.networkFraction()),
+                      pkg.peBoards ? std::to_string(pkg.peBoards) : "-",
+                      pkg.chipsPerPeBoard
+                          ? std::to_string(pkg.chipsPerPeBoard)
+                          : "-",
+                      pkg.chipsPerMmBoard
+                          ? std::to_string(pkg.chipsPerMmBoard)
+                          : "-"});
+    }
+    std::printf("%s", table.render().c_str());
+
+    const auto paper = packageMachine(4096);
+    std::printf("\npaper:     ~65,000 chips, 19%% network, "
+                "64+64 boards of 352/672 chips\n");
+    std::printf("this repo: %llu chips, %.1f%% network, "
+                "%llu+%llu boards of %llu/%llu chips\n",
+                static_cast<unsigned long long>(paper.totalChips()),
+                100.0 * paper.networkFraction(),
+                static_cast<unsigned long long>(paper.peBoards),
+                static_cast<unsigned long long>(paper.mmBoards),
+                static_cast<unsigned long long>(paper.chipsPerPeBoard),
+                static_cast<unsigned long long>(paper.chipsPerMmBoard));
+    return 0;
+}

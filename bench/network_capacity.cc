@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Design-goal 1 reproduction (section 3.1): network bandwidth linear
+ * in N, with per-PE capacity 1/m messages per cycle.
+ *
+ * Two sweeps:
+ *   1. offered load vs accepted (delivered) throughput per PE at fixed
+ *      N -- accepted tracks offered until the 1/m capacity, then
+ *      saturates (the paper's "can accommodate any traffic below this
+ *      threshold");
+ *   2. saturation throughput as N grows -- total bandwidth scales
+ *      linearly with the number of PEs (a pipelined, queued network;
+ *      contrast with the O(N/log N) of unqueued designs, shown by the
+ *      Burroughs kill mode).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace
+{
+
+using namespace ultra;
+
+struct Throughput
+{
+    double perPe;    //!< delivered messages per PE per cycle
+    double transit;  //!< mean one-way transit
+};
+
+Throughput
+runLoad(std::uint32_t ports, double rate, bool burroughs,
+        bool closed_loop)
+{
+    net::NetSimConfig ncfg;
+    ncfg.numPorts = ports;
+    ncfg.k = 2;
+    ncfg.m = 2;
+    ncfg.sizing = net::PacketSizing::Uniform;
+    ncfg.queueCapacityPackets = 16;
+    ncfg.mmPendingCapacityPackets = 16;
+    ncfg.combinePolicy = net::CombinePolicy::None;
+    ncfg.burroughsKill = burroughs;
+
+    net::TrafficConfig tcfg;
+    tcfg.activePes = ports;
+    tcfg.rate = rate;
+    tcfg.closedLoop = closed_loop;
+    tcfg.window = 32;
+    tcfg.loadFraction = 0.0;
+    tcfg.storeFraction = 1.0;
+    tcfg.addrSpaceWords = std::uint64_t{ports} << 8;
+    tcfg.seed = 7 + ports;
+
+    net::PniConfig pcfg;
+    pcfg.maxOutstanding = 0; // window enforced by the generator
+
+    bench::TrafficRig rig(ncfg, tcfg, true, pcfg);
+    const Cycle cycles = 6000;
+    rig.measure(1500, cycles);
+    Throughput out;
+    out.perPe = static_cast<double>(rig.network.stats().delivered) /
+                static_cast<double>(cycles) / ports;
+    out.transit = rig.network.stats().oneWayTransit.mean();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Claim 1: bandwidth linear in N; per-PE capacity 1/m "
+                "(m = 2 -> 0.5)\n\n");
+
+    std::printf("Offered vs accepted load (N = 256, queued message "
+                "switching):\n");
+    TextTable offered_table;
+    offered_table.setHeader(
+        {"offered/PE", "accepted/PE", "one-way transit"});
+    for (double rate : {0.1, 0.2, 0.3, 0.4, 0.45, 0.5, 0.6}) {
+        const auto t = runLoad(256, rate, false, false);
+        offered_table.addRow({TextTable::fmt(rate, 2),
+                              TextTable::fmt(t.perPe, 3),
+                              TextTable::fmt(t.transit, 1)});
+    }
+    std::printf("%s\n", offered_table.render().c_str());
+
+    std::printf("Saturation throughput vs machine size "
+                "(closed loop, window 32):\n");
+    TextTable scale_table;
+    scale_table.setHeader({"N", "queued: msgs/cycle/PE",
+                           "queued: total msgs/cycle",
+                           "kill-on-conflict: msgs/cycle/PE",
+                           "kill: total"});
+    for (std::uint32_t ports : {16u, 64u, 256u, 1024u}) {
+        const auto q = runLoad(ports, 0.0, false, true);
+        const auto b = runLoad(ports, 0.0, true, true);
+        scale_table.addRow(
+            {std::to_string(ports), TextTable::fmt(q.perPe, 3),
+             TextTable::fmt(q.perPe * ports, 1),
+             TextTable::fmt(b.perPe, 3),
+             TextTable::fmt(b.perPe * ports, 1)});
+    }
+    std::printf("%s", scale_table.render().c_str());
+    std::printf("\nexpected shape: queued per-PE throughput approaches a "
+                "constant as N grows\n(total bandwidth linear in N; the "
+                "plateau sits below the ideal 1/m because\nfinite queues "
+                "and head-of-line blocking absorb part of it), while\n"
+                "kill-on-conflict per-PE throughput keeps decaying "
+                "(O(N/log N) total).\n");
+    return 0;
+}

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Table 2 reproduction: measured and projected TRED2 efficiencies
+ * E(P, N) = T(1, N) / (P T(P, N)) including waiting time.
+ *
+ * The paper simulated small (P, N) pairs, fitted
+ * T(P, N) = aN + dN^3/P + W(P, N), and projected the asterisked
+ * entries.  We do the same with this repository's machine simulator.
+ *
+ * Expected shape (paper Table 2): efficiency falls as P grows at fixed
+ * N and rises along the diagonal -- e.g. paper row N=16: 62%, 26%, 7%,
+ * 1%*, 0%*; diagonal N=32P: ~85-90%.  Absolute values differ (our
+ * substrate is this simulator), the monotone structure must hold.
+ */
+
+#include <cstdio>
+
+#include "bench/tred2_tables.h"
+
+int
+main()
+{
+    using namespace ultra;
+    std::printf("Table 2: measured and projected efficiencies, "
+                "parallel TRED2 (Householder reduction)\n\n");
+    const bench::Tred2Study study = bench::runTred2Study();
+    bench::printEfficiencyGrid(study, /*include_waiting=*/true);
+    bench::printFitSummary(study);
+    return 0;
+}

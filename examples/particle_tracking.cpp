@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Monte Carlo particle tracking (sections 2.5, 5): the class of
+ * "data-dependent" calculations that resist vectorization — the
+ * paper's argument for a MIMD machine over SIMD vector processors.
+ *
+ * Particles take position-dependent random walks. PEs self-schedule
+ * work by fetch-and-adding a shared particle counter (no work queue,
+ * no critical section, automatic load balancing for uneven particle
+ * costs) and tally results by fetch-and-adding shared histogram bins;
+ * both access patterns combine in the network.
+ *
+ *   $ ./particle_tracking [particles] [PEs]   (defaults: 512, 16)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/montecarlo.h"
+#include "core/machine.h"
+
+using namespace ultra;
+
+int
+main(int argc, char **argv)
+{
+    apps::MonteCarloConfig cfg;
+    cfg.particles =
+        argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1]))
+                 : 512;
+    const std::uint32_t pes =
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 16;
+    cfg.stepsPerParticle = 48;
+    cfg.bins = 16;
+
+    std::printf("tracking %llu particles (%u steps each) on %u PEs\n",
+                static_cast<unsigned long long>(cfg.particles),
+                cfg.stepsPerParticle, pes);
+
+    // Serial reference (identical per-particle walks).
+    const auto serial = apps::monteCarloSerial(cfg);
+
+    core::MachineConfig mcfg = core::MachineConfig::small(
+        std::max<std::uint32_t>(16, pes), 2);
+    core::Machine machine(mcfg);
+    const auto parallel = apps::monteCarloParallel(machine, pes, cfg);
+
+    std::printf("\nbin  parallel  serial\n");
+    bool match = true;
+    for (std::uint32_t b = 0; b < cfg.bins; ++b) {
+        std::printf("%3u  %8lld  %6lld %s\n", b,
+                    static_cast<long long>(parallel.tally[b]),
+                    static_cast<long long>(serial.tally[b]),
+                    parallel.tally[b] == serial.tally[b] ? "" : "  <-- MISMATCH");
+        match = match && parallel.tally[b] == serial.tally[b];
+    }
+    std::printf("\nhistograms %s\n",
+                match ? "identical (deterministic per-particle walks)"
+                      : "DIFFER");
+
+    // Self-scheduling balanced the work automatically.
+    std::printf("\nper-PE particles tracked (private refs / steps):\n ");
+    for (PEId p = 0; p < pes; ++p) {
+        std::printf(" %llu",
+                    static_cast<unsigned long long>(
+                        machine.peAt(p).stats().privateRefs /
+                        cfg.stepsPerParticle));
+    }
+    std::printf("\nsimulated time: %llu cycles; combined requests: "
+                "%llu (the F&A dispenser and tally)\n",
+                static_cast<unsigned long long>(parallel.cycles),
+                static_cast<unsigned long long>(
+                    machine.network().stats().combined));
+    return match ? 0 : 1;
+}

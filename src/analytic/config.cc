@@ -1,0 +1,36 @@
+#include "config.h"
+
+#include <cmath>
+
+namespace ultra::analytic
+{
+
+double
+NetworkConfig::costFactor() const
+{
+    return static_cast<double>(d) /
+           (static_cast<double>(k) * std::log2(static_cast<double>(k)));
+}
+
+double
+NetworkConfig::cost() const
+{
+    return costFactor() * static_cast<double>(n) *
+           std::log2(static_cast<double>(n));
+}
+
+bool
+NetworkConfig::valid() const
+{
+    if (k < 2 || m == 0 || d == 0 || n < 2)
+        return false;
+    if (!isPowerOfTwo(k) || !isPowerOfTwo(n))
+        return false;
+    // n must be a power of k so all stages are full.
+    std::uint64_t reach = 1;
+    while (reach < n)
+        reach *= k;
+    return reach == n;
+}
+
+} // namespace ultra::analytic

@@ -1,0 +1,43 @@
+#include "packaging.h"
+
+#include <cmath>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace ultra::analytic
+{
+
+MachinePackage
+packageMachine(std::uint64_t num_pe, const ChipBudget &budget)
+{
+    ULTRA_ASSERT(isPowerOfTwo(num_pe) && num_pe >= budget.switchDegree,
+                 "machine size must be a power of two >= switch degree");
+    const unsigned k = budget.switchDegree;
+    const unsigned stages = logBase(num_pe, k);
+
+    MachinePackage pkg;
+    pkg.numPe = num_pe;
+    pkg.peChips = num_pe * budget.chipsPerPe;
+    pkg.mmChips = num_pe * budget.chipsPerMm;
+    pkg.numSwitches = (num_pe / k) * stages;
+    pkg.networkChips = pkg.numSwitches * budget.chipsPerSwitch;
+
+    // Board layout of section 3.6: sqrt(N) input modules and sqrt(N)
+    // output modules, each carrying half of the network stages.
+    const std::uint64_t root = static_cast<std::uint64_t>(
+        std::llround(std::sqrt(static_cast<double>(num_pe))));
+    if (root * root == num_pe && stages % 2 == 0) {
+        pkg.peBoards = root;
+        pkg.mmBoards = root;
+        const std::uint64_t switches_per_board =
+            (root / k) * (stages / 2);
+        pkg.chipsPerPeBoard = root * budget.chipsPerPe +
+                              switches_per_board * budget.chipsPerSwitch;
+        pkg.chipsPerMmBoard = root * budget.chipsPerMm +
+                              switches_per_board * budget.chipsPerSwitch;
+    }
+    return pkg;
+}
+
+} // namespace ultra::analytic

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The Kruskal-Snir analytic model of network transit time (section 4.1).
+ *
+ * With infinite queues and independent uniform traffic of intensity p
+ * messages per PE per cycle, the average delay at one k x k switch with
+ * multiplexing factor m is
+ *
+ *     1 + m^2 p (1 - 1/k) / (2 (1 - m p))          [cycles]
+ *
+ * and the average one-way network transit time is
+ *
+ *     T = (lg n / lg k) (1 + m^2 p (1 - 1/k) / (2 (1 - m p))) + m - 1.
+ *
+ * Using d copies of the network divides the per-copy load by d.  With the
+ * paper's bandwidth constant B = k/m = 1 (i.e. m = k) this specializes to
+ * the formula plotted in Figure 7:
+ *
+ *     T = (1 + k (k-1) p / (2 (d - k p))) lg n / lg k + k - 1.
+ */
+
+#ifndef ULTRA_ANALYTIC_QUEUEING_H
+#define ULTRA_ANALYTIC_QUEUEING_H
+
+#include <vector>
+
+#include "analytic/config.h"
+
+namespace ultra::analytic
+{
+
+/**
+ * Average queueing delay (excluding the 1-cycle service time) at one
+ * k x k switch, multiplexing factor m, load @p p messages/cycle on each
+ * input.  Returns +infinity at or beyond saturation (m p >= 1).
+ */
+double switchQueueingDelay(unsigned k, unsigned m, double p);
+
+/**
+ * Average one-way transit time, in network cycles, through configuration
+ * @p cfg at offered load @p p messages per PE per cycle (aggregate across
+ * the d copies; each copy sees p/d).  +infinity at or beyond capacity.
+ */
+double transitTime(const NetworkConfig &cfg, double p);
+
+/**
+ * The load p at which transitTime() reaches @p t_target cycles, found by
+ * bisection in [0, capacity).  Useful for "usable bandwidth at a latency
+ * budget" comparisons.
+ */
+double loadAtTransitTime(const NetworkConfig &cfg, double t_target);
+
+/** One curve of Figure 7: T as a function of p for a configuration. */
+struct TransitCurve
+{
+    NetworkConfig config;
+    std::vector<double> load;    //!< p values
+    std::vector<double> transit; //!< T(p) values (may contain +inf)
+};
+
+/**
+ * Sweep p over [0, p_max] in @p steps equal increments for @p cfg,
+ * reproducing one curve of Figure 7.
+ */
+TransitCurve sweepTransitTime(const NetworkConfig &cfg, double p_max,
+                              unsigned steps);
+
+/**
+ * The configuration-selection exercise of section 4.1: among k x k
+ * switches with the chip-bandwidth constraint B = k/m = 1 (m = k) and
+ * d copies, find the cheapest configuration whose transit time at load
+ * @p p stays within @p t_budget cycles.  Scans k in {2,4,8,16} and
+ * d in [1, max_copies]; ties broken toward lower latency.  Returns a
+ * config with d = 0 when no candidate meets the budget.
+ */
+NetworkConfig cheapestConfiguration(std::uint64_t n, double p,
+                                    double t_budget,
+                                    unsigned max_copies = 8);
+
+} // namespace ultra::analytic
+
+#endif // ULTRA_ANALYTIC_QUEUEING_H

@@ -1,0 +1,100 @@
+#include "accounts.h"
+
+#include "common/rng.h"
+#include "core/coord.h"
+
+namespace ultra::apps
+{
+
+namespace
+{
+
+struct AccountsLayout
+{
+    AccountsConfig cfg;
+    Addr balances = 0;
+    core::RwLock lock; //!< only used by the global-lock baseline
+};
+
+pe::Task
+transferWorker(pe::Pe &pe, AccountsLayout lay, std::uint32_t num_pes)
+{
+    (void)num_pes;
+    Rng rng(lay.cfg.seed * 977 + pe.id());
+    for (std::uint32_t t = 0; t < lay.cfg.transfersPerPe; ++t) {
+        // Pick distinct source and destination; a skewed share of
+        // traffic hits the hot account 0.
+        std::uint32_t from = static_cast<std::uint32_t>(
+            rng.uniformInt(lay.cfg.numAccounts));
+        std::uint32_t to = static_cast<std::uint32_t>(
+            rng.uniformInt(lay.cfg.numAccounts));
+        if (rng.bernoulli(lay.cfg.hotFraction))
+            to = 0;
+        if (from == to)
+            to = (to + 1) % lay.cfg.numAccounts;
+        const Word amount = 1 + static_cast<Word>(rng.uniformInt(10));
+
+        if (lay.cfg.useGlobalLock) {
+            // Baseline: the whole transfer in one critical section.
+            co_await core::writerLock(pe, lay.lock);
+            const Word from_balance =
+                co_await pe.load(lay.balances + from);
+            co_await pe.store(lay.balances + from,
+                              from_balance - amount);
+            const Word to_balance =
+                co_await pe.load(lay.balances + to);
+            co_await pe.store(lay.balances + to, to_balance + amount);
+            co_await core::writerUnlock(pe, lay.lock);
+        } else {
+            // The paracomputer way: two indivisible fetch-and-adds.
+            // (Balances may transiently go negative; the invariant is
+            // the conserved total, exactly as the serialization
+            // principle promises.)
+            const Word debited =
+                co_await pe.fetchAdd(lay.balances + from, -amount);
+            (void)debited;
+            const Word credited =
+                co_await pe.fetchAdd(lay.balances + to, amount);
+            (void)credited;
+        }
+        co_await pe.compute(8); // decide the next transfer
+    }
+}
+
+} // namespace
+
+AccountsResult
+runAccounts(core::Machine &machine, std::uint32_t num_pes,
+            const AccountsConfig &cfg)
+{
+    ULTRA_ASSERT(cfg.numAccounts >= 2);
+    ULTRA_ASSERT(num_pes >= 1 && num_pes <= machine.numPes());
+
+    AccountsLayout lay;
+    lay.cfg = cfg;
+    lay.balances = machine.allocShared(cfg.numAccounts, "accounts");
+    lay.lock = core::RwLock::create(machine);
+    for (std::uint32_t a = 0; a < cfg.numAccounts; ++a)
+        machine.poke(lay.balances + a, cfg.initialBalance);
+
+    const Cycle start = machine.now();
+    for (std::uint32_t t = 0; t < num_pes; ++t) {
+        machine.launch(t, [lay, num_pes](pe::Pe &p) {
+            return transferWorker(p, lay, num_pes);
+        });
+    }
+    const bool finished = machine.run();
+    ULTRA_ASSERT(finished, "accounts did not finish");
+
+    AccountsResult result;
+    result.cycles = machine.now() - start;
+    result.combined = machine.network().stats().combined;
+    result.balances.resize(cfg.numAccounts);
+    for (std::uint32_t a = 0; a < cfg.numAccounts; ++a) {
+        result.balances[a] = machine.peek(lay.balances + a);
+        result.total += result.balances[a];
+    }
+    return result;
+}
+
+} // namespace ultra::apps

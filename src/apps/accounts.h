@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A transaction-processing workload: concurrent transfers over a
+ * shared table of accounts.
+ *
+ * Each transfer is two fetch-and-adds (debit, credit) -- indivisible
+ * per cell, no locks, and combinable in the network when transfers
+ * collide on popular accounts.  The serialization principle guarantees
+ * the global invariant: the sum over all accounts never changes.
+ * A mutex-per-table baseline (writerLock around every transfer) shows
+ * what the paper's "completely parallel" design avoids.
+ */
+
+#ifndef ULTRA_APPS_ACCOUNTS_H
+#define ULTRA_APPS_ACCOUNTS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine.h"
+
+namespace ultra::apps
+{
+
+/** Workload parameters. */
+struct AccountsConfig
+{
+    std::uint32_t numAccounts = 64;
+    std::uint32_t transfersPerPe = 32;
+    Word initialBalance = 1000;
+    /** Zipf-ish skew: fraction of transfers touching account 0. */
+    double hotFraction = 0.25;
+    std::uint64_t seed = 3;
+    /** Serialize every transfer through one lock (the baseline). */
+    bool useGlobalLock = false;
+};
+
+/** Outcome of a run. */
+struct AccountsResult
+{
+    std::vector<Word> balances;
+    Word total = 0;
+    Cycle cycles = 0;
+    std::uint64_t combined = 0;
+};
+
+/** Run @p num_pes PEs of concurrent transfers on a fresh machine. */
+AccountsResult runAccounts(core::Machine &machine,
+                           std::uint32_t num_pes,
+                           const AccountsConfig &cfg);
+
+} // namespace ultra::apps
+
+#endif // ULTRA_APPS_ACCOUNTS_H

@@ -1,0 +1,80 @@
+#include "efficiency_model.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace ultra::apps
+{
+
+double
+EfficiencyFit::waiting(std::uint32_t pes, std::size_t n) const
+{
+    const double nd = static_cast<double>(n);
+    const double pd = static_cast<double>(pes);
+    return w * std::max(nd, std::sqrt(pd));
+}
+
+double
+EfficiencyFit::time(std::uint32_t pes, std::size_t n,
+                    bool include_waiting) const
+{
+    const double nd = static_cast<double>(n);
+    const double pd = static_cast<double>(pes);
+    double t = a * nd + d * nd * nd * nd / pd;
+    if (include_waiting && pes > 1)
+        t += waiting(pes, n);
+    return t;
+}
+
+double
+EfficiencyFit::efficiency(std::uint32_t pes, std::size_t n,
+                          bool include_waiting) const
+{
+    const double t1 = time(1, n, false);
+    const double tp = time(pes, n, include_waiting);
+    return t1 / (static_cast<double>(pes) * tp);
+}
+
+EfficiencyFit
+fitEfficiencyModel(const std::vector<EfficiencySample> &samples)
+{
+    ULTRA_ASSERT(samples.size() >= 2, "need at least two samples");
+
+    // Linear least squares for (a, d): minimize
+    //   sum ((T_i - W_i) - a x_i - d y_i)^2,
+    // with x = N and y = N^3 / P.
+    double sxx = 0.0, sxy = 0.0, syy = 0.0, sxt = 0.0, syt = 0.0;
+    for (const auto &s : samples) {
+        const double x = static_cast<double>(s.n);
+        const double y = x * x * x / static_cast<double>(s.pes);
+        const double t = s.totalTime - s.waitingTime;
+        sxx += x * x;
+        sxy += x * y;
+        syy += y * y;
+        sxt += x * t;
+        syt += y * t;
+    }
+    const double det = sxx * syy - sxy * sxy;
+    ULTRA_ASSERT(std::fabs(det) > 1e-9,
+                 "degenerate sample set: vary N and N^3/P");
+
+    EfficiencyFit fit;
+    fit.a = (sxt * syy - syt * sxy) / det;
+    fit.d = (syt * sxx - sxt * sxy) / det;
+
+    // Scalar least squares for w on the multi-PE samples.
+    double szz = 0.0, szw = 0.0;
+    for (const auto &s : samples) {
+        if (s.pes <= 1)
+            continue;
+        const double z = std::max(static_cast<double>(s.n),
+                                  std::sqrt(static_cast<double>(s.pes)));
+        szz += z * z;
+        szw += z * s.waitingTime;
+    }
+    fit.w = szz > 0.0 ? szw / szz : 0.0;
+    return fit;
+}
+
+} // namespace ultra::apps

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The TRED2 efficiency model of section 5 (Tables 2 and 3).
+ *
+ * The time to reduce an N x N matrix with P processors is well
+ * approximated by
+ *
+ *     T(P, N) = a N + d N^3 / P + W(P, N)
+ *
+ * where aN is overhead executed by all PEs, dN^3/P is the divided
+ * work, and W is waiting time of order max(N, sqrt(P)).  The constants
+ * are determined experimentally from simulated (P, N) pairs; the model
+ * then projects efficiencies
+ *
+ *     E(P, N) = T(1, N) / (P * T(P, N))
+ *
+ * for machines too large to simulate (the asterisked entries of
+ * Table 2).  Table 3 re-computes E with W removed -- the optimistic
+ * bound if all waiting time were recovered by multiprogramming the PEs.
+ */
+
+#ifndef ULTRA_APPS_EFFICIENCY_MODEL_H
+#define ULTRA_APPS_EFFICIENCY_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ultra::apps
+{
+
+/** One simulated observation. */
+struct EfficiencySample
+{
+    std::uint32_t pes = 1;
+    std::size_t n = 16;
+    double totalTime = 0.0;   //!< T(P,N), cycles
+    double waitingTime = 0.0; //!< W(P,N), cycles
+};
+
+/** Fitted model constants. */
+struct EfficiencyFit
+{
+    double a = 0.0; //!< per-step overhead coefficient
+    double d = 0.0; //!< divided-work coefficient
+    double w = 0.0; //!< waiting coefficient: W ~ w * max(N, sqrt(P))
+
+    /** Model waiting time. */
+    double waiting(std::uint32_t pes, std::size_t n) const;
+
+    /** Model T(P, N); @p include_waiting selects Table 2 vs Table 3. */
+    double time(std::uint32_t pes, std::size_t n,
+                bool include_waiting) const;
+
+    /** Model efficiency E(P, N) = T(1,N) / (P T(P,N)). */
+    double efficiency(std::uint32_t pes, std::size_t n,
+                      bool include_waiting) const;
+};
+
+/**
+ * Least-squares fit of (a, d) on T - W = aN + dN^3/P and of w on
+ * W = w max(N, sqrt(P)).  Requires at least two samples with distinct
+ * (N, N^3/P) signatures.
+ */
+EfficiencyFit fitEfficiencyModel(
+    const std::vector<EfficiencySample> &samples);
+
+} // namespace ultra::apps
+
+#endif // ULTRA_APPS_EFFICIENCY_MODEL_H

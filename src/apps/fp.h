@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Floating-point values in simulated shared memory.
+ *
+ * Central memory stores 64-bit words; scientific programs keep IEEE
+ * doubles in them by bit pattern.  Loads and stores move the bits
+ * unchanged; fetch-and-add on doubles is not required by any of the
+ * ported programs (index dispensing and barriers use integer cells).
+ */
+
+#ifndef ULTRA_APPS_FP_H
+#define ULTRA_APPS_FP_H
+
+#include <bit>
+
+#include "common/types.h"
+
+namespace ultra::apps
+{
+
+/** Pack a double into a shared-memory word. */
+inline Word
+dbits(double x)
+{
+    return std::bit_cast<Word>(x);
+}
+
+/** Unpack a shared-memory word into a double. */
+inline double
+bitsd(Word w)
+{
+    return std::bit_cast<double>(w);
+}
+
+} // namespace ultra::apps
+
+#endif // ULTRA_APPS_FP_H

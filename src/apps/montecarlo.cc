@@ -1,0 +1,116 @@
+#include "montecarlo.h"
+
+#include <cmath>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "core/coord.h"
+
+namespace ultra::apps
+{
+
+namespace
+{
+
+/**
+ * The per-particle walk: a 1-D random walk whose step distribution
+ * depends on the current position (data-dependent control flow -- the
+ * paper's argument for MIMD over SIMD).  Deterministic per particle id
+ * so serial and parallel runs tally identically.
+ */
+std::uint32_t
+walkParticle(std::uint64_t particle, const MonteCarloConfig &cfg)
+{
+    Rng rng(cfg.seed * 0x9e3779b9ULL + particle);
+    std::int64_t pos = 0;
+    for (std::uint32_t s = 0; s < cfg.stepsPerParticle; ++s) {
+        // Position-dependent drift: particles far from the origin are
+        // pulled back, giving a stationary-ish distribution.
+        const double p_right = pos > 0 ? 0.4 : pos < 0 ? 0.6 : 0.5;
+        pos += rng.bernoulli(p_right) ? 1 : -1;
+    }
+    const std::int64_t span = cfg.stepsPerParticle;
+    const std::int64_t clamped =
+        std::max<std::int64_t>(-span, std::min<std::int64_t>(span, pos));
+    // Map [-span, span] onto [0, bins).
+    const std::int64_t bin =
+        (clamped + span) * cfg.bins / (2 * span + 1);
+    return static_cast<std::uint32_t>(bin);
+}
+
+} // namespace
+
+MonteCarloResult
+monteCarloSerial(const MonteCarloConfig &cfg)
+{
+    MonteCarloResult result;
+    result.tally.assign(cfg.bins, 0);
+    for (std::uint64_t particle = 0; particle < cfg.particles;
+         ++particle) {
+        ++result.tally[walkParticle(particle, cfg)];
+    }
+    return result;
+}
+
+namespace
+{
+
+struct McLayout
+{
+    MonteCarloConfig cfg;
+    Addr nextParticle = 0; //!< fetch-and-add work dispenser
+    Addr tally = 0;        //!< bins
+};
+
+pe::Task
+mcWorker(pe::Pe &pe, McLayout lay)
+{
+    while (true) {
+        // Self-scheduling: claim the next particle with one F&A.
+        const Word particle =
+            co_await pe.fetchAdd(lay.nextParticle, 1);
+        if (particle >= static_cast<Word>(lay.cfg.particles))
+            co_return;
+        // The walk is private computation: charge its instructions.
+        const std::uint32_t bin =
+            walkParticle(static_cast<std::uint64_t>(particle),
+                         lay.cfg);
+        co_await pe.privateRefs(lay.cfg.stepsPerParticle);
+        co_await pe.compute(lay.cfg.stepsPerParticle * 6ULL);
+        // Tally with one combinable F&A.
+        co_await pe.fetchAdd(lay.tally + bin, 1);
+    }
+}
+
+} // namespace
+
+MonteCarloResult
+monteCarloParallel(core::Machine &machine, std::uint32_t num_pes,
+                   const MonteCarloConfig &cfg)
+{
+    ULTRA_ASSERT(num_pes >= 1 && num_pes <= machine.numPes());
+    ULTRA_ASSERT(cfg.bins >= 1);
+
+    McLayout lay;
+    lay.cfg = cfg;
+    lay.nextParticle = machine.allocShared(1, "mc.next");
+    lay.tally = machine.allocShared(cfg.bins, "mc.tally");
+
+    const Cycle start = machine.now();
+    for (std::uint32_t t = 0; t < num_pes; ++t) {
+        machine.launch(t,
+                       [lay](pe::Pe &p) { return mcWorker(p, lay); });
+    }
+    const bool finished = machine.run();
+    ULTRA_ASSERT(finished, "monte carlo did not finish");
+
+    MonteCarloResult result;
+    result.cycles = machine.now() - start;
+    result.peTotals = machine.aggregatePeStats();
+    result.tally.resize(cfg.bins);
+    for (std::uint32_t b = 0; b < cfg.bins; ++b)
+        result.tally[b] = machine.peek(lay.tally + b);
+    return result;
+}
+
+} // namespace ultra::apps

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Monte Carlo particle tracking (sections 2.5 and 5; Kalos [81]).
+ *
+ * The class of "particle tracking calculations" that resist
+ * vectorization but parallelize naturally on a MIMD shared-memory
+ * machine: independent particles take data-dependent random walks;
+ * PEs self-schedule work by fetch-and-adding a shared particle counter
+ * (no work queue, no critical section) and tally results by
+ * fetch-and-adding shared histogram bins -- both access patterns the
+ * combining network absorbs.
+ */
+
+#ifndef ULTRA_APPS_MONTECARLO_H
+#define ULTRA_APPS_MONTECARLO_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine.h"
+
+namespace ultra::apps
+{
+
+/** Particle-tracking parameters. */
+struct MonteCarloConfig
+{
+    std::uint64_t particles = 256;
+    std::uint32_t stepsPerParticle = 32;
+    std::uint32_t bins = 16; //!< tally histogram bins
+    std::uint64_t seed = 7;
+};
+
+/** Outcome of a tracking run. */
+struct MonteCarloResult
+{
+    std::vector<std::int64_t> tally; //!< per-bin particle counts
+    Cycle cycles = 0;
+    pe::PeStats peTotals;
+};
+
+/** Serial reference with the identical per-particle random walk. */
+MonteCarloResult monteCarloSerial(const MonteCarloConfig &cfg);
+
+/** Run on @p num_pes PEs of a fresh machine (self-scheduled). */
+MonteCarloResult monteCarloParallel(core::Machine &machine,
+                                    std::uint32_t num_pes,
+                                    const MonteCarloConfig &cfg);
+
+} // namespace ultra::apps
+
+#endif // ULTRA_APPS_MONTECARLO_H

@@ -1,0 +1,250 @@
+#include "shortest_path.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "core/coord.h"
+
+namespace ultra::apps
+{
+
+Graph
+randomGraph(std::size_t vertices, std::size_t edges_per_vertex,
+            std::uint64_t seed)
+{
+    ULTRA_ASSERT(vertices >= 2);
+    Rng rng(seed);
+    Graph graph;
+    graph.numVertices = vertices;
+    graph.offsets.reserve(vertices + 1);
+    graph.offsets.push_back(0);
+    for (std::size_t v = 0; v < vertices; ++v) {
+        // A ring edge guarantees connectivity, plus random chords.
+        graph.targets.push_back(
+            static_cast<std::uint32_t>((v + 1) % vertices));
+        graph.weights.push_back(
+            1 + static_cast<Word>(rng.uniformInt(9)));
+        for (std::size_t e = 1; e < edges_per_vertex; ++e) {
+            const auto to = static_cast<std::uint32_t>(
+                rng.uniformInt(vertices));
+            if (to == v)
+                continue;
+            graph.targets.push_back(to);
+            graph.weights.push_back(
+                1 + static_cast<Word>(rng.uniformInt(99)));
+        }
+        graph.offsets.push_back(
+            static_cast<std::uint32_t>(graph.targets.size()));
+    }
+    return graph;
+}
+
+Graph
+gridGraph(std::size_t side)
+{
+    ULTRA_ASSERT(side >= 2);
+    Graph graph;
+    graph.numVertices = side * side;
+    graph.offsets.push_back(0);
+    auto id = [side](std::size_t r, std::size_t c) {
+        return static_cast<std::uint32_t>(r * side + c);
+    };
+    for (std::size_t r = 0; r < side; ++r) {
+        for (std::size_t c = 0; c < side; ++c) {
+            if (r + 1 < side) {
+                graph.targets.push_back(id(r + 1, c));
+                graph.weights.push_back(1);
+            }
+            if (c + 1 < side) {
+                graph.targets.push_back(id(r, c + 1));
+                graph.weights.push_back(1);
+            }
+            if (r > 0) {
+                graph.targets.push_back(id(r - 1, c));
+                graph.weights.push_back(1);
+            }
+            if (c > 0) {
+                graph.targets.push_back(id(r, c - 1));
+                graph.weights.push_back(1);
+            }
+            graph.offsets.push_back(
+                static_cast<std::uint32_t>(graph.targets.size()));
+        }
+    }
+    return graph;
+}
+
+std::vector<Word>
+shortestPathsSerial(const Graph &graph, std::uint32_t source)
+{
+    ULTRA_ASSERT(source < graph.numVertices);
+    std::vector<Word> dist(graph.numVertices, kUnreachable);
+    dist[source] = 0;
+    using Entry = std::pair<Word, std::uint32_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    heap.push({0, source});
+    while (!heap.empty()) {
+        const auto [d, u] = heap.top();
+        heap.pop();
+        if (d > dist[u])
+            continue;
+        for (std::uint32_t e = graph.offsets[u];
+             e < graph.offsets[u + 1]; ++e) {
+            const std::uint32_t v = graph.targets[e];
+            const Word nd = d + graph.weights[e];
+            if (nd < dist[v]) {
+                dist[v] = nd;
+                heap.push({nd, v});
+            }
+        }
+    }
+    return dist;
+}
+
+namespace
+{
+
+struct SsspLayout
+{
+    std::size_t vertices = 0;
+    Addr offsets = 0; //!< V + 1 (read-only: cacheable)
+    Addr targets = 0; //!< E     (read-only: cacheable)
+    Addr weights = 0; //!< E     (read-only: cacheable)
+    Addr dist = 0;    //!< V     (read-write shared: FetchMin only)
+    Addr pending = 0; //!< work units queued or being processed
+    Addr processed = 0;
+    core::ParallelQueue queue;
+    bool useCache = false;
+};
+
+pe::Task
+ssspWorker(pe::Pe &pe, SsspLayout lay)
+{
+    // Read-only graph words go through the local cache when attached.
+    auto graph_load = [&pe, &lay](Addr addr, Word *out) -> pe::Task {
+        if (lay.useCache) {
+            co_await pe.cachedLoad(addr, out);
+        } else {
+            *out = co_await pe.load(addr);
+        }
+    };
+
+    while (true) {
+        const Word pending = co_await pe.load(lay.pending);
+        if (pending == 0)
+            co_return; // nothing queued, nobody processing: done
+        bool underflow = false;
+        Word vertex = 0;
+        co_await core::queueDelete(pe, lay.queue, &vertex, &underflow);
+        if (underflow) {
+            co_await pe.compute(6);
+            continue;
+        }
+
+        const Word du = co_await pe.load(lay.dist + vertex);
+        Word begin = 0, end = 0;
+        co_await graph_load(lay.offsets + vertex, &begin);
+        co_await graph_load(lay.offsets + vertex + 1, &end);
+        for (Word e = begin; e < end; ++e) {
+            Word to = 0, weight = 0;
+            co_await graph_load(lay.targets + e, &to);
+            co_await graph_load(lay.weights + e, &weight);
+            const Word nd = du + weight;
+            co_await pe.compute(4);
+            // Atomic relaxation: an associative fetch-and-phi, so hot
+            // vertices combine in the switches.
+            const Word old_dist = co_await pe.fetchPhi(
+                net::Op::FetchMin, lay.dist + to, nd);
+            if (nd < old_dist) {
+                // The label improved: (re)queue the vertex.
+                const Word was = co_await pe.fetchAdd(lay.pending, 1);
+                (void)was;
+                bool overflow = true;
+                while (overflow) {
+                    co_await core::queueInsert(pe, lay.queue, to,
+                                               &overflow);
+                    if (overflow)
+                        co_await pe.compute(8);
+                }
+            }
+        }
+        const Word was_done = co_await pe.fetchAdd(lay.processed, 1);
+        (void)was_done;
+        const Word was = co_await pe.fetchAdd(lay.pending, -1);
+        (void)was;
+    }
+}
+
+} // namespace
+
+SsspResult
+shortestPathsParallel(core::Machine &machine, std::uint32_t num_pes,
+                      const Graph &graph, std::uint32_t source,
+                      bool use_cache)
+{
+    ULTRA_ASSERT(source < graph.numVertices);
+    ULTRA_ASSERT(num_pes >= 1 && num_pes <= machine.numPes());
+
+    SsspLayout lay;
+    lay.vertices = graph.numVertices;
+    lay.useCache = use_cache;
+    lay.offsets =
+        machine.allocShared(graph.numVertices + 1, "sssp.offsets");
+    lay.targets = machine.allocShared(graph.numEdges(), "sssp.targets");
+    lay.weights = machine.allocShared(graph.numEdges(), "sssp.weights");
+    lay.dist = machine.allocShared(graph.numVertices, "sssp.dist");
+    lay.pending = machine.allocShared(1, "sssp.pending");
+    lay.processed = machine.allocShared(1, "sssp.processed");
+    lay.queue = core::ParallelQueue::create(
+        machine, static_cast<Word>(4 * graph.numVertices + 64));
+
+    for (std::size_t v = 0; v <= graph.numVertices; ++v)
+        machine.poke(lay.offsets + v, graph.offsets[v]);
+    for (std::size_t e = 0; e < graph.numEdges(); ++e) {
+        machine.poke(lay.targets + e, graph.targets[e]);
+        machine.poke(lay.weights + e, graph.weights[e]);
+    }
+    for (std::size_t v = 0; v < graph.numVertices; ++v)
+        machine.poke(lay.dist + v, kUnreachable);
+    machine.poke(lay.dist + source, 0);
+
+    // Pre-seed the work queue with the source vertex: one completed
+    // insertion (see the queue layout in core/coord.h).
+    machine.poke(lay.queue.data, source);
+    machine.poke(lay.queue.insPtr, 1);
+    machine.poke(lay.queue.lower, 1);
+    machine.poke(lay.queue.upper, 1);
+    machine.poke(lay.queue.insSeq, 1);
+    machine.poke(lay.pending, 1);
+
+    if (use_cache) {
+        cache::CacheConfig ccfg;
+        ccfg.numSets = 64;
+        ccfg.associativity = 2;
+        ccfg.blockWords = 4;
+        for (std::uint32_t t = 0; t < num_pes; ++t)
+            machine.peAt(t).attachCache(ccfg);
+    }
+
+    const Cycle start = machine.now();
+    for (std::uint32_t t = 0; t < num_pes; ++t) {
+        machine.launch(t,
+                       [lay](pe::Pe &p) { return ssspWorker(p, lay); });
+    }
+    const bool finished = machine.run();
+    ULTRA_ASSERT(finished, "sssp did not finish");
+
+    SsspResult result;
+    result.cycles = machine.now() - start;
+    result.peTotals = machine.aggregatePeStats();
+    result.relaxations =
+        static_cast<std::uint64_t>(machine.peek(lay.processed));
+    result.dist.resize(graph.numVertices);
+    for (std::size_t v = 0; v < graph.numVertices; ++v)
+        result.dist[v] = machine.peek(lay.dist + v);
+    return result;
+}
+
+} // namespace ultra::apps

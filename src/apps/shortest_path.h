@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Parallel single-source shortest paths (the appendix's motivating
+ * application).
+ *
+ * The appendix opens by quoting Deo, Pang and Lord: "regardless of the
+ * number of processors used, we expect that algorithm PPDM has a
+ * constant upper bound on its speedup, because every processor demands
+ * private use of the Q" -- and then refutes it with the critical-
+ * section-free queue.  This module is that refutation made concrete: a
+ * label-correcting SSSP where
+ *
+ *   - the vertex work-pool is the appendix ParallelQueue (concurrent
+ *     inserts and deletes, no critical section),
+ *   - relaxation is an atomic fetch-and-min on the distance word
+ *     (an associative fetch-and-phi, so hot vertices combine in the
+ *     network),
+ *   - termination uses a fetch-and-add activity counter,
+ *   - the graph itself (CSR arrays) is read-only shared data and is
+ *     read through each PE's local cache (section 3.2).
+ */
+
+#ifndef ULTRA_APPS_SHORTEST_PATH_H
+#define ULTRA_APPS_SHORTEST_PATH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine.h"
+
+namespace ultra::apps
+{
+
+/** A directed graph in compressed-sparse-row form. */
+struct Graph
+{
+    std::size_t numVertices = 0;
+    std::vector<std::uint32_t> offsets; //!< numVertices + 1
+    std::vector<std::uint32_t> targets; //!< edge endpoints
+    std::vector<Word> weights;          //!< positive edge weights
+
+    std::size_t numEdges() const { return targets.size(); }
+};
+
+/** Deterministic random graph with positive weights. */
+Graph randomGraph(std::size_t vertices, std::size_t edges_per_vertex,
+                  std::uint64_t seed);
+
+/** A small grid graph (useful for readable tests). */
+Graph gridGraph(std::size_t side);
+
+/** Serial reference (Dijkstra). */
+std::vector<Word> shortestPathsSerial(const Graph &graph,
+                                      std::uint32_t source);
+
+/** Outcome of a parallel run. */
+struct SsspResult
+{
+    std::vector<Word> dist;
+    Cycle cycles = 0;
+    pe::PeStats peTotals;
+    std::uint64_t relaxations = 0; //!< queue deletions processed
+};
+
+/**
+ * Run parallel SSSP on @p num_pes PEs of a fresh machine.  When
+ * @p use_cache is true each PE reads the (read-only) CSR arrays
+ * through an attached local cache.
+ */
+SsspResult shortestPathsParallel(core::Machine &machine,
+                                 std::uint32_t num_pes,
+                                 const Graph &graph,
+                                 std::uint32_t source,
+                                 bool use_cache = true);
+
+/** The "infinite" distance sentinel. */
+inline constexpr Word kUnreachable = 1'000'000'000;
+
+} // namespace ultra::apps
+
+#endif // ULTRA_APPS_SHORTEST_PATH_H

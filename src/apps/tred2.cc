@@ -1,0 +1,348 @@
+#include "tred2.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "apps/fp.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "core/coord.h"
+
+namespace ultra::apps
+{
+
+namespace
+{
+
+/**
+ * Per-inner-loop-element instruction budget, calibrated so the Table-1
+ * columns (memory references per instruction ~0.25, shared references
+ * per instruction ~0.05, CDC-6600-style register-heavy code) come out
+ * of the simulation rather than being asserted: each shared reference
+ * is accompanied by privatePerRef cache-hit references and
+ * computePerRef register instructions, and loads overlap
+ * overlapInstr instructions of useful work before the value is used
+ * (the compiler-prefetch behaviour section 4.2 describes).
+ */
+struct InstrBudget
+{
+    std::uint64_t computePerRef = 13;
+    std::uint64_t privatePerRef = 3;
+    std::uint64_t overlapInstr = 4;
+};
+
+constexpr InstrBudget kTred2Budget{25, 6, 4};
+
+} // namespace
+
+Tridiagonal
+tred2Serial(std::vector<double> a, std::size_t n)
+{
+    ULTRA_ASSERT(n >= 1 && a.size() == n * n);
+    Tridiagonal tri;
+    tri.diag.assign(n, 0.0);
+    tri.offdiag.assign(n, 0.0);
+    auto at = [&](std::size_t r, std::size_t c) -> double & {
+        return a[r * n + c];
+    };
+
+    std::vector<double> u(n), p(n);
+    for (std::size_t i = n - 1; i >= 1; --i) {
+        const std::size_t l = i - 1;
+        double h = 0.0;
+        double scale = 0.0;
+        if (l > 0) {
+            for (std::size_t k = 0; k <= l; ++k)
+                scale += std::fabs(at(i, k));
+        }
+        if (l == 0 || scale == 0.0) {
+            tri.offdiag[i] = at(i, l);
+            continue;
+        }
+        for (std::size_t k = 0; k <= l; ++k) {
+            u[k] = at(i, k) / scale;
+            h += u[k] * u[k];
+        }
+        const double f = u[l];
+        const double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        tri.offdiag[i] = scale * g;
+        h -= f * g;
+        u[l] = f - g;
+        for (std::size_t j = 0; j <= l; ++j) {
+            double gj = 0.0;
+            for (std::size_t k = 0; k <= j; ++k)
+                gj += at(j, k) * u[k];
+            for (std::size_t k = j + 1; k <= l; ++k)
+                gj += at(k, j) * u[k];
+            p[j] = gj / h;
+        }
+        double fsum = 0.0;
+        for (std::size_t j = 0; j <= l; ++j)
+            fsum += p[j] * u[j];
+        const double hh = fsum / (2.0 * h);
+        for (std::size_t j = 0; j <= l; ++j)
+            p[j] -= hh * u[j];
+        for (std::size_t j = 0; j <= l; ++j) {
+            const double fj = u[j];
+            const double gj = p[j];
+            for (std::size_t k = 0; k <= j; ++k)
+                at(j, k) -= fj * p[k] + gj * u[k];
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        tri.diag[i] = at(i, i);
+    return tri;
+}
+
+namespace
+{
+
+/** The program run by each of the P cooperating PEs. */
+pe::Task
+tred2Worker(pe::Pe &pe, Tred2Layout lay, std::uint32_t t,
+            std::uint32_t num_pes)
+{
+    const std::size_t n = lay.n;
+    const InstrBudget budget = kTred2Budget;
+    Word sense = 0;
+    std::vector<double> ulocal(n), plocal(n);
+
+    // A charged shared load: issue, overlap some register work, use.
+    auto charged_load = [&](Addr addr) -> pe::LoadHandle {
+        return pe.startLoad(addr);
+    };
+
+    for (std::size_t i = n - 1; i >= 1; --i) {
+        const std::size_t l = i - 1;
+
+        if (t == 0) {
+            // Serial head (the aN overhead term): scale, u, h, e[i].
+            double scale = 0.0;
+            for (std::size_t k = 0; k <= l; ++k) {
+                auto hk = charged_load(lay.matrix + i * n + k);
+                co_await pe.compute(budget.overlapInstr);
+                ulocal[k] = bitsd(co_await hk);
+                co_await pe.privateRefs(1);
+                co_await pe.compute(2);
+                scale += std::fabs(ulocal[k]);
+            }
+            double h = 0.0;
+            bool skip = l == 0 || scale == 0.0;
+            if (skip) {
+                co_await pe.store(lay.offdiag + i, dbits(ulocal[l]));
+            } else {
+                for (std::size_t k = 0; k <= l; ++k) {
+                    ulocal[k] /= scale;
+                    h += ulocal[k] * ulocal[k];
+                    co_await pe.compute(3);
+                    co_await pe.privateRefs(1);
+                }
+                const double f = ulocal[l];
+                const double g =
+                    f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+                co_await pe.store(lay.offdiag + i, dbits(scale * g));
+                h -= f * g;
+                ulocal[l] = f - g;
+                for (std::size_t k = 0; k <= l; ++k)
+                    pe.postStore(lay.u + k, dbits(ulocal[k]));
+                co_await pe.fence();
+            }
+            co_await pe.store(lay.scratch + 0, dbits(h));
+            co_await pe.store(lay.scratch + 1, skip ? 1 : 0);
+        }
+        co_await core::barrierWait(pe, lay.barrier, &sense);
+
+        const bool skip = co_await pe.load(lay.scratch + 1) != 0;
+        if (skip) {
+            co_await core::barrierWait(pe, lay.barrier, &sense);
+            co_await core::barrierWait(pe, lay.barrier, &sense);
+            co_await core::barrierWait(pe, lay.barrier, &sense);
+            continue;
+        }
+        const double h = bitsd(co_await pe.load(lay.scratch + 0));
+
+        // Broadcast copy of u: concurrent loads of the same cells by
+        // all PEs combine in the network.
+        if (t != 0) {
+            for (std::size_t k = 0; k <= l; ++k) {
+                auto hk = charged_load(lay.u + k);
+                co_await pe.compute(budget.overlapInstr);
+                ulocal[k] = bitsd(co_await hk);
+                co_await pe.privateRefs(2);
+                co_await pe.compute(6);
+            }
+        }
+
+        // Phase 2: p[j] = (A u)_j / h over this PE's slice of rows.
+        for (std::size_t j = t; j <= l; j += num_pes) {
+            double g = 0.0;
+            for (std::size_t k = 0; k <= l; ++k) {
+                const Addr addr = k <= j ? lay.matrix + j * n + k
+                                         : lay.matrix + k * n + j;
+                auto hk = charged_load(addr);
+                co_await pe.compute(budget.overlapInstr);
+                const double ajk = bitsd(co_await hk);
+                co_await pe.privateRefs(budget.privatePerRef);
+                co_await pe.compute(budget.computePerRef -
+                                    budget.overlapInstr);
+                g += ajk * ulocal[k];
+            }
+            pe.postStore(lay.p + j, dbits(g / h));
+        }
+        co_await pe.fence();
+        co_await core::barrierWait(pe, lay.barrier, &sense);
+
+        if (t == 0) {
+            // Serial middle: hh = (u . p) / 2h.
+            double fsum = 0.0;
+            for (std::size_t j = 0; j <= l; ++j) {
+                auto hj = charged_load(lay.p + j);
+                co_await pe.compute(budget.overlapInstr);
+                fsum += bitsd(co_await hj) * ulocal[j];
+                co_await pe.privateRefs(1);
+                co_await pe.compute(2);
+            }
+            co_await pe.store(lay.scratch + 2,
+                              dbits(fsum / (2.0 * h)));
+        }
+        co_await core::barrierWait(pe, lay.barrier, &sense);
+        const double hh = bitsd(co_await pe.load(lay.scratch + 2));
+
+        // Broadcast copy of p, then form q = p - hh u privately.
+        for (std::size_t k = 0; k <= l; ++k) {
+            auto hk = charged_load(lay.p + k);
+            co_await pe.compute(budget.overlapInstr);
+            plocal[k] = bitsd(co_await hk) - hh * ulocal[k];
+            co_await pe.privateRefs(2);
+            co_await pe.compute(6);
+        }
+
+        // Phase 4: rank-two update of this PE's slice of rows.
+        for (std::size_t j = t; j <= l; j += num_pes) {
+            const double fj = ulocal[j];
+            const double gj = plocal[j];
+            for (std::size_t k = 0; k <= j; ++k) {
+                const Addr addr = lay.matrix + j * n + k;
+                auto hk = charged_load(addr);
+                co_await pe.compute(budget.overlapInstr);
+                const double ajk = bitsd(co_await hk);
+                co_await pe.privateRefs(budget.privatePerRef);
+                co_await pe.compute(budget.computePerRef -
+                                    budget.overlapInstr);
+                pe.postStore(addr,
+                             dbits(ajk - fj * plocal[k] -
+                                   gj * ulocal[k]));
+            }
+        }
+        co_await pe.fence();
+        co_await core::barrierWait(pe, lay.barrier, &sense);
+    }
+
+    if (t == 0) {
+        // Serial tail: gather the diagonal.
+        for (std::size_t i = 0; i < n; ++i) {
+            auto hi = charged_load(lay.matrix + i * n + i);
+            co_await pe.compute(budget.overlapInstr);
+            pe.postStore(lay.diag + i, dbits(bitsd(co_await hi)));
+        }
+        co_await pe.fence();
+    }
+}
+
+} // namespace
+
+Tred2Result
+tred2Parallel(core::Machine &machine, std::uint32_t num_pes,
+              const std::vector<double> &a, std::size_t n,
+              std::uint32_t contexts_per_pe)
+{
+    ULTRA_ASSERT(n >= 2 && a.size() == n * n);
+    ULTRA_ASSERT(contexts_per_pe >= 1 &&
+                 num_pes % contexts_per_pe == 0);
+    const std::uint32_t physical_pes = num_pes / contexts_per_pe;
+    ULTRA_ASSERT(physical_pes >= 1 &&
+                 physical_pes <= machine.numPes());
+
+    Tred2Layout lay;
+    lay.n = n;
+    lay.matrix = machine.allocShared(n * n, "tred2.A");
+    lay.diag = machine.allocShared(n, "tred2.d");
+    lay.offdiag = machine.allocShared(n, "tred2.e");
+    lay.u = machine.allocShared(n, "tred2.u");
+    lay.p = machine.allocShared(n, "tred2.p");
+    lay.scratch = machine.allocShared(4, "tred2.scratch");
+    lay.barrier = core::Barrier::create(machine, num_pes);
+
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            machine.poke(lay.matrix + r * n + c, dbits(a[r * n + c]));
+
+    const Cycle start = machine.now();
+    for (std::uint32_t t = 0; t < num_pes; ++t) {
+        const PEId pe_id = t % physical_pes;
+        auto program = [lay, t, num_pes](pe::Pe &p) {
+            return tred2Worker(p, lay, t, num_pes);
+        };
+        if (t < physical_pes)
+            machine.launch(pe_id, std::move(program));
+        else
+            machine.launchExtra(pe_id, std::move(program));
+    }
+    const bool finished = machine.run();
+    ULTRA_ASSERT(finished, "tred2 did not finish");
+
+    Tred2Result result;
+    result.cycles = machine.now() - start;
+    result.peTotals = machine.aggregatePeStats();
+    result.waitingTime =
+        static_cast<double>(result.peTotals.idleCycles) / num_pes;
+    result.tri.diag.resize(n);
+    result.tri.offdiag.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        result.tri.diag[i] = bitsd(machine.peek(lay.diag + i));
+    for (std::size_t i = 1; i < n; ++i)
+        result.tri.offdiag[i] = bitsd(machine.peek(lay.offdiag + i));
+    return result;
+}
+
+std::vector<double>
+randomSymmetric(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> a(n * n, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c <= r; ++c) {
+            const double v = rng.uniformDouble() * 2.0 - 1.0;
+            a[r * n + c] = v;
+            a[c * n + r] = v;
+        }
+    }
+    return a;
+}
+
+bool
+tridiagonalConsistent(const std::vector<double> &a, std::size_t n,
+                      const Tridiagonal &tri, double tol)
+{
+    // Orthogonal similarity preserves trace and Frobenius norm.
+    double trace_a = 0.0;
+    double frob_a = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+        trace_a += a[r * n + r];
+        for (std::size_t c = 0; c < n; ++c)
+            frob_a += a[r * n + c] * a[r * n + c];
+    }
+    double trace_t = 0.0;
+    double frob_t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        trace_t += tri.diag[i];
+        frob_t += tri.diag[i] * tri.diag[i];
+    }
+    for (std::size_t i = 1; i < n; ++i)
+        frob_t += 2.0 * tri.offdiag[i] * tri.offdiag[i];
+    const double scale = std::max(1.0, std::fabs(trace_a) + frob_a);
+    return std::fabs(trace_a - trace_t) <= tol * scale &&
+           std::fabs(frob_a - frob_t) <= tol * scale;
+}
+
+} // namespace ultra::apps

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * TRED2: Householder reduction of a real symmetric matrix to
+ * tridiagonal form (section 5; the EISPACK routine the paper
+ * parallelized, after Korn [81]).
+ *
+ * The parallel variant distributes each step's matrix-vector product
+ * and rank-two update across P PEs with fetch-and-add barriers between
+ * phases; the per-step setup is the "overhead ... executed by all PEs"
+ * that contributes the aN term of T(P,N) = aN + dN^3/P + W(P,N).
+ */
+
+#ifndef ULTRA_APPS_TRED2_H
+#define ULTRA_APPS_TRED2_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coord.h"
+#include "core/machine.h"
+
+namespace ultra::apps
+{
+
+/** Tridiagonal result: diagonal d[0..n-1] and subdiagonal e[1..n-1]. */
+struct Tridiagonal
+{
+    std::vector<double> diag;
+    std::vector<double> offdiag; //!< offdiag[0] is unused (0)
+};
+
+/**
+ * Serial reference Householder reduction of the symmetric matrix
+ * @p a (row-major, n x n; only the lower triangle is read).
+ */
+Tridiagonal tred2Serial(std::vector<double> a, std::size_t n);
+
+/** Shared-memory layout of the parallel TRED2 run. */
+struct Tred2Layout
+{
+    std::size_t n = 0;
+    Addr matrix = 0; //!< n*n doubles (row-major)
+    Addr diag = 0;   //!< n doubles
+    Addr offdiag = 0;
+    Addr u = 0;      //!< Householder vector
+    Addr p = 0;      //!< A u / h
+    Addr scratch = 0; //!< per-phase reduction cells
+    core::Barrier barrier;
+};
+
+/** Outcome of a parallel run. */
+struct Tred2Result
+{
+    Tridiagonal tri;
+    Cycle cycles = 0;        //!< simulated time T(P,N)
+    double waitingTime = 0;  //!< W(P,N): mean idle cycles per PE
+    pe::PeStats peTotals;
+};
+
+/**
+ * Run parallel TRED2 on @p machine with @p num_workers cooperating
+ * logical workers over matrix @p a (n x n symmetric).  The machine
+ * must be freshly constructed (the run allocates shared memory and
+ * launches programs).
+ *
+ * With @p contexts_per_pe > 1 the workers are hardware-multiprogrammed
+ * (section 3.5): they run on num_workers / contexts_per_pe physical
+ * PEs, each time-sharing its instruction pipeline among
+ * contexts_per_pe workers -- the configuration whose recovered waiting
+ * time Table 3 projects.  num_workers must be divisible by
+ * contexts_per_pe.
+ */
+Tred2Result tred2Parallel(core::Machine &machine,
+                          std::uint32_t num_workers,
+                          const std::vector<double> &a, std::size_t n,
+                          std::uint32_t contexts_per_pe = 1);
+
+/** Deterministic symmetric test matrix with bounded entries. */
+std::vector<double> randomSymmetric(std::size_t n, std::uint64_t seed);
+
+/**
+ * Eigenvalue-free validity check: the tridiagonal form must preserve
+ * the matrix trace and Frobenius norm to within @p tol (Householder
+ * transforms are orthogonal similarities).
+ */
+bool tridiagonalConsistent(const std::vector<double> &a, std::size_t n,
+                           const Tridiagonal &tri, double tol);
+
+} // namespace ultra::apps
+
+#endif // ULTRA_APPS_TRED2_H

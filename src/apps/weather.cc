@@ -1,0 +1,184 @@
+#include "weather.h"
+
+#include "apps/fp.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "core/coord.h"
+
+namespace ultra::apps
+{
+
+namespace
+{
+
+/** Per-grid-point instruction budget (see the file comment). */
+constexpr std::uint64_t kComputePerPoint = 25;
+constexpr std::uint64_t kPrivatePerPoint = 3;
+constexpr std::uint64_t kOverlapInstr = 2;
+
+std::size_t
+wrap(std::ptrdiff_t i, std::size_t n)
+{
+    const std::ptrdiff_t m = static_cast<std::ptrdiff_t>(n);
+    return static_cast<std::size_t>(((i % m) + m) % m);
+}
+
+} // namespace
+
+std::vector<double>
+weatherSerial(const WeatherConfig &cfg, std::vector<double> initial)
+{
+    const std::size_t rows = cfg.rows;
+    const std::size_t cols = cfg.cols;
+    ULTRA_ASSERT(initial.size() == rows * cols);
+    std::vector<double> cur = std::move(initial);
+    std::vector<double> next(rows * cols);
+    for (std::uint32_t s = 0; s < cfg.steps; ++s) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < cols; ++c) {
+                const double up =
+                    cur[wrap(static_cast<std::ptrdiff_t>(r) - 1, rows) *
+                            cols + c];
+                const double dn =
+                    cur[wrap(static_cast<std::ptrdiff_t>(r) + 1, rows) *
+                            cols + c];
+                const double lf =
+                    cur[r * cols +
+                        wrap(static_cast<std::ptrdiff_t>(c) - 1, cols)];
+                const double rt =
+                    cur[r * cols +
+                        wrap(static_cast<std::ptrdiff_t>(c) + 1, cols)];
+                const double mid = cur[r * cols + c];
+                next[r * cols + c] =
+                    mid + cfg.nu * (up + dn + lf + rt - 4.0 * mid);
+            }
+        }
+        cur.swap(next);
+    }
+    return cur;
+}
+
+namespace
+{
+
+struct WeatherLayout
+{
+    WeatherConfig cfg;
+    Addr gridA = 0;
+    Addr gridB = 0;
+    core::Barrier barrier;
+};
+
+pe::Task
+weatherWorker(pe::Pe &pe, WeatherLayout lay, std::uint32_t t,
+              std::uint32_t num_pes)
+{
+    const std::size_t rows = lay.cfg.rows;
+    const std::size_t cols = lay.cfg.cols;
+    Word sense = 0;
+
+    // This PE's contiguous row block [row_lo, row_hi).
+    const std::size_t base = rows / num_pes;
+    const std::size_t extra = rows % num_pes;
+    const std::size_t row_lo =
+        t * base + std::min<std::size_t>(t, extra);
+    const std::size_t row_hi = row_lo + base + (t < extra ? 1 : 0);
+    const std::size_t my_rows = row_hi - row_lo;
+
+    // Private working copy: block plus one halo row on each side.
+    std::vector<double> block((my_rows + 2) * cols);
+
+    for (std::uint32_t step = 0; step < lay.cfg.steps; ++step) {
+        const Addr src = step % 2 == 0 ? lay.gridA : lay.gridB;
+        const Addr dst = step % 2 == 0 ? lay.gridB : lay.gridA;
+        if (my_rows > 0) {
+            // Fetch block + halos from shared memory (prefetched).
+            for (std::size_t r = 0; r < my_rows + 2; ++r) {
+                const std::size_t grid_row = wrap(
+                    static_cast<std::ptrdiff_t>(row_lo + r) - 1, rows);
+                for (std::size_t c = 0; c < cols; ++c) {
+                    auto h =
+                        pe.startLoad(src + grid_row * cols + c);
+                    co_await pe.compute(kOverlapInstr);
+                    block[r * cols + c] = bitsd(co_await h);
+                    co_await pe.privateRefs(1);
+                }
+            }
+            // Compute and store the updated block.
+            for (std::size_t r = 1; r <= my_rows; ++r) {
+                for (std::size_t c = 0; c < cols; ++c) {
+                    const double up = block[(r - 1) * cols + c];
+                    const double dn = block[(r + 1) * cols + c];
+                    const double lf =
+                        block[r * cols + wrap(
+                            static_cast<std::ptrdiff_t>(c) - 1, cols)];
+                    const double rt =
+                        block[r * cols + wrap(
+                            static_cast<std::ptrdiff_t>(c) + 1, cols)];
+                    const double mid = block[r * cols + c];
+                    const double out =
+                        mid + lay.cfg.nu *
+                                  (up + dn + lf + rt - 4.0 * mid);
+                    co_await pe.privateRefs(kPrivatePerPoint - 1);
+                    co_await pe.compute(kComputePerPoint -
+                                        kOverlapInstr);
+                    pe.postStore(dst + (row_lo + r - 1) * cols + c,
+                                 dbits(out));
+                }
+            }
+            co_await pe.fence();
+        }
+        co_await core::barrierWait(pe, lay.barrier, &sense);
+    }
+}
+
+} // namespace
+
+std::vector<double>
+weatherInitial(const WeatherConfig &cfg, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> grid(cfg.rows * cfg.cols);
+    for (auto &v : grid)
+        v = rng.uniformDouble();
+    return grid;
+}
+
+WeatherResult
+weatherParallel(core::Machine &machine, std::uint32_t num_pes,
+                const WeatherConfig &cfg,
+                const std::vector<double> &initial)
+{
+    const std::size_t cells = cfg.rows * cfg.cols;
+    ULTRA_ASSERT(initial.size() == cells);
+    ULTRA_ASSERT(num_pes >= 1 && num_pes <= machine.numPes());
+    ULTRA_ASSERT(cfg.nu < 0.25, "explicit diffusion needs nu < 1/4");
+
+    WeatherLayout lay;
+    lay.cfg = cfg;
+    lay.gridA = machine.allocShared(cells, "weather.A");
+    lay.gridB = machine.allocShared(cells, "weather.B");
+    lay.barrier = core::Barrier::create(machine, num_pes);
+    for (std::size_t i = 0; i < cells; ++i)
+        machine.poke(lay.gridA + i, dbits(initial[i]));
+
+    const Cycle start = machine.now();
+    for (std::uint32_t t = 0; t < num_pes; ++t) {
+        machine.launch(t, [lay, t, num_pes](pe::Pe &p) {
+            return weatherWorker(p, lay, t, num_pes);
+        });
+    }
+    const bool finished = machine.run();
+    ULTRA_ASSERT(finished, "weather did not finish");
+
+    WeatherResult result;
+    result.cycles = machine.now() - start;
+    result.peTotals = machine.aggregatePeStats();
+    const Addr final_grid = cfg.steps % 2 == 0 ? lay.gridA : lay.gridB;
+    result.grid.resize(cells);
+    for (std::size_t i = 0; i < cells; ++i)
+        result.grid[i] = bitsd(machine.peek(final_grid + i));
+    return result;
+}
+
+} // namespace ultra::apps

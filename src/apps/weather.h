@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A weather-style two-dimensional PDE solver (Table 1 programs 1, 2).
+ *
+ * Stands in for the parallel NASA weather code (a 2-D PDE solved by
+ * explicit time stepping): a periodic 2-D diffusion equation advanced
+ * with a five-point stencil.  The parallel decomposition matches the
+ * paper's: the grid lives in shared memory sliced into row blocks, each
+ * step every PE reads its block plus two halo rows, computes privately,
+ * stores its block back, and barriers.  The reference mix (about one
+ * shared reference per 2.6 data references, about 0.21 data references
+ * per instruction) emerges from the per-point instruction budget
+ * calibrated to the paper's CDC-6600-style code.
+ */
+
+#ifndef ULTRA_APPS_WEATHER_H
+#define ULTRA_APPS_WEATHER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine.h"
+
+namespace ultra::apps
+{
+
+/** Weather-run parameters. */
+struct WeatherConfig
+{
+    std::size_t rows = 32;
+    std::size_t cols = 32;
+    std::uint32_t steps = 4;
+    double nu = 0.1; //!< diffusion coefficient (must be < 0.25)
+};
+
+/** Outcome of a weather run. */
+struct WeatherResult
+{
+    std::vector<double> grid; //!< final field, row-major
+    Cycle cycles = 0;
+    pe::PeStats peTotals;
+};
+
+/**
+ * Serial reference: advance @p initial by cfg.steps explicit diffusion
+ * steps with periodic boundaries.
+ */
+std::vector<double> weatherSerial(const WeatherConfig &cfg,
+                                  std::vector<double> initial);
+
+/** Run the parallel solver on @p num_pes PEs of a fresh @p machine. */
+WeatherResult weatherParallel(core::Machine &machine,
+                              std::uint32_t num_pes,
+                              const WeatherConfig &cfg,
+                              const std::vector<double> &initial);
+
+/** Deterministic initial field. */
+std::vector<double> weatherInitial(const WeatherConfig &cfg,
+                                   std::uint64_t seed);
+
+} // namespace ultra::apps
+
+#endif // ULTRA_APPS_WEATHER_H

@@ -1,0 +1,44 @@
+#include "log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ultra
+{
+namespace detail
+{
+
+namespace
+{
+
+const char *
+prefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+log(LogLevel level, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", prefix(level), msg.c_str());
+}
+
+void
+logAndDie(LogLevel level, const std::string &msg)
+{
+    log(level, msg);
+    if (level == LogLevel::Fatal)
+        std::exit(1);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace ultra

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 tradition.
+ *
+ * panic()  -- an internal simulator invariant was violated (a bug here).
+ * fatal()  -- the user asked for an impossible configuration.
+ * warn()   -- something is off but simulation can continue.
+ * inform() -- plain status output.
+ */
+
+#ifndef ULTRA_COMMON_LOG_H
+#define ULTRA_COMMON_LOG_H
+
+#include <sstream>
+#include <string>
+
+namespace ultra
+{
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail
+{
+
+/** Emit @p msg at @p level; Fatal exits(1), Panic aborts. */
+[[noreturn]] void logAndDie(LogLevel level, const std::string &msg);
+void log(LogLevel level, const std::string &msg);
+
+/** Fold a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report a simulator bug and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::logAndDie(LogLevel::Panic,
+                      detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report an unusable user configuration and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::logAndDie(LogLevel::Fatal,
+                      detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::log(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::log(LogLevel::Inform,
+                detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless @p cond holds. */
+#define ULTRA_ASSERT(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::ultra::panic("assertion '", #cond, "' failed at ", __FILE__,  \
+                           ":", __LINE__, " ", ##__VA_ARGS__);              \
+        }                                                                   \
+    } while (0)
+
+} // namespace ultra
+
+#endif // ULTRA_COMMON_LOG_H

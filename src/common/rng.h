@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulation.
+ *
+ * A small xoshiro256** generator: fast, seedable, and stable across
+ * platforms, so simulation results are reproducible bit-for-bit.  The
+ * standard-library distributions are deliberately avoided because their
+ * outputs are implementation-defined.
+ */
+
+#ifndef ULTRA_COMMON_RNG_H
+#define ULTRA_COMMON_RNG_H
+
+#include <array>
+#include <cstdint>
+
+namespace ultra
+{
+
+/** Deterministic xoshiro256** pseudo-random generator. */
+class Rng
+{
+  public:
+    /** Seed with splitmix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) ; @p bound must be nonzero. */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformDouble();
+
+    /** True with probability @p p. */
+    bool bernoulli(double p);
+
+    /**
+     * Geometric inter-arrival gap: number of whole cycles until the next
+     * success when each cycle succeeds independently with probability
+     * @p p (returns 0 if the very next cycle is a success).
+     */
+    std::uint64_t geometric(double p);
+
+    /** Split off an independently-seeded child stream. */
+    Rng split();
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace ultra
+
+#endif // ULTRA_COMMON_RNG_H

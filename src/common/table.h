@@ -1,0 +1,48 @@
+/**
+ * @file
+ * ASCII table rendering for the benchmark harnesses.
+ *
+ * Every reproduction bench prints rows in the same layout as the paper's
+ * tables; this helper keeps the formatting in one place.
+ */
+
+#ifndef ULTRA_COMMON_TABLE_H
+#define ULTRA_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace ultra
+{
+
+/** A simple right-aligned ASCII table. */
+class TextTable
+{
+  public:
+    /** Set the column headers (fixes the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render with column-aligned padding. */
+    std::string render() const;
+
+    /** Format a double with @p digits decimal places. */
+    static std::string fmt(double x, int digits = 2);
+
+    /** Format a ratio as a percentage string, e.g. "62%". */
+    static std::string pct(double ratio, int digits = 0);
+
+  private:
+    std::vector<std::string> header_;
+    // Separator rows are stored as empty vectors.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ultra
+
+#endif // ULTRA_COMMON_TABLE_H

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Critical-section-free coordination on the simulated machine
+ * (section 2.3 and the appendix).
+ *
+ * All primitives are built solely from fetch-and-add (plus its load /
+ * store / test-and-set special cases) and contain no code that could
+ * create a serial bottleneck when the structures are neither empty nor
+ * full -- "the concurrent execution of thousands of inserts and
+ * thousands of deletes can all be accomplished in the time required for
+ * just one such operation".
+ *
+ * ParallelQueue is the appendix algorithm: a circular array Q[0:Size-1]
+ * with insert pointer I, delete pointer D, and lower/upper occupancy
+ * bounds #Qi / #Qu guarded by the test-increment-retest (TIR) and
+ * test-decrement-retest (TDR) sequences.  "Wait turn at MyI" is
+ * realized with per-cell round counters so overlapping wrap-arounds
+ * stay FIFO.
+ */
+
+#ifndef ULTRA_CORE_COORD_H
+#define ULTRA_CORE_COORD_H
+
+#include <cstdint>
+
+#include "core/machine.h"
+#include "pe/pe.h"
+#include "pe/task.h"
+
+namespace ultra::core
+{
+
+/** Shared-memory layout of one appendix-style parallel queue. */
+struct ParallelQueue
+{
+    Word size = 0;   //!< capacity in items
+    Addr data = 0;   //!< Q[0 : size-1]
+    Addr insPtr = 0; //!< I: items ever inserted (mod size gives the cell)
+    Addr delPtr = 0; //!< D: items ever deleted
+    Addr lower = 0;  //!< #Qi: lower bound on occupancy
+    Addr upper = 0;  //!< #Qu: upper bound on occupancy
+    Addr insSeq = 0; //!< per-cell rounds completed by inserters
+    Addr delSeq = 0; //!< per-cell rounds completed by deleters
+
+    /** Allocate and zero-initialize a queue of @p size items. */
+    static ParallelQueue create(Machine &machine, Word size);
+};
+
+/**
+ * Test-increment-retest (appendix): atomically claim one unit of S
+ * subject to S + delta <= bound; undoes the claim on overshoot.  The
+ * initial test looks redundant but prevents unacceptable race
+ * conditions (unbounded drift of S under contention).
+ */
+pe::Task tirTask(pe::Pe &pe, Addr s, Word delta, Word bound,
+                 bool *ok_out);
+
+/** Test-decrement-retest: claim subject to S - delta >= 0. */
+pe::Task tdrTask(pe::Pe &pe, Addr s, Word delta, bool *ok_out);
+
+/**
+ * Appendix Insert: on success *overflow_out = false and @p value is
+ * enqueued; a full queue sets *overflow_out = true.
+ */
+pe::Task queueInsert(pe::Pe &pe, ParallelQueue queue, Word value,
+                     bool *overflow_out);
+
+/**
+ * Appendix Delete: on success *underflow_out = false and *value_out
+ * receives the item; an empty queue sets *underflow_out = true.
+ */
+pe::Task queueDelete(pe::Pe &pe, ParallelQueue queue,
+                     Word *value_out, bool *underflow_out);
+
+/** Shared state of the fetch-and-add barrier. */
+struct Barrier
+{
+    Word parties = 0; //!< PEs that must arrive
+    Addr count = 0;   //!< arrivals this episode
+    Addr sense = 0;   //!< episode parity
+
+    static Barrier create(Machine &machine, Word parties);
+};
+
+/**
+ * Sense-reversing barrier.  @p local_sense is the PE-private phase flag
+ * (a coroutine-frame variable): initialize to 0 and reuse the same
+ * variable for every episode on that PE.
+ */
+pe::Task barrierWait(pe::Pe &pe, Barrier barrier,
+                     Word *local_sense);
+
+/** Shared state of the completely-parallel readers-writers lock. */
+struct RwLock
+{
+    Addr readers = 0; //!< active readers
+    Addr writer = 0;  //!< a writer holds or awaits the lock
+    Addr wticket = 0; //!< writers' ticket dispenser
+    Addr wserving = 0; //!< writers' now-serving counter
+
+    static RwLock create(Machine &machine);
+};
+
+/**
+ * Reader entry: during periods with no writers active no serial code is
+ * executed (readers only fetch-and-add shared counters).
+ */
+pe::Task readerLock(pe::Pe &pe, RwLock lock);
+pe::Task readerUnlock(pe::Pe &pe, RwLock lock);
+
+/**
+ * Writer entry: writers are inherently serial (the problem demands it);
+ * they take FIFO tickets among themselves and then drain the readers.
+ */
+pe::Task writerLock(pe::Pe &pe, RwLock lock);
+pe::Task writerUnlock(pe::Pe &pe, RwLock lock);
+
+} // namespace ultra::core
+
+#endif // ULTRA_CORE_COORD_H

@@ -1,0 +1,259 @@
+#include "machine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/table.h"
+
+namespace ultra::core
+{
+
+MachineConfig
+MachineConfig::paperTable1()
+{
+    MachineConfig cfg;
+    cfg.net.numPorts = 4096;
+    cfg.net.k = 4;
+    cfg.net.m = 2;
+    cfg.net.d = 1;
+    cfg.net.sizing = net::PacketSizing::ByContent;
+    cfg.net.dataPackets = 3;
+    cfg.net.queueCapacityPackets = 15;
+    cfg.net.mmPendingCapacityPackets = 15;
+    cfg.net.combinePolicy = net::CombinePolicy::Full;
+    cfg.net.mmAccessTime = 2;
+    cfg.pe.instrTime = 2;
+    cfg.wordsPerModule = 1 << 12;
+    return cfg;
+}
+
+MachineConfig
+MachineConfig::small(std::uint32_t ports, unsigned k)
+{
+    MachineConfig cfg;
+    cfg.net.numPorts = ports;
+    cfg.net.k = k;
+    cfg.net.combinePolicy = net::CombinePolicy::Full;
+    cfg.wordsPerModule = 1 << 12;
+    return cfg;
+}
+
+namespace
+{
+
+mem::MemoryConfig
+memoryConfigFor(const MachineConfig &cfg)
+{
+    mem::MemoryConfig mc;
+    mc.numModules = cfg.net.numPorts;
+    mc.wordsPerModule = cfg.wordsPerModule;
+    mc.accessTime = cfg.net.mmAccessTime;
+    return mc;
+}
+
+} // namespace
+
+Machine::Machine(const MachineConfig &cfg)
+    : cfg_(cfg), memory_(memoryConfigFor(cfg)),
+      hash_(log2Exact(memory_.totalWords()), cfg.hashAddresses),
+      network_(cfg.net, memory_), pni_(cfg.pni, network_, hash_)
+{
+    ULTRA_ASSERT(isPowerOfTwo(memory_.totalWords()),
+                 "total memory must be a power of two for the hash");
+    pes_.reserve(cfg_.net.numPorts);
+    for (PEId pe = 0; pe < cfg_.net.numPorts; ++pe) {
+        pes_.push_back(std::make_unique<pe::Pe>(pe, cfg_.pe, pni_,
+                                                network_));
+    }
+    programs_.resize(cfg_.net.numPorts);
+    pni_.setCompleteCallback(
+        [this](PEId pe, std::uint64_t ticket, Word value) {
+            pes_[pe]->onComplete(ticket, value);
+        });
+}
+
+void
+Machine::launch(PEId pe, ProgramFn program)
+{
+    ULTRA_ASSERT(pe < pes_.size(), "no such PE: ", pe);
+    ULTRA_ASSERT(!pes_[pe]->hasTask() || pes_[pe]->finished(),
+                 "PE ", pe, " is still running a program");
+    // Pin the callable first: a coroutine lambda's frame references its
+    // closure object, which must outlive the task.
+    pes_[pe]->setTask(pe::Task{}); // drop the old frames first
+    programs_[pe].clear();
+    programs_[pe].push_back(
+        std::make_unique<ProgramFn>(std::move(program)));
+    pes_[pe]->setTask((*programs_[pe].front())(*pes_[pe]));
+    if (std::find(launched_.begin(), launched_.end(), pe) ==
+        launched_.end()) {
+        launched_.push_back(pe);
+    }
+}
+
+void
+Machine::launchExtra(PEId pe, ProgramFn program)
+{
+    ULTRA_ASSERT(pe < pes_.size(), "no such PE: ", pe);
+    ULTRA_ASSERT(pes_[pe]->hasTask(),
+                 "launchExtra needs a primary program; call launch() "
+                 "first");
+    programs_[pe].push_back(
+        std::make_unique<ProgramFn>(std::move(program)));
+    pes_[pe]->addTask((*programs_[pe].back())(*pes_[pe]));
+    if (std::find(launched_.begin(), launched_.end(), pe) ==
+        launched_.end()) {
+        launched_.push_back(pe);
+    }
+}
+
+void
+Machine::launchAll(std::uint32_t count, const ProgramFn &program)
+{
+    ULTRA_ASSERT(count <= numPes());
+    for (PEId pe = 0; pe < count; ++pe)
+        launch(pe, program);
+}
+
+bool
+Machine::run(Cycle max_cycles)
+{
+    const Cycle deadline = now() + max_cycles;
+    while (now() < deadline) {
+        bool all_done = true;
+        for (PEId pe : launched_) {
+            if (pes_[pe]->runnable(now()))
+                pes_[pe]->step(now());
+            all_done = all_done && pes_[pe]->finished();
+        }
+        if (all_done)
+            return true;
+        pni_.tick();
+        network_.tick();
+    }
+    return false;
+}
+
+Addr
+Machine::allocShared(std::size_t words, std::string name)
+{
+    ULTRA_ASSERT(words > 0);
+    ULTRA_ASSERT(nextShared_ + words <= memory_.totalWords(),
+                 "shared memory exhausted allocating '", name, "'");
+    const Addr base = nextShared_;
+    nextShared_ += words;
+    if (!name.empty())
+        symbols_.emplace_back(std::move(name), base);
+    return base;
+}
+
+Word
+Machine::peek(Addr vaddr) const
+{
+    return memory_.peek(hash_.toPhysical(vaddr));
+}
+
+void
+Machine::poke(Addr vaddr, Word value)
+{
+    memory_.poke(hash_.toPhysical(vaddr), value);
+}
+
+pe::PeStats
+Machine::aggregatePeStats() const
+{
+    pe::PeStats total;
+    for (PEId pe : launched_) {
+        const pe::PeStats &s = pes_[pe]->stats();
+        total.instructions += s.instructions;
+        total.sharedRefs += s.sharedRefs;
+        total.sharedLoads += s.sharedLoads;
+        total.privateRefs += s.privateRefs;
+        total.idleCycles += s.idleCycles;
+        total.busyCycles += s.busyCycles;
+    }
+    return total;
+}
+
+std::string
+Machine::statsReport() const
+{
+    std::ostringstream os;
+    const pe::PeStats totals = aggregatePeStats();
+    const double cycles = static_cast<double>(now());
+    const double pes = static_cast<double>(launched_.size());
+    os << "=== machine report @ cycle " << now() << " ("
+       << launched_.size() << " PEs engaged) ===\n";
+    if (totals.instructions > 0) {
+        os << "PEs: " << totals.instructions << " instructions, "
+           << totals.sharedRefs << " shared refs ("
+           << totals.sharedLoads << " loads), " << totals.privateRefs
+           << " private refs\n";
+        os << "  mem refs/instr "
+           << TextTable::fmt(
+                  static_cast<double>(totals.sharedRefs +
+                                      totals.privateRefs) /
+                      static_cast<double>(totals.instructions),
+                  3)
+           << ", shared/instr "
+           << TextTable::fmt(static_cast<double>(totals.sharedRefs) /
+                                 static_cast<double>(
+                                     totals.instructions),
+                             3)
+           << ", busy "
+           << TextTable::pct(pes > 0 && cycles > 0
+                                 ? static_cast<double>(
+                                       totals.busyCycles) /
+                                       (cycles * pes)
+                                 : 0.0)
+           << ", context waiting "
+           << TextTable::pct(pes > 0 && cycles > 0
+                                 ? static_cast<double>(
+                                       totals.idleCycles) /
+                                       (cycles * pes)
+                                 : 0.0)
+           << "\n";
+    }
+    const net::NetStats &ns = network_.stats();
+    os << "network: " << ns.injected << " injected, " << ns.combined
+       << " combined";
+    if (ns.injected > 0) {
+        os << " (" << TextTable::pct(static_cast<double>(ns.combined) /
+                                     static_cast<double>(ns.injected))
+           << ")";
+    }
+    os << ", " << ns.mmServed << " memory accesses, " << ns.killed
+       << " killed\n";
+    if (ns.roundTrip.count() > 0) {
+        os << "  round trip mean "
+           << TextTable::fmt(ns.roundTrip.mean(), 1) << " cycles, p50 "
+           << ns.roundTripHist.percentile(0.5) << ", p95 "
+           << ns.roundTripHist.percentile(0.95) << ", p99 "
+           << ns.roundTripHist.percentile(0.99) << "\n";
+    }
+    const net::PniStats &ps = pni_.stats();
+    if (ps.completed > 0) {
+        os << "PNI: " << ps.completed << " completed, access mean "
+           << TextTable::fmt(ps.accessTime.mean(), 1)
+           << " cycles (max " << TextTable::fmt(ps.accessTime.max(), 0)
+           << ")\n";
+    }
+    // Memory-module balance: hot/mean ratio over modules with load.
+    const auto &loads = memory_.moduleLoad();
+    std::uint64_t peak = 0, total = 0;
+    for (std::uint64_t l : loads) {
+        peak = std::max(peak, l);
+        total += l;
+    }
+    if (total > 0) {
+        os << "memory: hottest module carried "
+           << TextTable::fmt(static_cast<double>(peak) * loads.size() /
+                                 static_cast<double>(total),
+                             2)
+           << "x the mean load\n";
+    }
+    return os.str();
+}
+
+} // namespace ultra::core

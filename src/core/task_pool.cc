@@ -1,0 +1,69 @@
+#include "task_pool.h"
+
+#include <algorithm>
+
+namespace ultra::core
+{
+
+TaskPool
+TaskPool::create(Machine &machine, Word capacity)
+{
+    TaskPool pool;
+    pool.queue = ParallelQueue::create(machine, capacity);
+    pool.pending = machine.allocShared(1, "pool.pending");
+    pool.executed = machine.allocShared(1, "pool.executed");
+    return pool;
+}
+
+pe::Task
+poolSubmit(pe::Pe &pe, TaskPool pool, Word descriptor)
+{
+    // Count first so no worker can observe "quiescent" while this
+    // task is between the counter and the queue.
+    const Word was = co_await pe.fetchAdd(pool.pending, 1);
+    (void)was;
+    bool overflow = true;
+    while (overflow) {
+        co_await queueInsert(pe, pool.queue, descriptor, &overflow);
+        if (overflow)
+            co_await pe.compute(8);
+    }
+}
+
+pe::Task
+poolWorker(pe::Pe &pe, TaskPool pool, PoolHandler handler)
+{
+    while (true) {
+        const Word pending = co_await pe.load(pool.pending);
+        if (pending == 0)
+            co_return; // nothing queued, nobody executing: quiescent
+        bool underflow = false;
+        Word descriptor = 0;
+        co_await queueDelete(pe, pool.queue, &descriptor, &underflow);
+        if (underflow) {
+            co_await pe.compute(6); // a task is still executing
+            continue;
+        }
+        co_await handler(pe, descriptor);
+        const Word done = co_await pe.fetchAdd(pool.executed, 1);
+        (void)done;
+        const Word left = co_await pe.fetchAdd(pool.pending, -1);
+        (void)left;
+    }
+}
+
+pe::Task
+parallelFor(pe::Pe &pe, Addr counter, Word total, Word chunk,
+            RangeBody body)
+{
+    ULTRA_ASSERT(chunk >= 1);
+    while (true) {
+        const Word begin = co_await pe.fetchAdd(counter, chunk);
+        if (begin >= total)
+            co_return;
+        const Word end = std::min<Word>(begin + chunk, total);
+        co_await body(pe, begin, end);
+    }
+}
+
+} // namespace ultra::core

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A totally decentralized task scheduler for the simulated machine
+ * (section 2.3): "a highly concurrent queue management technique that
+ * can be used to implement a totally decentralized operating system
+ * scheduler".
+ *
+ * Ready tasks are Word descriptors in an appendix-style ParallelQueue;
+ * a fetch-and-add activity counter tracks tasks queued or executing.
+ * There is no dispatcher and no scheduler lock: every PE runs the same
+ * worker loop, deleting work, executing it (tasks may submit more
+ * work), and exiting when the system is quiescent.
+ *
+ * Also here: the self-scheduling parallel loop of section 2.2 -- PEs
+ * fetch-and-add a shared index to claim chunks of an iteration space,
+ * giving automatic load balance with no pre-partitioning.
+ */
+
+#ifndef ULTRA_CORE_TASK_POOL_H
+#define ULTRA_CORE_TASK_POOL_H
+
+#include <functional>
+
+#include "core/coord.h"
+#include "core/machine.h"
+#include "pe/pe.h"
+#include "pe/task.h"
+
+namespace ultra::core
+{
+
+/** Shared state of the decentralized scheduler. */
+struct TaskPool
+{
+    ParallelQueue queue; //!< ready-task descriptors
+    Addr pending = 0;    //!< tasks queued or currently executing
+    Addr executed = 0;   //!< tasks completed (statistics)
+
+    /** Allocate a pool whose ready queue holds @p capacity tasks. */
+    static TaskPool create(Machine &machine, Word capacity);
+};
+
+/**
+ * Submit a task descriptor to the pool.  Callable from worker tasks
+ * (spawning) and from seed programs alike; spins while the ready queue
+ * is full (other workers are draining it).
+ */
+pe::Task poolSubmit(pe::Pe &pe, TaskPool pool, Word descriptor);
+
+/**
+ * The per-PE executor body invoked for every claimed task.  It may
+ * co_await poolSubmit() to spawn further tasks.
+ */
+using PoolHandler = std::function<pe::Task(pe::Pe &, Word descriptor)>;
+
+/**
+ * Run the worker loop: claim and execute tasks until the pool is
+ * quiescent (no task queued or executing anywhere).  Launch this on
+ * every participating PE.
+ */
+pe::Task poolWorker(pe::Pe &pe, TaskPool pool, PoolHandler handler);
+
+/**
+ * Self-scheduling loop body: invoked with a claimed index range
+ * [begin, end).
+ */
+using RangeBody =
+    std::function<pe::Task(pe::Pe &, Word begin, Word end)>;
+
+/**
+ * The section-2.2 idiom as a reusable helper: PEs cooperatively cover
+ * [0, total) in chunks of @p chunk indices claimed by fetch-and-add on
+ * the shared @p counter (allocate one word, initially 0, per loop).
+ * Run the same call on every participating PE; each returns when the
+ * iteration space is exhausted.  Dynamic chunk claiming balances
+ * uneven iteration costs automatically.
+ */
+pe::Task parallelFor(pe::Pe &pe, Addr counter, Word total, Word chunk,
+                     RangeBody body);
+
+} // namespace ultra::core
+
+#endif // ULTRA_CORE_TASK_POOL_H

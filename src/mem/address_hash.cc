@@ -1,0 +1,80 @@
+#include "address_hash.h"
+
+#include "common/log.h"
+
+namespace ultra::mem
+{
+
+namespace
+{
+
+// Odd multiplier (invertible mod 2^64) from splitmix64.
+constexpr std::uint64_t kMul = 0xbf58476d1ce4e5b9ULL;
+
+// Modular inverse of an odd constant mod 2^64 by Newton iteration:
+// each step doubles the number of correct low bits.
+constexpr std::uint64_t
+inverseMod2to64(std::uint64_t a)
+{
+    std::uint64_t x = a; // correct to 3 bits for odd a
+    for (int i = 0; i < 6; ++i)
+        x *= 2 - a * x;
+    return x;
+}
+
+constexpr std::uint64_t kMulInv = inverseMod2to64(kMul);
+static_assert(kMul * kMulInv == 1, "bad modular inverse");
+
+} // namespace
+
+AddressHash::AddressHash(unsigned addr_bits, bool enabled)
+    : addrBits_(addr_bits), enabled_(enabled)
+{
+    ULTRA_ASSERT(addr_bits >= 1 && addr_bits <= 62);
+    mask_ = (Addr{1} << addr_bits) - 1;
+}
+
+Addr
+AddressHash::mix(Addr x) const
+{
+    // xor-fold the high half into the low half, then multiply by an odd
+    // constant; both steps are bijections on Z/2^b when followed by a
+    // mask, because the xor uses only bits above the fold point.
+    const unsigned half = addrBits_ / 2 + 1;
+    x ^= (x >> half);
+    x = (x * kMul) & mask_;
+    x ^= (x >> half);
+    x = (x * kMul) & mask_;
+    return x;
+}
+
+Addr
+AddressHash::unmix(Addr x) const
+{
+    const unsigned half = addrBits_ / 2 + 1;
+    x = (x * kMulInv) & mask_;
+    x ^= (x >> half);
+    x = (x * kMulInv) & mask_;
+    x ^= (x >> half);
+    return x;
+}
+
+Addr
+AddressHash::toPhysical(Addr vaddr) const
+{
+    ULTRA_ASSERT(vaddr <= mask_, "virtual address out of range");
+    if (!enabled_)
+        return vaddr;
+    return mix(vaddr);
+}
+
+Addr
+AddressHash::toVirtual(Addr paddr) const
+{
+    ULTRA_ASSERT(paddr <= mask_, "physical address out of range");
+    if (!enabled_)
+        return paddr;
+    return unmix(paddr);
+}
+
+} // namespace ultra::mem

@@ -1,0 +1,99 @@
+#include "fetch_phi.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace ultra::mem
+{
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Load: return "Load";
+      case Op::Store: return "Store";
+      case Op::FetchAdd: return "FetchAdd";
+      case Op::Swap: return "Swap";
+      case Op::TestAndSet: return "TestAndSet";
+      case Op::FetchAnd: return "FetchAnd";
+      case Op::FetchOr: return "FetchOr";
+      case Op::FetchMax: return "FetchMax";
+      case Op::FetchMin: return "FetchMin";
+    }
+    return "?";
+}
+
+bool
+opCarriesData(Op op)
+{
+    return op != Op::Load && op != Op::TestAndSet;
+}
+
+bool
+opReturnsData(Op op)
+{
+    return op != Op::Store;
+}
+
+bool
+opCombinable(Op op)
+{
+    // All the phis implemented here are associative; Load is trivially
+    // combinable (Load-Load rule of section 3.1.2).
+    (void)op;
+    return true;
+}
+
+Word
+applyPhi(Op op, Word old_value, Word operand)
+{
+    switch (op) {
+      case Op::Load: return old_value;
+      case Op::Store: return operand;
+      case Op::FetchAdd: return old_value + operand;
+      case Op::Swap: return operand;
+      case Op::TestAndSet: return 1;
+      case Op::FetchAnd: return old_value & operand;
+      case Op::FetchOr: return old_value | operand;
+      case Op::FetchMax: return std::max(old_value, operand);
+      case Op::FetchMin: return std::min(old_value, operand);
+    }
+    panic("applyPhi: bad op");
+}
+
+Word
+combineOperands(Op op, Word e, Word f)
+{
+    switch (op) {
+      case Op::Load: return 0;
+      case Op::Store: return f;
+      case Op::FetchAdd: return e + f;
+      case Op::Swap: return f;
+      case Op::TestAndSet: return 0;
+      case Op::FetchAnd: return e & f;
+      case Op::FetchOr: return e | f;
+      case Op::FetchMax: return std::max(e, f);
+      case Op::FetchMin: return std::min(e, f);
+    }
+    panic("combineOperands: bad op");
+}
+
+Word
+decombineReply(Op op, Word returned, Word first_operand)
+{
+    switch (op) {
+      case Op::Load: return returned;
+      case Op::Store: return 0;
+      case Op::FetchAdd: return returned + first_operand;
+      case Op::Swap: return first_operand;
+      case Op::TestAndSet: return 1;
+      case Op::FetchAnd: return returned & first_operand;
+      case Op::FetchOr: return returned | first_operand;
+      case Op::FetchMax: return std::max(returned, first_operand);
+      case Op::FetchMin: return std::min(returned, first_operand);
+    }
+    panic("decombineReply: bad op");
+}
+
+} // namespace ultra::mem

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The fetch-and-phi operation family (sections 2.2 and 2.4).
+ *
+ * Fetch-and-phi(V, e) returns the old value of V and replaces it with
+ * phi(V, e).  The paper shows load, store, swap and test-and-set are all
+ * degenerate or special cases:
+ *
+ *   phi(a, b) = a + b      -> fetch-and-add
+ *   phi(a, b) = a          -> load  (pi1; e immaterial)
+ *   phi(a, b) = b          -> store / swap (pi2)
+ *   phi(a, b) = TRUE       -> test-and-set (pi2 with b = TRUE)
+ *   phi(a, b) = a & b, a | b, min, max -- other associative phis
+ *
+ * When phi is associative, requests can be combined in the network
+ * switches; when also commutative, the final memory value is independent
+ * of the serialization order.
+ */
+
+#ifndef ULTRA_MEM_FETCH_PHI_H
+#define ULTRA_MEM_FETCH_PHI_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ultra::mem
+{
+
+/** Memory operation kinds carried by network messages. */
+enum class Op : std::uint8_t {
+    Load,       //!< fetch-and-pi1: returns V, leaves V unchanged
+    Store,      //!< fetch-and-pi2, result discarded: V <- e
+    FetchAdd,   //!< V' = V + e, returns old V
+    Swap,       //!< V' = e, returns old V (fetch-and-pi2)
+    TestAndSet, //!< V' = TRUE (1), returns old V
+    FetchAnd,   //!< V' = V & e, returns old V
+    FetchOr,    //!< V' = V | e, returns old V
+    FetchMax,   //!< V' = max(V, e), returns old V
+    FetchMin,   //!< V' = min(V, e), returns old V
+};
+
+/** Human-readable op name. */
+const char *opName(Op op);
+
+/** True when the op carries a data operand to memory. */
+bool opCarriesData(Op op);
+
+/** True when the reply carries a data result back to the PE. */
+bool opReturnsData(Op op);
+
+/**
+ * True when phi is associative, i.e. two requests phi(.,e) and phi(.,f)
+ * can be combined in a switch into a single request (section 3.1.3 and
+ * the "straightforward generalization" remark).
+ */
+bool opCombinable(Op op);
+
+/** Apply phi: the new memory value phi(old, operand). */
+Word applyPhi(Op op, Word old_value, Word operand);
+
+/**
+ * Combine two like requests phi(X,e) then phi(X,f) into one request
+ * phi(X, g): returns g such that applying phi(.,g) once equals applying
+ * phi(.,e) then phi(.,f).  Only valid for combinable ops.
+ *
+ *   FetchAdd: g = e + f         Swap / Store / TestAndSet: g = f
+ *   FetchAnd: g = e & f         FetchOr: g = e | f
+ *   FetchMax: g = max(e, f)     FetchMin: g = min(e, f)
+ *   Load:     g immaterial
+ */
+Word combineOperands(Op op, Word e, Word f);
+
+/**
+ * Derive the reply for the *second* request of a combined pair.  When a
+ * switch combined "R-old = phi(X,e); R-new = phi(X,f)" and the combined
+ * request returns Y (the serialization value for R-old), the value for
+ * R-new is phi(Y, e):
+ *
+ *   FetchAdd: Y + e       Load: Y        Swap/Store/TAS: e
+ *   FetchAnd: Y & e       FetchOr: Y | e FetchMax/Min: max/min(Y, e)
+ */
+Word decombineReply(Op op, Word returned, Word first_operand);
+
+} // namespace ultra::mem
+
+#endif // ULTRA_MEM_FETCH_PHI_H

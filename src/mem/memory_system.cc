@@ -1,0 +1,54 @@
+#include "memory_system.h"
+
+#include "common/log.h"
+
+namespace ultra::mem
+{
+
+MemorySystem::MemorySystem(const MemoryConfig &cfg)
+    : cfg_(cfg),
+      words_(cfg.numModules * cfg.wordsPerModule, 0),
+      moduleLoad_(cfg.numModules, 0)
+{
+    ULTRA_ASSERT(cfg.numModules >= 1);
+    ULTRA_ASSERT(cfg.wordsPerModule >= 1);
+}
+
+std::size_t
+MemorySystem::index(Addr paddr) const
+{
+    const std::size_t idx = static_cast<std::size_t>(paddr);
+    ULTRA_ASSERT(idx < words_.size(), "physical address ", paddr,
+                 " out of range (", words_.size(), " words)");
+    return idx;
+}
+
+Word
+MemorySystem::execute(Op op, Addr paddr, Word operand)
+{
+    const std::size_t idx = index(paddr);
+    const Word old_value = words_[idx];
+    words_[idx] = applyPhi(op, old_value, operand);
+    ++moduleLoad_[moduleOf(paddr)];
+    return old_value;
+}
+
+Word
+MemorySystem::peek(Addr paddr) const
+{
+    return words_[index(paddr)];
+}
+
+void
+MemorySystem::poke(Addr paddr, Word value)
+{
+    words_[index(paddr)] = value;
+}
+
+void
+MemorySystem::resetStats()
+{
+    std::fill(moduleLoad_.begin(), moduleLoad_.end(), 0);
+}
+
+} // namespace ultra::mem

@@ -1,0 +1,131 @@
+#include "combining.h"
+
+#include "common/log.h"
+
+namespace ultra::net
+{
+
+using mem::combineOperands;
+using mem::opCarriesData;
+
+namespace
+{
+
+/** Wait entry skeleton for R-new with identity fields filled in. */
+WaitEntry
+baseEntry(const Message &r_new)
+{
+    WaitEntry entry;
+    entry.satisfiedId = r_new.id;
+    entry.satisfiedOrigin = r_new.origin;
+    entry.satisfiedTag = r_new.tag;
+    entry.satisfiedInjectedAt = r_new.injectedAt;
+    entry.satisfiedOp = r_new.op;
+    entry.paddr = r_new.paddr;
+    return entry;
+}
+
+} // namespace
+
+std::optional<CombinePlan>
+planCombine(const Message &r_old, const Message &r_new,
+            CombinePolicy policy, std::uint32_t data_packets)
+{
+    ULTRA_ASSERT(!r_old.isReply && !r_new.isReply);
+    ULTRA_ASSERT(r_old.paddr == r_new.paddr);
+
+    if (policy == CombinePolicy::None)
+        return std::nullopt;
+
+    CombinePlan plan;
+    plan.entry = baseEntry(r_new);
+    plan.newOldOp = r_old.op;
+    plan.newOldData = r_old.data;
+
+    // Homogeneous pairs: serialize as R-old then R-new.
+    if (r_old.op == r_new.op && mem::opCombinable(r_old.op)) {
+        plan.newOldData =
+            combineOperands(r_old.op, r_old.data, r_new.data);
+        plan.entry.rule = ReplyRule::Decombine;
+        plan.entry.decombineOp = r_old.op;
+        plan.entry.datum = r_old.data;
+        return plan;
+    }
+
+    if (policy != CombinePolicy::Full)
+        return std::nullopt;
+
+    // The heterogeneous rules of section 3.1.3, restricted to the three
+    // op kinds the paper names (Load, Store, FetchAdd).
+    const Op a = r_old.op;
+    const Op b = r_new.op;
+    auto grows = [&](Op from, Op to) -> std::uint32_t {
+        if (data_packets == 0) // Uniform sizing: all messages equal
+            return 0;
+        const bool had = opCarriesData(from);
+        const bool has = opCarriesData(to);
+        return (!had && has) ? data_packets - 1 : 0;
+    };
+
+    if (a == Op::FetchAdd && b == Op::Load) {
+        // FetchAdd(X,e); Load(X): treat the load as FetchAdd(X,0).
+        // Serialization: FA then Load; the load sees Y + e.
+        plan.entry.rule = ReplyRule::Decombine;
+        plan.entry.decombineOp = Op::FetchAdd;
+        plan.entry.datum = r_old.data;
+        return plan;
+    }
+    if (a == Op::Load && b == Op::FetchAdd) {
+        // Load(X); FetchAdd(X,f): upgrade the queued load to the FA.
+        // Serialization: Load then FA; both receive Y.
+        plan.newOldOp = Op::FetchAdd;
+        plan.newOldData = r_new.data;
+        plan.growOldBy = grows(Op::Load, Op::FetchAdd);
+        plan.entry.rule = ReplyRule::Decombine;
+        plan.entry.decombineOp = Op::Load;
+        plan.entry.datum = 0;
+        return plan;
+    }
+    if (a == Op::FetchAdd && b == Op::Store) {
+        // FetchAdd(X,e); Store(X,f): transmit Store(X, e+f) and satisfy
+        // the fetch-and-add by returning f (store serializes first).
+        plan.newOldOp = Op::Store;
+        plan.newOldData = r_old.data + r_new.data;
+        plan.entry.rule = ReplyRule::Fixed;
+        plan.entry.datum = 0; // store acknowledgement carries no value
+        plan.entry.rewriteReturning = true;
+        plan.entry.rewriteDatum = r_new.data; // the FA's result is f
+        return plan;
+    }
+    if (a == Op::Store && b == Op::FetchAdd) {
+        // Store(X,f); FetchAdd(X,e): forward Store(X, f+e); the FA
+        // serializes after the store and returns f.
+        plan.newOldOp = Op::Store;
+        plan.newOldData = r_old.data + r_new.data;
+        plan.entry.rule = ReplyRule::Fixed;
+        plan.entry.datum = r_old.data;
+        return plan;
+    }
+    if (a == Op::Load && b == Op::Store) {
+        // Load(X); Store(X,f): forward the store and return its value to
+        // satisfy the load (store serializes first).
+        plan.newOldOp = Op::Store;
+        plan.newOldData = r_new.data;
+        plan.growOldBy = grows(Op::Load, Op::Store);
+        plan.entry.rule = ReplyRule::Fixed;
+        plan.entry.datum = 0; // the store's acknowledgement
+        plan.entry.rewriteReturning = true;
+        plan.entry.rewriteDatum = r_new.data; // the load receives f
+        return plan;
+    }
+    if (a == Op::Store && b == Op::Load) {
+        // Store(X,f); Load(X): the load is satisfied with f.
+        plan.entry.rule = ReplyRule::Fixed;
+        plan.entry.datum = r_old.data;
+        return plan;
+    }
+
+    return std::nullopt;
+}
+
+} // namespace ultra::net

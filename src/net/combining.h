@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Request-combining rules (sections 3.1.2, 3.1.3, 3.3).
+ *
+ * When a new request R-new enters a ToMM queue holding a matching
+ * request R-old for the same memory location, the pair is merged: R-old
+ * is (possibly) rewritten in place, R-new is deleted, and a wait-buffer
+ * entry records how to synthesize R-new's reply when R-old's returns.
+ * The effected serialization is "R-old immediately followed by R-new"
+ * for homogeneous pairs; the heterogeneous rules pick whichever order
+ * the paper specifies (e.g. FetchAdd(X,e) + Store(X,f) forwards
+ * Store(X, e+f) and satisfies the fetch-and-add with f, i.e. the store
+ * serializes first).
+ *
+ * These rules are pure functions of the two messages so they can be
+ * unit-tested exhaustively, independent of switch timing.
+ */
+
+#ifndef ULTRA_NET_COMBINING_H
+#define ULTRA_NET_COMBINING_H
+
+#include <cstdint>
+#include <optional>
+
+#include "net/message.h"
+#include "net/wait_buffer.h"
+
+namespace ultra::net
+{
+
+/** The outcome of matching R-new against a queued R-old. */
+struct CombinePlan
+{
+    /** R-old's new function and operand after the merge. */
+    Op newOldOp = Op::Load;
+    Word newOldData = 0;
+    /** Extra packets R-old needs (op upgrades under ByContent sizing). */
+    std::uint32_t growOldBy = 0;
+    /** The wait-buffer record for R-new (waitKey/ids filled by caller). */
+    WaitEntry entry;
+};
+
+/**
+ * Decide whether @p r_new (arriving) can combine with @p r_old (queued)
+ * under @p policy.  Addresses must already be known equal; this checks
+ * only the op pair.  Returns std::nullopt when the pair is not
+ * combinable.
+ *
+ * @param data_packets Packets of a data-carrying message under
+ *                     ByContent sizing (used to size op upgrades);
+ *                     pass 0 under Uniform sizing (no growth ever).
+ */
+std::optional<CombinePlan> planCombine(const Message &r_old,
+                                       const Message &r_new,
+                                       CombinePolicy policy,
+                                       std::uint32_t data_packets);
+
+} // namespace ultra::net
+
+#endif // ULTRA_NET_COMBINING_H

@@ -1,0 +1,714 @@
+#include "network.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.h"
+#include "net/combining.h"
+
+namespace ultra::net
+{
+
+std::uint32_t
+NetSimConfig::packetsFor(Op op, bool is_reply) const
+{
+    if (sizing == PacketSizing::Uniform)
+        return m;
+    const bool has_data =
+        is_reply ? mem::opReturnsData(op) : mem::opCarriesData(op);
+    return has_data ? dataPackets : 1;
+}
+
+bool
+NetSimConfig::valid() const
+{
+    if (!isPowerOfTwo(numPorts) || !isPowerOfTwo(k) || k < 2)
+        return false;
+    if (m == 0 || d == 0 || dataPackets == 0 || maxCombinesPerVisit == 0)
+        return false;
+    // numPorts must be a power of k.
+    std::uint64_t reach = 1;
+    while (reach < numPorts)
+        reach *= k;
+    if (reach != numPorts)
+        return false;
+    // Finite queues must hold at least one maximal message.
+    const std::uint32_t max_msg =
+        sizing == PacketSizing::Uniform ? m : dataPackets;
+    if (queueCapacityPackets != 0 && queueCapacityPackets < max_msg)
+        return false;
+    if (mmPendingCapacityPackets != 0 &&
+        mmPendingCapacityPackets < max_msg) {
+        return false;
+    }
+    return true;
+}
+
+Network::Node::Node(unsigned k, std::uint32_t qcap, std::uint32_t wbcap)
+    : wb(wbcap)
+{
+    fwd.reserve(k);
+    rev.reserve(k);
+    for (unsigned i = 0; i < k; ++i) {
+        fwd.emplace_back(qcap);
+        rev.emplace_back(qcap);
+    }
+}
+
+Network::Network(const NetSimConfig &cfg, mem::MemorySystem &memory)
+    : cfg_(cfg), topo_(cfg.numPorts, cfg.k), memory_(memory)
+{
+    ULTRA_ASSERT(cfg.valid(), "invalid network configuration");
+    ULTRA_ASSERT(memory.config().numModules == cfg.numPorts,
+                 "memory system must have one module per port");
+
+    // In Burroughs (kill-on-conflict) mode there is no queueing and no
+    // backpressure; queues act as single-message staging slots.
+    const std::uint32_t qcap =
+        cfg_.burroughsKill ? 0 : cfg_.queueCapacityPackets;
+    const std::uint32_t mmcap =
+        cfg_.burroughsKill ? 0 : cfg_.mmPendingCapacityPackets;
+
+    stats_.combinesPerStage.assign(topo_.stages(), 0);
+
+    copies_.resize(cfg_.d);
+    for (auto &copy : copies_) {
+        copy.stage.resize(topo_.stages());
+        for (auto &stage : copy.stage) {
+            stage.reserve(topo_.switchesPerStage());
+            for (std::uint32_t i = 0; i < topo_.switchesPerStage(); ++i)
+                stage.emplace_back(cfg_.k, qcap, cfg_.waitBufferCapacity);
+        }
+        copy.peLinkFreeAt.assign(cfg_.numPorts, 0);
+        copy.mni.reserve(cfg_.numPorts);
+        for (std::uint32_t i = 0; i < cfg_.numPorts; ++i)
+            copy.mni.emplace_back(mmcap);
+    }
+    nextCopy_.assign(cfg_.numPorts, 0);
+    injectStates_.resize(cfg_.numPorts);
+}
+
+Network::~Network() = default;
+
+void
+Network::activateNode(Copy &copy, unsigned s, std::uint32_t idx)
+{
+    Node &node = copy.stage[s][idx];
+    node.active = true;
+    if (!node.inList) {
+        node.inList = true;
+        copy.activeNodes.emplace_back(s, idx);
+    }
+}
+
+void
+Network::activateMni(Copy &copy, MMId mm)
+{
+    MniState &mni = copy.mni[mm];
+    mni.active = true;
+    if (!mni.inList) {
+        mni.inList = true;
+        copy.activeMnis.push_back(mm);
+    }
+}
+
+bool
+Network::tryInject(PEId pe, Op op, Addr paddr, Word data,
+                   std::uint64_t tag)
+{
+    ULTRA_ASSERT(pe < cfg_.numPorts);
+    const MMId dest = memory_.moduleOf(paddr);
+    const std::uint32_t packets = cfg_.packetsFor(op, false);
+    const OmegaTopology::Port entry = topo_.intoStage(pe, 0);
+    const unsigned out_port = topo_.routeDigit(dest, 0);
+
+    if (cfg_.idealParacomputer) {
+        // Section 2.1: simultaneous access in a single cycle; the
+        // serialization principle is realized by executing requests in
+        // injection order at the next tick.
+        Message *msg = pool_.alloc();
+        msg->op = op;
+        msg->paddr = paddr;
+        msg->data = data;
+        msg->origin = pe;
+        msg->dest = dest;
+        msg->packets = packets;
+        msg->tag = tag;
+        msg->injectedAt = now_;
+        idealPending_.push_back({msg, now_ + 1});
+        ++stats_.injected;
+        return true;
+    }
+
+    InjectState &inj = injectStates_[pe];
+    for (unsigned attempt = 0; attempt < cfg_.d; ++attempt) {
+        // While a space claim is open, the PE is pinned to its copy.
+        const unsigned c = inj.claimId != 0
+                               ? inj.copy
+                               : (nextCopy_[pe] + attempt) % cfg_.d;
+        Copy &copy = copies_[c];
+        if (copy.peLinkFreeAt[pe] > now_) {
+            if (inj.claimId != 0)
+                return false;
+            continue;
+        }
+        Node &node = copy.stage[0][entry.sw];
+        OutQueue &queue = node.fwd[out_port].queue;
+        if (!cfg_.burroughsKill) {
+            inj.copy = c;
+            if (!acquireSpace(inj.claimId, inj.claimPkts,
+                              inj.claimTarget, queue, packets)) {
+                return false; // claim registered; caller retries
+            }
+        }
+        Message *msg = pool_.alloc();
+        msg->op = op;
+        msg->paddr = paddr;
+        msg->data = data;
+        msg->origin = pe;
+        msg->dest = dest;
+        msg->packets = packets;
+        msg->tag = tag;
+        msg->injectedAt = now_;
+        copy.peLinkFreeAt[pe] = now_ + packets;
+        node.fwdInbox.push_back({msg, now_ + 1});
+        activateNode(copy, 0, entry.sw);
+        nextCopy_[pe] = (c + 1) % cfg_.d;
+        ++stats_.injected;
+        return true;
+    }
+    return false;
+}
+
+bool
+Network::acquireSpace(std::uint64_t &claim_id, std::uint32_t &claim_pkts,
+                      OutQueue *&claim_target, OutQueue &target,
+                      std::uint32_t pkts)
+{
+    if (claim_id != 0 &&
+        (claim_target != &target || claim_pkts != pkts)) {
+        // The head changed shape (e.g. grew by combining) or the
+        // sender moved on: abandon the stale claim.
+        claim_target->cancelClaim(claim_id);
+        claim_id = 0;
+    }
+    if (claim_id == 0) {
+        if (target.tryReserve(pkts))
+            return true;
+        claim_id = target.openClaim(pkts);
+        claim_pkts = pkts;
+        claim_target = &target;
+    }
+    if (target.claimReady(claim_id)) {
+        target.consumeClaim(claim_id);
+        claim_id = 0;
+        return true;
+    }
+    return false;
+}
+
+bool
+Network::tryCombine(Copy &copy, unsigned s, Node &node, unsigned port,
+                    Message *msg)
+{
+    (void)copy;
+    if (cfg_.burroughsKill || cfg_.combinePolicy == CombinePolicy::None)
+        return false;
+    OutQueue &queue = node.fwd[port].queue;
+    if (node.wb.full())
+        return false;
+
+    const std::uint32_t growth_packets =
+        cfg_.sizing == PacketSizing::Uniform ? 0 : cfg_.dataPackets;
+
+    for (Message *cand : queue.entries()) {
+        if (cand->paddr != msg->paddr)
+            continue;
+        if (cand->combinedAtThisQueue >= cfg_.maxCombinesPerVisit)
+            continue;
+        auto plan = planCombine(*cand, *msg, cfg_.combinePolicy,
+                                growth_packets);
+        if (!plan)
+            continue;
+        if (plan->growOldBy != 0 && !queue.grow(cand, plan->growOldBy))
+            continue;
+        cand->op = plan->newOldOp;
+        cand->data = plan->newOldData;
+        ++cand->combinedAtThisQueue;
+        ++cand->timesCombined;
+        plan->entry.waitKey = cand->id;
+        plan->entry.createdAt = now_;
+        node.wb.insert(plan->entry);
+        queue.cancelReservation(msg->packets);
+        pool_.free(msg);
+        ++stats_.combined;
+        ++stats_.combinesPerStage[s];
+        return true;
+    }
+    return false;
+}
+
+void
+Network::arriveForward(Copy &copy, unsigned s, std::uint32_t idx,
+                       Message *msg)
+{
+    Node &node = copy.stage[s][idx];
+    const unsigned port = topo_.routeDigit(msg->dest, s);
+    OutPort &out = node.fwd[port];
+
+    if (cfg_.burroughsKill) {
+        // Kill-on-conflict: the output must be idle or the request dies.
+        if (out.linkFreeAt > now_ || !out.queue.empty()) {
+            ++stats_.killed;
+            if (killFn_)
+                killFn_(msg->origin, msg->tag);
+            pool_.free(msg);
+            return;
+        }
+        out.queue.enqueueUnreserved(msg);
+        return;
+    }
+
+    if (tryCombine(copy, s, node, port, msg))
+        return;
+    stats_.queueLenAtEnqueue.add(
+        static_cast<double>(out.queue.usedPackets()));
+    out.queue.enqueue(msg);
+}
+
+void
+Network::arriveReverse(Copy &copy, unsigned s, std::uint32_t idx,
+                       Message *msg)
+{
+    Node &node = copy.stage[s][idx];
+
+    // Fission: synthesize one reply per wait-buffer record.  Entries are
+    // applied newest-first while threading the "current value": each
+    // rewrite re-expresses the value an *earlier* combine should see, so
+    // the reverse order reconstructs the serialization exactly (see
+    // combining.h).
+    const std::uint32_t packets_on_arrival = msg->packets;
+    if (!node.wb.empty()) {
+        matchScratch_.clear();
+        node.wb.takeMatches(msg->requestId, matchScratch_);
+        Word current = msg->data;
+        for (std::size_t i = matchScratch_.size(); i-- > 0;) {
+            const WaitEntry &entry = matchScratch_[i];
+            Message *spawn = pool_.alloc();
+            spawn->op = entry.satisfiedOp;
+            spawn->isReply = true;
+            spawn->paddr = msg->paddr;
+            spawn->data = entry.rule == ReplyRule::Decombine
+                              ? mem::decombineReply(entry.decombineOp,
+                                                    current, entry.datum)
+                              : entry.datum;
+            spawn->origin = entry.satisfiedOrigin;
+            spawn->dest = msg->dest;
+            spawn->packets = cfg_.packetsFor(entry.satisfiedOp, true);
+            spawn->requestId = entry.satisfiedId;
+            spawn->tag = entry.satisfiedTag;
+            spawn->injectedAt = entry.satisfiedInjectedAt;
+            if (entry.rewriteReturning) {
+                current = entry.rewriteDatum;
+                // The returning "acknowledgement" now carries a value.
+                msg->packets = std::max(
+                    msg->packets, cfg_.packetsFor(Op::Load, true));
+            }
+            ++stats_.decombined;
+            const unsigned sp_port =
+                topo_.routeDigit(spawn->origin, s);
+            OutQueue &sp_queue = node.rev[sp_port].queue;
+            if (!sp_queue.canAccept(spawn->packets))
+                stats_.revOverflowPackets += spawn->packets;
+            sp_queue.enqueueUnreserved(spawn);
+        }
+        msg->data = current;
+    }
+
+    const unsigned port = topo_.routeDigit(msg->origin, s);
+    OutQueue &rev_queue = node.rev[port].queue;
+    if (cfg_.burroughsKill) {
+        rev_queue.enqueueUnreserved(msg);
+    } else {
+        // A rewrite may have grown the returning acknowledgement into
+        // a data-carrying reply; claim the extra space (over capacity
+        // if need be -- accounted as fission slack).
+        if (msg->packets > packets_on_arrival) {
+            const std::uint32_t extra =
+                msg->packets - packets_on_arrival;
+            rev_queue.reserve(extra);
+            if (!rev_queue.canAccept(0))
+                stats_.revOverflowPackets += extra;
+        }
+        rev_queue.enqueue(msg);
+    }
+}
+
+void
+Network::departForward(Copy &copy, unsigned s, std::uint32_t idx,
+                       unsigned port)
+{
+    Node &node = copy.stage[s][idx];
+    OutPort &out = node.fwd[port];
+    if (out.linkFreeAt > now_ || out.queue.empty())
+        return;
+    Message *msg = out.queue.head();
+    const std::uint32_t line = topo_.lineFrom(idx, port);
+
+    if (s + 1 == topo_.stages()) {
+        // Final stage: the output line is the MM id.
+        ULTRA_ASSERT(line == msg->dest, "routing reached MM ", line,
+                     " but message is bound for ", msg->dest);
+        MniState &mni = copy.mni[msg->dest];
+        if (cfg_.burroughsKill) {
+            if (!mni.pending.canAccept(msg->packets) &&
+                !mni.pending.unbounded()) {
+                out.queue.dequeue();
+                ++stats_.killed;
+                if (killFn_)
+                    killFn_(msg->origin, msg->tag);
+                pool_.free(msg);
+                return;
+            }
+        } else {
+            if (!acquireSpace(out.claimId, out.claimPkts,
+                              out.claimTarget, mni.pending,
+                              msg->packets)) {
+                activateMni(copy, msg->dest); // claims need pumping
+                return;                       // backpressure
+            }
+        }
+        out.queue.dequeue();
+        out.linkFreeAt = now_ + msg->packets;
+        // The MNI may begin service only once the tail has arrived.
+        mni.inbox.push_back({msg, now_ + msg->packets});
+        activateMni(copy, msg->dest);
+        return;
+    }
+
+    const OmegaTopology::Port next = topo_.intoStage(line, s + 1);
+    Node &next_node = copy.stage[s + 1][next.sw];
+    const unsigned next_port = topo_.routeDigit(msg->dest, s + 1);
+    if (!cfg_.burroughsKill) {
+        OutQueue &next_queue = next_node.fwd[next_port].queue;
+        if (!acquireSpace(out.claimId, out.claimPkts, out.claimTarget,
+                          next_queue, msg->packets)) {
+            activateNode(copy, s + 1, next.sw); // claims need pumping
+            return;                             // backpressure
+        }
+    }
+    out.queue.dequeue();
+    out.linkFreeAt = now_ + msg->packets;
+    next_node.fwdInbox.push_back({msg, now_ + 1});
+    activateNode(copy, s + 1, next.sw);
+}
+
+void
+Network::departReverse(Copy &copy, unsigned s, std::uint32_t idx,
+                       unsigned port)
+{
+    Node &node = copy.stage[s][idx];
+    OutPort &out = node.rev[port];
+    if (out.linkFreeAt > now_ || out.queue.empty())
+        return;
+    Message *msg = out.queue.head();
+    // The PE-side line of this reverse output port.
+    const std::uint32_t line = topo_.unshuffle(topo_.lineFrom(idx, port));
+
+    if (s == 0) {
+        // Deliver to the PNI once the tail arrives.
+        ULTRA_ASSERT(line == msg->origin, "reply reached PE ", line,
+                     " but belongs to PE ", msg->origin);
+        out.queue.dequeue();
+        out.linkFreeAt = now_ + msg->packets;
+        deliveries_.push_back({msg, now_ + msg->packets});
+        return;
+    }
+
+    const std::uint32_t prev_idx = line >> log2Exact(cfg_.k);
+    Node &prev_node = copy.stage[s - 1][prev_idx];
+    const unsigned prev_port = topo_.routeDigit(msg->origin, s - 1);
+    if (!cfg_.burroughsKill) {
+        OutQueue &prev_queue = prev_node.rev[prev_port].queue;
+        if (!acquireSpace(out.claimId, out.claimPkts, out.claimTarget,
+                          prev_queue, msg->packets)) {
+            activateNode(copy, s - 1, prev_idx); // claims need pumping
+            return;                              // backpressure
+        }
+    }
+    out.queue.dequeue();
+    out.linkFreeAt = now_ + msg->packets;
+    prev_node.revInbox.push_back({msg, now_ + 1});
+    activateNode(copy, s - 1, prev_idx);
+}
+
+void
+Network::processNode(Copy &copy, unsigned s, std::uint32_t idx)
+{
+    Node &node = copy.stage[s][idx];
+
+    auto take_due = [&](std::vector<Arrival> &inbox, bool forward) {
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < inbox.size(); ++i) {
+            if (inbox[i].at <= now_) {
+                if (forward)
+                    arriveForward(copy, s, idx, inbox[i].msg);
+                else
+                    arriveReverse(copy, s, idx, inbox[i].msg);
+            } else {
+                inbox[keep++] = inbox[i];
+            }
+        }
+        inbox.resize(keep);
+    };
+    take_due(node.fwdInbox, true);
+    take_due(node.revInbox, false);
+
+    // Rotate the service order across cycles so no output port (and
+    // hence no subtree of PEs) gets a systematic arbitration advantage.
+    const unsigned start = static_cast<unsigned>(now_) % cfg_.k;
+    for (unsigned p = 0; p < cfg_.k; ++p)
+        departForward(copy, s, idx, (start + p) % cfg_.k);
+    for (unsigned p = 0; p < cfg_.k; ++p)
+        departReverse(copy, s, idx, (start + p) % cfg_.k);
+
+    bool busy = !node.fwdInbox.empty() || !node.revInbox.empty();
+    for (unsigned p = 0; p < cfg_.k && !busy; ++p)
+        busy = !node.fwd[p].queue.empty() || !node.rev[p].queue.empty();
+    node.active = busy;
+}
+
+void
+Network::processMnis(Copy &copy)
+{
+    for (std::size_t i = 0; i < copy.activeMnis.size(); ++i) {
+        const MMId mm = copy.activeMnis[i];
+        MniState &mni = copy.mni[mm];
+
+        std::size_t keep = 0;
+        for (std::size_t j = 0; j < mni.inbox.size(); ++j) {
+            Arrival &arr = mni.inbox[j];
+            if (arr.at <= now_) {
+                arr.msg->mniArriveAt = arr.at;
+                stats_.oneWayTransit.add(static_cast<double>(
+                    arr.at - arr.msg->injectedAt));
+                if (cfg_.burroughsKill)
+                    mni.pending.enqueueUnreserved(arr.msg);
+                else
+                    mni.pending.enqueue(arr.msg);
+            } else {
+                mni.inbox[keep++] = arr;
+            }
+        }
+        mni.inbox.resize(keep);
+
+        if (mni.serviceFreeAt <= now_ && !mni.pending.empty()) {
+            Message *msg = mni.pending.head();
+            const std::uint32_t reply_packets =
+                cfg_.packetsFor(msg->op, true);
+            // Reverse-path entry point: the switch this request left.
+            const std::uint32_t sw_idx = msg->dest >> log2Exact(cfg_.k);
+            const unsigned last = topo_.stages() - 1;
+            Node &entry_node = copy.stage[last][sw_idx];
+            const unsigned rev_port =
+                topo_.routeDigit(msg->origin, last);
+            OutQueue &rev_queue = entry_node.rev[rev_port].queue;
+            bool have_space;
+            if (cfg_.burroughsKill) {
+                have_space = true;
+            } else {
+                have_space = acquireSpace(mni.claimId, mni.claimPkts,
+                                          mni.claimTarget, rev_queue,
+                                          reply_packets);
+                if (!have_space) {
+                    // The claim is serviced as the rev queue drains.
+                    activateNode(copy, last, sw_idx);
+                }
+            }
+            if (have_space) {
+                mni.pending.dequeue();
+                stats_.mmQueueWait.add(
+                    static_cast<double>(now_ - msg->mniArriveAt));
+                msg->data =
+                    memory_.execute(msg->op, msg->paddr, msg->data);
+                makeReply(msg);
+                msg->packets = reply_packets;
+                entry_node.revInbox.push_back(
+                    {msg, now_ + cfg_.mmAccessTime + 1});
+                activateNode(copy, last, sw_idx);
+                mni.serviceFreeAt =
+                    now_ + std::max<Cycle>(cfg_.mmAccessTime,
+                                           reply_packets);
+                ++stats_.mmServed;
+            }
+        }
+
+        mni.active = !mni.inbox.empty() || !mni.pending.empty();
+    }
+    std::erase_if(copy.activeMnis, [&](MMId mm) {
+        MniState &mni = copy.mni[mm];
+        if (mni.active)
+            return false;
+        mni.inList = false;
+        return true;
+    });
+}
+
+void
+Network::makeReply(Message *msg)
+{
+    msg->isReply = true;
+    msg->requestId = msg->id;
+    msg->combinedAtThisQueue = 0;
+}
+
+void
+Network::processCopy(Copy &copy)
+{
+    processMnis(copy);
+    for (std::size_t i = 0; i < copy.activeNodes.size(); ++i) {
+        const auto [s, idx] = copy.activeNodes[i];
+        processNode(copy, s, idx);
+    }
+    std::erase_if(copy.activeNodes, [&](const auto &entry) {
+        Node &node = copy.stage[entry.first][entry.second];
+        if (node.active)
+            return false;
+        node.inList = false;
+        return true;
+    });
+}
+
+void
+Network::tick()
+{
+    // Ideal-paracomputer mode: execute and answer everything injected
+    // last cycle, in injection order.
+    if (cfg_.idealParacomputer && !idealPending_.empty()) {
+        std::size_t keep_ideal = 0;
+        for (std::size_t i = 0; i < idealPending_.size(); ++i) {
+            Arrival &arr = idealPending_[i];
+            if (arr.at > now_) {
+                idealPending_[keep_ideal++] = arr;
+                continue;
+            }
+            Message *msg = arr.msg;
+            msg->data = memory_.execute(msg->op, msg->paddr, msg->data);
+            ++stats_.mmServed;
+            stats_.oneWayTransit.add(1.0);
+            makeReply(msg);
+            deliveries_.push_back({msg, now_});
+        }
+        idealPending_.resize(keep_ideal);
+    }
+
+    // Deliveries due this cycle reach the PNIs first so reply-driven
+    // callbacks can inject in the same cycle.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < deliveries_.size(); ++i) {
+        Arrival &arr = deliveries_[i];
+        if (arr.at <= now_) {
+            Message *msg = arr.msg;
+            stats_.roundTrip.add(
+                static_cast<double>(arr.at - msg->injectedAt));
+            stats_.roundTripHist.add(arr.at - msg->injectedAt);
+            ++stats_.delivered;
+            if (deliverFn_)
+                deliverFn_(msg->origin, msg->tag, msg->data);
+            pool_.free(msg);
+        } else {
+            deliveries_[keep++] = arr;
+        }
+    }
+    deliveries_.resize(keep);
+
+    for (auto &copy : copies_)
+        processCopy(copy);
+    ++now_;
+}
+
+bool
+Network::drain(Cycle max_cycles)
+{
+    const Cycle deadline = now_ + max_cycles;
+    while (pool_.liveCount() > 0 && now_ < deadline)
+        tick();
+    return pool_.liveCount() == 0;
+}
+
+
+std::string
+Network::dumpState() const
+{
+    std::ostringstream os;
+    os << "cycle " << now_ << ", live messages "
+       << pool_.liveCount() << "\n";
+    auto show_queue = [&](const char *what, unsigned c, unsigned s,
+                          std::uint32_t idx, unsigned port,
+                          const OutQueue &queue, Cycle link_free) {
+        if (queue.empty() && queue.reservedPackets() == 0)
+            return;
+        os << "  copy" << c << " stage" << s << " sw" << idx << " "
+           << what << port << ": " << queue.sizeMessages() << " msgs, "
+           << queue.usedPackets() << "+" << queue.reservedPackets()
+           << " pkts";
+        if (link_free > now_)
+            os << ", link busy until " << link_free;
+        if (!queue.empty()) {
+            const Message *head = queue.head();
+            os << ", head " << mem::opName(head->op)
+               << (head->isReply ? " reply" : " req") << " paddr "
+               << head->paddr << " pkts " << head->packets << " age "
+               << (now_ - head->injectedAt);
+        }
+        os << "\n";
+    };
+    for (unsigned c = 0; c < copies_.size(); ++c) {
+        const Copy &copy = copies_[c];
+        for (unsigned s = 0; s < copy.stage.size(); ++s) {
+            for (std::uint32_t idx = 0; idx < copy.stage[s].size();
+                 ++idx) {
+                const Node &node = copy.stage[s][idx];
+                for (unsigned p = 0; p < cfg_.k; ++p) {
+                    show_queue("fwd", c, s, idx, p, node.fwd[p].queue,
+                               node.fwd[p].linkFreeAt);
+                    show_queue("rev", c, s, idx, p, node.rev[p].queue,
+                               node.rev[p].linkFreeAt);
+                }
+                if (!node.wb.empty()) {
+                    os << "  copy" << c << " stage" << s << " sw"
+                       << idx << " waitbuf: " << node.wb.size()
+                       << " entries\n";
+                }
+                if (!node.fwdInbox.empty() || !node.revInbox.empty()) {
+                    os << "  copy" << c << " stage" << s << " sw"
+                       << idx << " inbox: " << node.fwdInbox.size()
+                       << " fwd, " << node.revInbox.size()
+                       << " rev\n";
+                }
+            }
+        }
+        for (MMId mm = 0; mm < copy.mni.size(); ++mm) {
+            const MniState &mni = copy.mni[mm];
+            if (mni.pending.empty() && mni.inbox.empty())
+                continue;
+            os << "  copy" << c << " mni" << mm << ": "
+               << mni.pending.sizeMessages() << " msgs, "
+               << mni.pending.usedPackets() << "+"
+               << mni.pending.reservedPackets()
+               << " pkts, service free at " << mni.serviceFreeAt
+               << ", inbox " << mni.inbox.size() << "\n";
+        }
+    }
+    return os.str();
+}
+
+void
+Network::resetStats()
+{
+    const auto stages = stats_.combinesPerStage.size();
+    stats_ = NetStats{};
+    stats_.combinesPerStage.assign(stages, 0);
+}
+
+} // namespace ultra::net

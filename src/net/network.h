@@ -1,0 +1,280 @@
+/**
+ * @file
+ * The complete enhanced Omega network (section 3.1), cycle-stepped.
+ *
+ * N PEs talk through d identical copies of a D-stage network of k x k
+ * combining switches to N memory modules.  The network is message
+ * switched and pipelined: a message of L packets holds each traversed
+ * link for L cycles, but its head advances one stage per cycle when
+ * queues are empty (virtual cut-through), so the unloaded one-way
+ * transit is D + 1 hops plus the m - 1 pipe-fill at the destination.
+ *
+ * Combining happens where a request enters a ToMM queue already holding
+ * a matching request; wait buffers record the combined-away requests and
+ * replies fission on their way back (section 3.3).  Fetch-and-phi is
+ * executed by the MNI at the destination module (section 3.1.3).
+ *
+ * A "Burroughs mode" reproduces the design the paper argues against
+ * (section 3.1.2 factor 3): conflicting requests are killed instead of
+ * queued, which limits bandwidth to O(N / log N).
+ */
+
+#ifndef ULTRA_NET_NETWORK_H
+#define ULTRA_NET_NETWORK_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "mem/memory_system.h"
+#include "net/message.h"
+#include "net/out_queue.h"
+#include "net/routing.h"
+#include "net/wait_buffer.h"
+
+namespace ultra::net
+{
+
+/** Simulation parameters of the whole network. */
+struct NetSimConfig
+{
+    /** Ports per side (number of PEs = number of MMs). */
+    std::uint32_t numPorts = 64;
+    /** Switch degree k. */
+    unsigned k = 2;
+    /** Packets per message under Uniform sizing (the factor m). */
+    unsigned m = 2;
+    /** Number of identical network copies d. */
+    unsigned d = 1;
+    /** Packets of a data-carrying message under ByContent sizing. */
+    unsigned dataPackets = 3;
+    PacketSizing sizing = PacketSizing::ByContent;
+    /** ToMM / ToPE queue capacity in packets (0 = unbounded). */
+    std::uint32_t queueCapacityPackets = 15;
+    /** Wait-buffer entries per switch (0 = unbounded). */
+    std::uint32_t waitBufferCapacity = 0;
+    CombinePolicy combinePolicy = CombinePolicy::Homogeneous;
+    /** Max pairs a queued request may absorb at one switch (>=1). */
+    unsigned maxCombinesPerVisit = 1;
+    /** Memory-module access latency in cycles. */
+    Cycle mmAccessTime = 2;
+    /** MNI pending-queue capacity in packets (0 = unbounded). */
+    std::uint32_t mmPendingCapacityPackets = 15;
+    /** Kill-on-conflict switches instead of queues (baseline). */
+    bool burroughsKill = false;
+
+    /**
+     * Ideal-paracomputer mode (section 2.1): bypass the switches
+     * entirely and satisfy every request in one cycle with unlimited
+     * concurrency -- the unrealizable reference model the network
+     * approximates.  Useful for measuring the cost of physical
+     * realizability (bench/paracomputer_gap).
+     */
+    bool idealParacomputer = false;
+
+    /** Message length in packets for @p op in the given direction. */
+    std::uint32_t packetsFor(Op op, bool is_reply) const;
+
+    bool valid() const;
+};
+
+/** Aggregate network statistics. */
+struct NetStats
+{
+    std::uint64_t injected = 0;        //!< requests entered
+    std::uint64_t mmServed = 0;        //!< requests executed at MMs
+    std::uint64_t delivered = 0;       //!< replies handed back to PEs
+    std::uint64_t combined = 0;        //!< requests absorbed by combining
+    std::uint64_t decombined = 0;      //!< replies synthesized back
+    std::uint64_t killed = 0;          //!< Burroughs-mode kills
+    std::uint64_t revOverflowPackets = 0; //!< fission slack (see docs)
+    std::vector<std::uint64_t> combinesPerStage;
+
+    Accumulator oneWayTransit;  //!< inject -> full receipt at MNI
+    Accumulator roundTrip;      //!< inject -> reply receipt at PE
+    Accumulator mmQueueWait;    //!< arrival at MNI -> service start
+    Accumulator queueLenAtEnqueue; //!< ToMM occupancy seen by arrivals
+    /** Round-trip latency distribution (2-cycle bins, for tail
+     *  studies: percentile(0.5/0.95/0.99)). */
+    Histogram roundTripHist{2, 256};
+};
+
+/**
+ * The network plus MNIs; PEs (or synthetic traffic sources) sit on top
+ * via tryInject() and the delivery callback.
+ */
+class Network
+{
+  public:
+    /** Reply delivered to the requesting PE. */
+    using DeliverFn =
+        std::function<void(PEId pe, std::uint64_t tag, Word value)>;
+    /** Burroughs-mode kill notification (request must be retried). */
+    using KillFn = std::function<void(PEId pe, std::uint64_t tag)>;
+
+    Network(const NetSimConfig &cfg, mem::MemorySystem &memory);
+    ~Network();
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    void setDeliverCallback(DeliverFn fn) { deliverFn_ = std::move(fn); }
+    void setKillCallback(KillFn fn) { killFn_ = std::move(fn); }
+
+    /**
+     * Attempt to inject a request from PE @p pe for physical address
+     * @p paddr.  Fails (returns false) when every copy's injection link
+     * is busy or the first-stage queue is full.  @p tag is returned
+     * verbatim with the reply.
+     */
+    bool tryInject(PEId pe, Op op, Addr paddr, Word data,
+                   std::uint64_t tag);
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Current simulation time in cycles. */
+    Cycle now() const { return now_; }
+
+    /** Messages still inside the network or MNIs. */
+    std::size_t inFlight() const { return pool_.liveCount(); }
+
+    /**
+     * Run until no messages are in flight or @p max_cycles elapse.
+     * @return true if drained.
+     */
+    bool drain(Cycle max_cycles);
+
+    const NetSimConfig &config() const { return cfg_; }
+    const OmegaTopology &topology() const { return topo_; }
+    const NetStats &stats() const { return stats_; }
+    void resetStats();
+
+    /**
+     * Diagnostic dump of every nonempty queue, wait buffer and MNI
+     * (location, occupancy, head message and its age) -- for debugging
+     * stuck or congested configurations.
+     */
+    std::string dumpState() const;
+
+  private:
+    struct OutPort
+    {
+        explicit OutPort(std::uint32_t capacity) : queue(capacity) {}
+        OutQueue queue;
+        Cycle linkFreeAt = 0;
+        /** Open space-claim of this port's head on its downstream
+         *  queue (age-fair admission; see OutQueue). */
+        std::uint64_t claimId = 0;
+        std::uint32_t claimPkts = 0;
+        OutQueue *claimTarget = nullptr;
+    };
+
+    struct Arrival
+    {
+        Message *msg;
+        Cycle at;
+    };
+
+    struct Node
+    {
+        Node(unsigned k, std::uint32_t qcap, std::uint32_t wbcap);
+        std::vector<OutPort> fwd; //!< k ToMM queues
+        std::vector<OutPort> rev; //!< k ToPE queues
+        WaitBuffer wb;
+        std::vector<Arrival> fwdInbox;
+        std::vector<Arrival> revInbox;
+        bool active = false; //!< has work pending
+        bool inList = false; //!< member of the copy's active list
+    };
+
+    struct MniState
+    {
+        explicit MniState(std::uint32_t capacity) : pending(capacity) {}
+        OutQueue pending;
+        std::vector<Arrival> inbox;
+        Cycle serviceFreeAt = 0;
+        bool active = false;
+        bool inList = false;
+        std::uint64_t claimId = 0; //!< reply-space claim (see OutPort)
+        std::uint32_t claimPkts = 0;
+        OutQueue *claimTarget = nullptr;
+    };
+
+    struct Copy
+    {
+        std::vector<std::vector<Node>> stage; //!< [stage][switch]
+        std::vector<Cycle> peLinkFreeAt;      //!< injection links
+        std::vector<std::pair<unsigned, std::uint32_t>> activeNodes;
+        std::vector<MniState> mni;
+        std::vector<MMId> activeMnis;
+    };
+
+    Node &nodeAt(Copy &copy, unsigned s, std::uint32_t idx)
+    {
+        return copy.stage[s][idx];
+    }
+    void activateNode(Copy &copy, unsigned s, std::uint32_t idx);
+    void activateMni(Copy &copy, MMId mm);
+
+    void processCopy(Copy &copy);
+    void processNode(Copy &copy, unsigned s, std::uint32_t idx);
+    void processMnis(Copy &copy);
+
+    void arriveForward(Copy &copy, unsigned s, std::uint32_t idx,
+                       Message *msg);
+    void arriveReverse(Copy &copy, unsigned s, std::uint32_t idx,
+                       Message *msg);
+    void departForward(Copy &copy, unsigned s, std::uint32_t idx,
+                       unsigned port);
+    void departReverse(Copy &copy, unsigned s, std::uint32_t idx,
+                       unsigned port);
+
+    /** Attempt combining; true when @p msg was absorbed. */
+    bool tryCombine(Copy &copy, unsigned s, Node &node, unsigned port,
+                    Message *msg);
+
+    /**
+     * Age-fair space acquisition on @p target for the head message of
+     * a sender with claim state (@p claim_id, @p claim_pkts,
+     * @p claim_target): immediate reservation when possible, else an
+     * open claim serviced in FIFO order as space frees.  Returns true
+     * once the space is reserved.
+     */
+    bool acquireSpace(std::uint64_t &claim_id, std::uint32_t &claim_pkts,
+                      OutQueue *&claim_target, OutQueue &target,
+                      std::uint32_t pkts);
+
+    /** Turn a serviced request into its reply (in place). */
+    void makeReply(Message *msg);
+
+    NetSimConfig cfg_;
+    OmegaTopology topo_;
+    mem::MemorySystem &memory_;
+    MessagePool pool_;
+    NetStats stats_;
+    struct InjectState
+    {
+        std::uint64_t claimId = 0;
+        std::uint32_t claimPkts = 0;
+        OutQueue *claimTarget = nullptr;
+        unsigned copy = 0;
+    };
+
+    std::vector<Copy> copies_;
+    std::vector<unsigned> nextCopy_; //!< per-PE round-robin cursor
+    std::vector<InjectState> injectStates_; //!< per-PE space claims
+    Cycle now_ = 0;
+    DeliverFn deliverFn_;
+    KillFn killFn_;
+    std::vector<WaitEntry> matchScratch_;
+    std::vector<Arrival> deliveries_;
+    /** Ideal-mode requests awaiting their one-cycle completion. */
+    std::vector<Arrival> idealPending_;
+};
+
+} // namespace ultra::net
+
+#endif // ULTRA_NET_NETWORK_H

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * The per-output-port message queue of a switch (section 3.1.2 factor 3).
+ *
+ * Occupancy is counted in packets (the Table-1 simulation limits each
+ * queue to fifteen packets).  Space is *reserved* by the upstream sender
+ * when it starts transmitting, and converted to real occupancy when the
+ * message arrives one hop later; this keeps finite-queue backpressure
+ * race-free in the cycle-stepped simulation.  Entries in the middle of
+ * the queue remain associatively searchable, which is what enables the
+ * combining of section 3.3 (the hardware realization is the systolic
+ * queue of section 3.3.1, modeled separately in systolic_queue.h).
+ */
+
+#ifndef ULTRA_NET_OUT_QUEUE_H
+#define ULTRA_NET_OUT_QUEUE_H
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+
+#include "common/log.h"
+#include "net/message.h"
+
+namespace ultra::net
+{
+
+/**
+ * Searchable FIFO of messages with packet-granular occupancy.
+ *
+ * Space admission is fair in age order via *claims*: a sender whose
+ * message does not fit registers a claim, and freed packets are granted
+ * to the oldest claim before any newcomer may reserve.  Without this,
+ * a long (data-carrying) message at a congested merge point starves
+ * forever -- every freed packet is snatched by a 1-packet message from
+ * the other input before 3 free packets ever accumulate (observed on
+ * barrier traffic: fetch-and-adds starved behind a poll storm).
+ */
+class OutQueue
+{
+  public:
+    /** @param capacity_packets 0 means unbounded. */
+    explicit OutQueue(std::uint32_t capacity_packets = 0)
+        : capacity_(capacity_packets)
+    {}
+
+    bool unbounded() const { return capacity_ == 0; }
+
+    /** Free space check including reservations and granted claims. */
+    bool
+    canAccept(std::uint32_t pkts) const
+    {
+        return unbounded() ||
+               used_ + reserved_ + grantedTotal_ + pkts <= capacity_;
+    }
+
+    /**
+     * One-shot reservation: succeeds only when no older claim is
+     * waiting and the space is free right now.  On success the space
+     * must be consumed by a subsequent enqueue().
+     */
+    bool
+    tryReserve(std::uint32_t pkts)
+    {
+        if (unbounded()) {
+            reserved_ += pkts;
+            return true;
+        }
+        pump();
+        if (!claims_.empty())
+            return false; // age-order fairness: claims go first
+        if (used_ + reserved_ + grantedTotal_ + pkts > capacity_)
+            return false;
+        reserved_ += pkts;
+        return true;
+    }
+
+    /** Register a waiting claim for @p pkts; returns its id. */
+    std::uint64_t
+    openClaim(std::uint32_t pkts)
+    {
+        ULTRA_ASSERT(!unbounded(), "claims are for bounded queues");
+        claims_.push_back({nextClaimId_, pkts, 0});
+        pump();
+        return nextClaimId_++;
+    }
+
+    /** True when claim @p id is the oldest and fully granted. */
+    bool
+    claimReady(std::uint64_t id)
+    {
+        pump();
+        return !claims_.empty() && claims_.front().id == id &&
+               claims_.front().granted == claims_.front().needed;
+    }
+
+    /** Convert a ready claim's grant into a reservation. */
+    void
+    consumeClaim(std::uint64_t id)
+    {
+        ULTRA_ASSERT(claimReady(id), "consuming a claim that is not "
+                     "ready");
+        const Claim front = claims_.front();
+        claims_.pop_front();
+        grantedTotal_ -= front.granted;
+        reserved_ += front.needed;
+    }
+
+    /** Abandon a claim (e.g. the head message grew while waiting). */
+    void
+    cancelClaim(std::uint64_t id)
+    {
+        for (std::size_t i = 0; i < claims_.size(); ++i) {
+            if (claims_[i].id == id) {
+                grantedTotal_ -= claims_[i].granted;
+                claims_.erase(claims_.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+                return;
+            }
+        }
+        panic("cancelClaim: no such claim");
+    }
+
+    std::size_t pendingClaims() const { return claims_.size(); }
+
+    /** Claim space unconditionally (init paths and fission slack). */
+    void
+    reserve(std::uint32_t pkts)
+    {
+        reserved_ += pkts;
+    }
+
+    /** Return reserved space unused (e.g. the message was combined). */
+    void
+    cancelReservation(std::uint32_t pkts)
+    {
+        ULTRA_ASSERT(reserved_ >= pkts);
+        reserved_ -= pkts;
+    }
+
+    /** Append an arriving message, consuming its reservation. */
+    void
+    enqueue(Message *msg)
+    {
+        ULTRA_ASSERT(reserved_ >= msg->packets,
+                     "enqueue without prior reservation");
+        reserved_ -= msg->packets;
+        used_ += msg->packets;
+        entries_.push_back(msg);
+    }
+
+    /** Append without a reservation (reply fission; may overflow). */
+    void
+    enqueueUnreserved(Message *msg)
+    {
+        used_ += msg->packets;
+        entries_.push_back(msg);
+    }
+
+    /**
+     * Grow a queued message by @p extra packets (heterogeneous combining
+     * can upgrade a 1-packet load into a data-carrying request).
+     * @return false (no change) if the space is not available.
+     */
+    bool
+    grow(Message *msg, std::uint32_t extra)
+    {
+        if (extra == 0)
+            return true;
+        if (!unbounded() &&
+            used_ + reserved_ + grantedTotal_ + extra > capacity_) {
+            return false;
+        }
+        used_ += extra;
+        msg->packets += extra;
+        return true;
+    }
+
+    bool empty() const { return entries_.empty(); }
+    std::size_t sizeMessages() const { return entries_.size(); }
+    std::uint32_t usedPackets() const { return used_; }
+    std::uint32_t reservedPackets() const { return reserved_; }
+    std::uint32_t capacityPackets() const { return capacity_; }
+
+    Message *head() const { return entries_.front(); }
+
+    /** Remove and return the head message. */
+    Message *
+    dequeue()
+    {
+        Message *msg = entries_.front();
+        entries_.pop_front();
+        ULTRA_ASSERT(used_ >= msg->packets);
+        used_ -= msg->packets;
+        // The message leaves this switch: it may combine again later.
+        msg->combinedAtThisQueue = 0;
+        return msg;
+    }
+
+    /** Queued messages, oldest first, for the combining search. */
+    std::deque<Message *> &entries() { return entries_; }
+    const std::deque<Message *> &entries() const { return entries_; }
+
+  private:
+    struct Claim
+    {
+        std::uint64_t id;
+        std::uint32_t needed;
+        std::uint32_t granted;
+    };
+
+    /** Grant freed space to the oldest claim (strict age order). */
+    void
+    pump()
+    {
+        if (claims_.empty())
+            return;
+        Claim &front = claims_.front();
+        const std::uint32_t held = used_ + reserved_ + grantedTotal_;
+        if (held >= capacity_)
+            return;
+        const std::uint32_t free_now = capacity_ - held;
+        const std::uint32_t want = front.needed - front.granted;
+        const std::uint32_t take = std::min(free_now, want);
+        front.granted += take;
+        grantedTotal_ += take;
+    }
+
+    std::uint32_t capacity_;
+    std::uint32_t used_ = 0;
+    std::uint32_t reserved_ = 0;
+    std::uint32_t grantedTotal_ = 0;
+    std::deque<Claim> claims_;
+    std::uint64_t nextClaimId_ = 1;
+    std::deque<Message *> entries_;
+};
+
+} // namespace ultra::net
+
+#endif // ULTRA_NET_OUT_QUEUE_H

@@ -1,0 +1,138 @@
+#include "pni.h"
+
+#include "common/log.h"
+
+namespace ultra::net
+{
+
+PniArray::PniArray(const PniConfig &cfg, Network &network,
+                   const mem::AddressHash &hash)
+    : cfg_(cfg), network_(network), hash_(hash),
+      pes_(network.config().numPorts)
+{
+    network_.setDeliverCallback(
+        [this](PEId pe, std::uint64_t ticket, Word value) {
+            onDeliver(pe, ticket, value);
+        });
+    network_.setKillCallback([this](PEId pe, std::uint64_t ticket) {
+        onKill(pe, ticket);
+    });
+}
+
+void
+PniArray::activate(PEId pe)
+{
+    PeState &state = pes_[pe];
+    if (!state.inActiveList) {
+        state.inActiveList = true;
+        activePes_.push_back(pe);
+    }
+}
+
+std::uint64_t
+PniArray::request(PEId pe, Op op, Addr vaddr, Word data)
+{
+    ULTRA_ASSERT(pe < pes_.size());
+    QueuedReq req;
+    req.ticket = nextTicket_++;
+    req.op = op;
+    req.paddr = hash_.toPhysical(vaddr);
+    req.data = data;
+    req.queuedAt = network_.now();
+    req.notBefore = 0;
+    pes_[pe].issueQueue.push_back(req);
+    activate(pe);
+    ++stats_.requested;
+    if (requestProbe_)
+        requestProbe_(pe, op, vaddr, data);
+    return req.ticket;
+}
+
+void
+PniArray::tick()
+{
+    const Cycle now = network_.now();
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < activePes_.size(); ++i) {
+        const PEId pe = activePes_[i];
+        PeState &state = pes_[pe];
+
+        // FIFO issue: push the head into the network while constraints
+        // allow.  A PE has at most d injection links, so a handful of
+        // issues per cycle at most; the loop exits on the first stall.
+        while (!state.issueQueue.empty()) {
+            QueuedReq &head = state.issueQueue.front();
+            if (head.notBefore > now)
+                break;
+            if (cfg_.maxOutstanding != 0 &&
+                state.outstanding.size() >= cfg_.maxOutstanding) {
+                break;
+            }
+            if (cfg_.enforceUniqueLocation &&
+                state.outstandingAddrs.count(head.paddr)) {
+                break;
+            }
+            if (!network_.tryInject(pe, head.op, head.paddr, head.data,
+                                    head.ticket)) {
+                break;
+            }
+            stats_.issueWait.add(
+                static_cast<double>(now - head.queuedAt));
+            state.outstandingAddrs.insert(head.paddr);
+            state.outstanding.emplace(head.ticket, head);
+            state.issueQueue.pop_front();
+        }
+
+        if (state.issueQueue.empty()) {
+            state.inActiveList = false;
+        } else {
+            activePes_[keep++] = pe;
+        }
+    }
+    activePes_.resize(keep);
+}
+
+std::size_t
+PniArray::pendingCount(PEId pe) const
+{
+    const PeState &state = pes_[pe];
+    return state.issueQueue.size() + state.outstanding.size();
+}
+
+void
+PniArray::onDeliver(PEId pe, std::uint64_t ticket, Word value)
+{
+    PeState &state = pes_[pe];
+    auto it = state.outstanding.find(ticket);
+    ULTRA_ASSERT(it != state.outstanding.end(),
+                 "reply for unknown ticket ", ticket, " at PE ", pe);
+    const QueuedReq req = it->second;
+    state.outstanding.erase(it);
+    state.outstandingAddrs.erase(req.paddr);
+    ++stats_.completed;
+    stats_.accessTime.add(
+        static_cast<double>(network_.now() - req.queuedAt));
+    // The issue queue may have been blocked on this completion.
+    if (!state.issueQueue.empty())
+        activate(pe);
+    if (completeFn_)
+        completeFn_(pe, ticket, value);
+}
+
+void
+PniArray::onKill(PEId pe, std::uint64_t ticket)
+{
+    PeState &state = pes_[pe];
+    auto it = state.outstanding.find(ticket);
+    ULTRA_ASSERT(it != state.outstanding.end(),
+                 "kill for unknown ticket ", ticket, " at PE ", pe);
+    QueuedReq req = it->second;
+    state.outstanding.erase(it);
+    state.outstandingAddrs.erase(req.paddr);
+    req.notBefore = network_.now() + cfg_.killRetryDelay;
+    state.issueQueue.push_front(req);
+    activate(pe);
+    ++stats_.retries;
+}
+
+} // namespace ultra::net

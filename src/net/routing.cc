@@ -1,0 +1,77 @@
+#include "routing.h"
+
+#include "common/log.h"
+
+namespace ultra::net
+{
+
+OmegaTopology::OmegaTopology(std::uint32_t n, unsigned k)
+    : n_(n), k_(k)
+{
+    ULTRA_ASSERT(isPowerOfTwo(k) && k >= 2, "switch degree must be a "
+                 "power of two >= 2, got ", k);
+    ULTRA_ASSERT(isPowerOfTwo(n) && n >= k, "port count must be a power "
+                 "of two >= k, got ", n);
+    kBits_ = log2Exact(k);
+    stages_ = logBase(n, k);
+    ULTRA_ASSERT(stages_ * kBits_ == log2Exact(n),
+                 "port count ", n, " is not a power of the degree ", k);
+    mask_ = n - 1;
+}
+
+std::uint32_t
+OmegaTopology::shuffle(std::uint32_t line) const
+{
+    const unsigned total_bits = stages_ * kBits_;
+    return ((line << kBits_) & mask_) | (line >> (total_bits - kBits_));
+}
+
+std::uint32_t
+OmegaTopology::unshuffle(std::uint32_t line) const
+{
+    const unsigned total_bits = stages_ * kBits_;
+    return (line >> kBits_) |
+           ((line & (k_ - 1)) << (total_bits - kBits_));
+}
+
+unsigned
+OmegaTopology::routeDigit(std::uint32_t x, unsigned s) const
+{
+    ULTRA_ASSERT(s < stages_);
+    return (x >> ((stages_ - 1 - s) * kBits_)) & (k_ - 1);
+}
+
+OmegaTopology::Port
+OmegaTopology::intoStage(std::uint32_t line, unsigned s) const
+{
+    (void)s; // the wiring is the same shuffle before every stage
+    const std::uint32_t y = shuffle(line);
+    return {y >> kBits_, static_cast<unsigned>(y & (k_ - 1))};
+}
+
+std::uint32_t
+OmegaTopology::forwardHop(std::uint32_t line, unsigned s,
+                          std::uint32_t dest) const
+{
+    const Port port = intoStage(line, s);
+    return lineFrom(port.sw, routeDigit(dest, s));
+}
+
+std::uint32_t
+OmegaTopology::reverseHop(std::uint32_t line, unsigned s,
+                          std::uint32_t origin) const
+{
+    const std::uint32_t sw = line >> kBits_;
+    return unshuffle(lineFrom(sw, routeDigit(origin, s)));
+}
+
+void
+OmegaTopology::tracePath(std::uint32_t pe, std::uint32_t mm,
+                         std::uint32_t *lines_out) const
+{
+    lines_out[0] = pe;
+    for (unsigned s = 0; s < stages_; ++s)
+        lines_out[s + 1] = forwardHop(lines_out[s], s, mm);
+}
+
+} // namespace ultra::net

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Cycle-level model of the enhanced VLSI systolic ToMM queue
+ * (section 3.3.1, Figure 4; after Guibas and Liang).
+ *
+ * Items enter the middle column at the bottom, climb past occupied slots
+ * in the right column, and hop right into the first empty slot; the
+ * right column shifts down, exiting at the bottom.  Comparison logic
+ * between the right two columns matches a climbing item against the
+ * descending entries; a matched item moves to the left "match column"
+ * and thereafter descends in lockstep with its partner so the combined
+ * pair exits simultaneously into the combining unit.
+ *
+ * The paper's observations, verified by the test suite:
+ *   1. entries proceed in FIFO order (given the paper's discipline that
+ *      the number of cycles between successive insertions is even),
+ *   2. one item exits per cycle while nonempty and the receiver is
+ *      ready,
+ *   3. one item can be inserted per cycle while not full,
+ *   4. items are not delayed when the queue is empty.
+ *
+ * This class models the *hardware structure*; the behavioural simulator
+ * uses the abstract OutQueue, and tests check the two agree on FIFO
+ * order and combining opportunities.
+ */
+
+#ifndef ULTRA_NET_SYSTOLIC_QUEUE_H
+#define ULTRA_NET_SYSTOLIC_QUEUE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ultra::net
+{
+
+/** One slot's payload in the systolic queue model. */
+struct SystolicItem
+{
+    std::uint64_t key = 0;   //!< match key (function, MM, address)
+    std::uint64_t value = 0; //!< payload (e.g. the F&A increment)
+    std::uint64_t seq = 0;   //!< insertion sequence number (for checks)
+};
+
+/** Three-column systolic queue with combining. */
+class SystolicQueue
+{
+  public:
+    /**
+     * @param height     Slots per column.
+     * @param combining  When false the match column is unused and the
+     *                   structure is the plain Guibas-Liang queue.
+     */
+    explicit SystolicQueue(unsigned height, bool combining = true);
+
+    /** Result of one clock. */
+    struct StepResult
+    {
+        /** Item leaving the bottom of the right column, if any. */
+        std::optional<SystolicItem> exited;
+        /** Matched partner leaving the match column with it, if any. */
+        std::optional<SystolicItem> partner;
+        /** True when the input item was accepted this cycle. */
+        bool accepted = false;
+    };
+
+    /**
+     * Advance one cycle.
+     * @param input          Item to insert this cycle (if any).
+     * @param receiver_ready Whether the downstream can accept an exit.
+     */
+    StepResult step(const std::optional<SystolicItem> &input,
+                    bool receiver_ready);
+
+    /** Number of items currently inside the structure. */
+    std::size_t occupancy() const { return occupancy_; }
+    bool empty() const { return occupancy_ == 0; }
+    unsigned height() const { return height_; }
+
+  private:
+    struct Slot
+    {
+        bool full = false;
+        SystolicItem item;
+    };
+
+    unsigned height_;
+    bool combining_;
+    std::vector<Slot> matchCol_;
+    std::vector<Slot> middleCol_;
+    std::vector<Slot> rightCol_;
+    std::size_t occupancy_ = 0;
+};
+
+} // namespace ultra::net
+
+#endif // ULTRA_NET_SYSTOLIC_QUEUE_H

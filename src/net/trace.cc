@@ -1,0 +1,122 @@
+#include "trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace ultra::net
+{
+
+double
+Trace::intensity(std::uint32_t active_pes) const
+{
+    if (entries.empty() || active_pes == 0)
+        return 0.0;
+    return static_cast<double>(entries.size()) /
+           static_cast<double>(duration()) / active_pes;
+}
+
+TraceRecorder::TraceRecorder(PniArray &pni) : pni_(pni)
+{
+    pni_.setRequestProbe(
+        [this](PEId pe, Op op, Addr vaddr, Word data) {
+            trace_.entries.push_back(
+                {pni_.network().now(), pe, op, vaddr, data});
+        });
+}
+
+Trace
+TraceRecorder::take()
+{
+    pni_.setRequestProbe(nullptr);
+    return std::move(trace_);
+}
+
+ReplayResult
+replayTrace(const Trace &trace, PniArray &pni, Network &network)
+{
+    std::size_t next = 0;
+    const Cycle offset = network.now();
+    while (next < trace.entries.size()) {
+        const Cycle local = network.now() - offset;
+        while (next < trace.entries.size() &&
+               trace.entries[next].at <= local) {
+            const TraceEntry &entry = trace.entries[next];
+            pni.request(entry.pe, entry.op, entry.vaddr, entry.data);
+            ++next;
+        }
+        pni.tick();
+        network.tick();
+    }
+    // Drain everything still queued or in flight.
+    Cycle guard = 0;
+    while (network.inFlight() > 0 && guard++ < 10'000'000) {
+        pni.tick();
+        network.tick();
+    }
+    bool all_idle = false;
+    guard = 0;
+    while (!all_idle && guard++ < 10'000'000) {
+        all_idle = true;
+        for (PEId pe = 0; pe < network.config().numPorts && all_idle;
+             ++pe) {
+            all_idle = pni.idle(pe);
+        }
+        if (!all_idle) {
+            pni.tick();
+            network.tick();
+        }
+    }
+    ULTRA_ASSERT(all_idle, "trace replay did not drain");
+
+    ReplayResult result;
+    result.requests = pni.stats().completed;
+    result.meanAccessTime = pni.stats().accessTime.mean();
+    result.meanOneWay = network.stats().oneWayTransit.mean();
+    result.finishedAt = network.now() - offset;
+    return result;
+}
+
+void
+saveTrace(const Trace &trace, const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (!file)
+        fatal("cannot open '", path, "' for writing");
+    for (const TraceEntry &entry : trace.entries) {
+        std::fprintf(file, "%" PRIu64 ",%u,%u,%" PRIu64 ",%" PRId64
+                           "\n",
+                     static_cast<std::uint64_t>(entry.at), entry.pe,
+                     static_cast<unsigned>(entry.op),
+                     static_cast<std::uint64_t>(entry.vaddr),
+                     static_cast<std::int64_t>(entry.data));
+    }
+    std::fclose(file);
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "r");
+    if (!file)
+        fatal("cannot open '", path, "' for reading");
+    Trace trace;
+    std::uint64_t at = 0, vaddr = 0;
+    unsigned pe = 0, op = 0;
+    std::int64_t data = 0;
+    int line = 0;
+    while (std::fscanf(file,
+                       "%" SCNu64 ",%u,%u,%" SCNu64 ",%" SCNd64 "\n",
+                       &at, &pe, &op, &vaddr, &data) == 5) {
+        ++line;
+        if (op > static_cast<unsigned>(Op::FetchMin))
+            fatal("bad op code at line ", line, " of '", path, "'");
+        trace.entries.push_back({at, pe, static_cast<Op>(op), vaddr,
+                                 data});
+    }
+    std::fclose(file);
+    return trace;
+}
+
+} // namespace ultra::net

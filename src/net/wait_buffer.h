@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The switch wait buffer (section 3.3).
+ *
+ * When two requests combine, the switch records an entry describing the
+ * satisfied (combined-away) request; entries "await the return of R-old
+ * from memory".  A returning reply is associatively searched against the
+ * buffer by the id of the request it answers, matched entries are
+ * removed, and one additional reply is generated per entry.  The paper
+ * supports only pairwise combination so each reply matches at most one
+ * entry; a knob in the network config relaxes this for ablation, in
+ * which case entries fire in their serialization (insertion) order.
+ */
+
+#ifndef ULTRA_NET_WAIT_BUFFER_H
+#define ULTRA_NET_WAIT_BUFFER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/fetch_phi.h"
+
+namespace ultra::net
+{
+
+/** How the spawned reply's value is derived from the returning value Y. */
+enum class ReplyRule : std::uint8_t {
+    Decombine, //!< value = decombineReply(decombineOp, Y, datum)
+    Fixed,     //!< value = datum, independent of Y
+};
+
+/** One record of a combined-away request. */
+struct WaitEntry
+{
+    std::uint64_t waitKey = 0;     //!< id of the forwarded request R-old
+    std::uint64_t satisfiedId = 0; //!< id of the combined-away R-new
+    PEId satisfiedOrigin = 0;      //!< PE awaiting the spawned reply
+    std::uint64_t satisfiedTag = 0;   //!< R-new's PNI cookie
+    Cycle satisfiedInjectedAt = 0;    //!< R-new's injection time (stats)
+    mem::Op satisfiedOp = mem::Op::Load;
+    ReplyRule rule = ReplyRule::Decombine;
+    mem::Op decombineOp = mem::Op::Load;
+    Word datum = 0;
+    /** FA-Store style combining also rewrites the returning reply. */
+    bool rewriteReturning = false;
+    Word rewriteDatum = 0;
+
+    Addr paddr = kBadAddr; //!< diagnostics only
+    Cycle createdAt = 0;   //!< diagnostics only
+};
+
+/** Associative store of WaitEntry records at one switch. */
+class WaitBuffer
+{
+  public:
+    /** @param capacity 0 means unbounded. */
+    explicit WaitBuffer(std::uint32_t capacity = 0) : capacity_(capacity) {}
+
+    bool
+    full() const
+    {
+        return capacity_ != 0 && entries_.size() >= capacity_;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    void
+    insert(const WaitEntry &entry)
+    {
+        entries_.push_back(entry);
+    }
+
+    /**
+     * Remove every entry whose waitKey is @p key, appending them to
+     * @p out in insertion (serialization) order.
+     * @return number of matches.
+     */
+    std::size_t
+    takeMatches(std::uint64_t key, std::vector<WaitEntry> &out)
+    {
+        std::size_t found = 0;
+        for (std::size_t i = 0; i < entries_.size();) {
+            if (entries_[i].waitKey == key) {
+                out.push_back(entries_[i]);
+                entries_.erase(entries_.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+                ++found;
+            } else {
+                ++i;
+            }
+        }
+        return found;
+    }
+
+    const std::vector<WaitEntry> &entries() const { return entries_; }
+
+  private:
+    std::uint32_t capacity_;
+    std::vector<WaitEntry> entries_;
+};
+
+} // namespace ultra::net
+
+#endif // ULTRA_NET_WAIT_BUFFER_H

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The coroutine task type executed by simulated PEs.
+ *
+ * A parallel program for the simulated machine is an ordinary C++
+ * coroutine of type Task that co_awaits the memory and compute
+ * operations offered by the Pe class.  Between awaits the C++ code runs
+ * in zero simulated time; every await is a scheduling point where the
+ * PE's clock advances.
+ *
+ * Tasks compose: a Task may co_await another Task (a "subroutine"), so
+ * the coordination algorithms of the appendix (queue insert/delete,
+ * readers-writers, barriers) are reusable building blocks.  The inner
+ * task starts by symmetric transfer and resumes its awaiter when it
+ * finishes; while any frame in the chain suspends on a Pe awaitable,
+ * the Pe records that innermost handle and resumes it directly.
+ *
+ * COMPILER NOTE (GCC 12): g++ 12.x miscompiles coroutines that place a
+ * co_await expression directly inside an if/while *condition* in some
+ * surrounding-code shapes (the state machine resumes at the wrong
+ * point; verified with a minimal reproducer during development).
+ * Throughout this repository -- and in code you write against this
+ * library -- hoist every co_await into its own statement and bind its
+ * result to a local:
+ *
+ *     // BAD  (silently corrupts on GCC 12):
+ *     while (co_await pe.load(flag) != 0) { ... }
+ *     // GOOD:
+ *     while (true) {
+ *         const Word f = co_await pe.load(flag);
+ *         if (f == 0) break;
+ *         ...
+ *     }
+ *
+ * Passing small descriptor structs to Task coroutines by value (not by
+ * reference) also sidesteps any frame-lifetime questions.
+ */
+
+#ifndef ULTRA_PE_TASK_H
+#define ULTRA_PE_TASK_H
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace ultra::pe
+{
+
+/** Coroutine handle owner for one PE program (or subroutine). */
+class Task
+{
+  public:
+    struct promise_type
+    {
+        std::exception_ptr exception;
+        std::coroutine_handle<> continuation;
+
+        Task
+        get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+        /** Start suspended; the machine (or awaiter) starts the task. */
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() noexcept { return false; }
+            std::coroutine_handle<>
+            await_suspend(
+                std::coroutine_handle<promise_type> h) noexcept
+            {
+                // Resume whoever awaited this task; a top-level task has
+                // no continuation and simply parks as done().
+                if (h.promise().continuation)
+                    return h.promise().continuation;
+                return std::noop_coroutine();
+            }
+            void await_resume() noexcept {}
+        };
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() noexcept {}
+        void
+        unhandled_exception() noexcept
+        {
+            exception = std::current_exception();
+        }
+    };
+
+    Task() = default;
+    explicit Task(std::coroutine_handle<promise_type> handle)
+        : handle_(handle)
+    {}
+
+    Task(Task &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(handle_); }
+    bool done() const { return handle_ && handle_.done(); }
+
+    std::coroutine_handle<promise_type> handle() const { return handle_; }
+
+    /** Rethrow the task's escaped exception, if any (once done). */
+    void
+    rethrowIfFailed() const
+    {
+        if (handle_ && handle_.done() && handle_.promise().exception)
+            std::rethrow_exception(handle_.promise().exception);
+    }
+
+    /** Awaiting a Task runs it to completion as a subroutine. */
+    struct Awaiter
+    {
+        std::coroutine_handle<promise_type> inner;
+        bool await_ready() const noexcept { return !inner || inner.done(); }
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> outer) noexcept
+        {
+            inner.promise().continuation = outer;
+            return inner; // symmetric transfer: start the subroutine
+        }
+        void
+        await_resume() const
+        {
+            if (inner && inner.promise().exception)
+                std::rethrow_exception(inner.promise().exception);
+        }
+    };
+
+    Awaiter operator co_await() const noexcept { return Awaiter{handle_}; }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+} // namespace ultra::pe
+
+#endif // ULTRA_PE_TASK_H

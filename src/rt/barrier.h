@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sense-reversing fetch-and-add barrier on host threads.
+ *
+ * The arrival count is a single fetch-and-add per PE -- on the
+ * Ultracomputer these combine in the network, so a barrier of thousands
+ * of PEs costs one memory access time; on a host CPU they serialize in
+ * the coherence fabric, which the benchmarks make visible.
+ */
+
+#ifndef ULTRA_RT_BARRIER_H
+#define ULTRA_RT_BARRIER_H
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "common/log.h"
+
+namespace ultra::rt
+{
+
+/** Reusable barrier for a fixed set of participants. */
+class Barrier
+{
+  public:
+    explicit Barrier(std::uint32_t parties) : parties_(parties)
+    {
+        ULTRA_ASSERT(parties > 0);
+    }
+
+    Barrier(const Barrier &) = delete;
+    Barrier &operator=(const Barrier &) = delete;
+
+    /** Block until all parties arrive; reusable across episodes. */
+    void
+    arriveAndWait()
+    {
+        const std::uint32_t my_sense =
+            1 - sense_.load(std::memory_order_acquire);
+        const std::uint32_t arrived =
+            count_.fetch_add(1, std::memory_order_acq_rel);
+        if (arrived == parties_ - 1) {
+            count_.store(0, std::memory_order_relaxed);
+            sense_.store(my_sense, std::memory_order_release);
+        } else {
+            while (sense_.load(std::memory_order_acquire) != my_sense)
+                std::this_thread::yield();
+        }
+    }
+
+    std::uint32_t parties() const { return parties_; }
+
+  private:
+    std::uint32_t parties_;
+    alignas(64) std::atomic<std::uint32_t> count_{0};
+    alignas(64) std::atomic<std::uint32_t> sense_{0};
+};
+
+} // namespace ultra::rt
+
+#endif // ULTRA_RT_BARRIER_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fetch-and-add and fetch-and-phi on host hardware (sections 2.2, 2.4).
+ *
+ * The ultra::rt library mirrors the simulated coordination primitives on
+ * real threads: modern CPUs provide the indivisible fetch-and-add the
+ * paper postulated (without the combining network, so hot locations do
+ * serialize in the cache-coherence fabric -- exactly the contrast the
+ * hotspot benches measure).
+ *
+ * fetchPhi() realizes the general fetch-and-phi of section 2.4 with a
+ * compare-exchange loop; swap and test-and-set fall out as the paper's
+ * special cases pi2 and (pi2, TRUE).
+ */
+
+#ifndef ULTRA_RT_FETCH_AND_ADD_H
+#define ULTRA_RT_FETCH_AND_ADD_H
+
+#include <atomic>
+#include <concepts>
+
+namespace ultra::rt
+{
+
+/** F&A(V, e): return old V and replace it by V + e, indivisibly. */
+template <typename T>
+T
+fetchAdd(std::atomic<T> &v, T e)
+{
+    return v.fetch_add(e, std::memory_order_acq_rel);
+}
+
+/**
+ * Fetch-and-phi: return old V and replace it by phi(V, e).  When phi is
+ * associative and commutative the final value is independent of the
+ * serialization order chosen.
+ */
+template <typename T, typename Phi>
+    requires std::invocable<Phi, T, T>
+T
+fetchPhi(std::atomic<T> &v, T e, Phi phi)
+{
+    T old_value = v.load(std::memory_order_relaxed);
+    while (!v.compare_exchange_weak(old_value, phi(old_value, e),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+        // old_value reloaded by the failed exchange.
+    }
+    return old_value;
+}
+
+/** Swap(L, V) = Fetch-and-pi2(V, L). */
+template <typename T>
+T
+swap(std::atomic<T> &v, T value)
+{
+    return v.exchange(value, std::memory_order_acq_rel);
+}
+
+/** TestAndSet(V) = Fetch-and-pi2(V, TRUE). */
+inline bool
+testAndSet(std::atomic<bool> &v)
+{
+    return v.exchange(true, std::memory_order_acq_rel);
+}
+
+} // namespace ultra::rt
+
+#endif // ULTRA_RT_FETCH_AND_ADD_H

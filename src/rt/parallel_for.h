@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Self-scheduling parallel loop on host threads (section 2.2).
+ *
+ * The host-side twin of core::parallelFor: worker threads claim chunks
+ * of an iteration space by fetch-and-adding a shared counter.  No
+ * pre-partitioning, no scheduler lock, automatic balance for uneven
+ * iteration costs -- the idiom the paper's "shared array index"
+ * example introduces.
+ */
+
+#ifndef ULTRA_RT_PARALLEL_FOR_H
+#define ULTRA_RT_PARALLEL_FOR_H
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+
+namespace ultra::rt
+{
+
+/**
+ * Cover [0, total) with @p threads workers claiming @p chunk indices
+ * at a time; @p body is invoked as body(begin, end) on claimed ranges.
+ * Blocks until the space is exhausted.
+ */
+template <typename Body>
+void
+parallelFor(std::uint64_t total, std::uint64_t chunk, unsigned threads,
+            Body body)
+{
+    ULTRA_ASSERT(chunk >= 1 && threads >= 1);
+    std::atomic<std::uint64_t> counter{0};
+    auto worker = [&] {
+        while (true) {
+            const std::uint64_t begin =
+                counter.fetch_add(chunk, std::memory_order_acq_rel);
+            if (begin >= total)
+                return;
+            const std::uint64_t end = std::min(begin + chunk, total);
+            body(begin, end);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads - 1);
+    for (unsigned t = 1; t < threads; ++t)
+        pool.emplace_back(worker);
+    worker();
+    for (auto &t : pool)
+        t.join();
+}
+
+} // namespace ultra::rt
+
+#endif // ULTRA_RT_PARALLEL_FOR_H

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The appendix's critical-section-free parallel queue on host threads.
+ *
+ * A circular array with fetch-and-add index dispensers and per-cell
+ * round counters; the occupancy bounds #Qi / #Qu are guarded by the
+ * test-increment-retest (TIR) and test-decrement-retest (TDR) sequences
+ * so a full or empty queue is detected without any critical section.
+ * When the queue is neither empty nor full, any number of inserts and
+ * deletes proceed completely in parallel -- contrast with the
+ * mutex-protected queue in the queue_throughput bench.
+ */
+
+#ifndef ULTRA_RT_PARALLEL_QUEUE_H
+#define ULTRA_RT_PARALLEL_QUEUE_H
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+
+namespace ultra::rt
+{
+
+/** MPMC FIFO queue with fetch-and-add coordination. */
+template <typename T>
+class ParallelQueue
+{
+  public:
+    explicit ParallelQueue(std::size_t capacity)
+        : capacity_(static_cast<std::int64_t>(capacity)),
+          cells_(capacity)
+    {
+        ULTRA_ASSERT(capacity > 0);
+    }
+
+    ParallelQueue(const ParallelQueue &) = delete;
+    ParallelQueue &operator=(const ParallelQueue &) = delete;
+
+    /** Appendix Insert; false = QueueOverflow (queue full). */
+    bool
+    tryInsert(T value)
+    {
+        if (!tir(upper_, capacity_))
+            return false;
+        const std::uint64_t my =
+            insPtr_.fetch_add(1, std::memory_order_acq_rel);
+        Cell &cell = cells_[my % cells_.size()];
+        const std::uint64_t round = my / cells_.size();
+        // Wait turn at MyI: the cell must have been emptied `round`
+        // times before this round's insert may overwrite it.
+        while (cell.delSeq.load(std::memory_order_acquire) != round)
+            std::this_thread::yield();
+        cell.value = std::move(value);
+        cell.insSeq.store(round + 1, std::memory_order_release);
+        lower_.fetch_add(1, std::memory_order_acq_rel);
+        return true;
+    }
+
+    /** Appendix Delete; false = QueueUnderflow (queue empty). */
+    bool
+    tryDelete(T *value_out)
+    {
+        if (!tdr(lower_))
+            return false;
+        const std::uint64_t my =
+            delPtr_.fetch_add(1, std::memory_order_acq_rel);
+        Cell &cell = cells_[my % cells_.size()];
+        const std::uint64_t round = my / cells_.size();
+        // Wait turn at MyD: this round's insert must have completed.
+        while (cell.insSeq.load(std::memory_order_acquire) != round + 1)
+            std::this_thread::yield();
+        *value_out = std::move(cell.value);
+        cell.delSeq.store(round + 1, std::memory_order_release);
+        upper_.fetch_add(-1, std::memory_order_acq_rel);
+        return true;
+    }
+
+    /** #Qi: items certainly present (active operations may differ). */
+    std::int64_t
+    occupancyLowerBound() const
+    {
+        return lower_.load(std::memory_order_acquire);
+    }
+
+    /** #Qu: items at most present. */
+    std::int64_t
+    occupancyUpperBound() const
+    {
+        return upper_.load(std::memory_order_acquire);
+    }
+
+    std::size_t capacity() const { return cells_.size(); }
+
+  private:
+    struct alignas(64) Cell
+    {
+        std::atomic<std::uint64_t> insSeq{0};
+        std::atomic<std::uint64_t> delSeq{0};
+        T value{};
+    };
+
+    /** Test-increment-retest on an occupancy bound. */
+    static bool
+    tir(std::atomic<std::int64_t> &s, std::int64_t bound)
+    {
+        // Initial test: prevents unbounded drift of S under contention.
+        if (s.load(std::memory_order_acquire) + 1 > bound)
+            return false;
+        if (s.fetch_add(1, std::memory_order_acq_rel) + 1 <= bound)
+            return true;
+        s.fetch_add(-1, std::memory_order_acq_rel);
+        return false;
+    }
+
+    /** Test-decrement-retest. */
+    static bool
+    tdr(std::atomic<std::int64_t> &s)
+    {
+        if (s.load(std::memory_order_acquire) - 1 < 0)
+            return false;
+        if (s.fetch_add(-1, std::memory_order_acq_rel) - 1 >= 0)
+            return true;
+        s.fetch_add(1, std::memory_order_acq_rel);
+        return false;
+    }
+
+    std::int64_t capacity_;
+    alignas(64) std::atomic<std::int64_t> upper_{0}; //!< #Qu
+    alignas(64) std::atomic<std::int64_t> lower_{0}; //!< #Qi
+    alignas(64) std::atomic<std::uint64_t> insPtr_{0};
+    alignas(64) std::atomic<std::uint64_t> delPtr_{0};
+    std::vector<Cell> cells_;
+};
+
+} // namespace ultra::rt
+
+#endif // ULTRA_RT_PARALLEL_QUEUE_H

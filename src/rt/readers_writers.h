@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The completely-parallel readers-writers solution on host threads
+ * (section 2.3; Gottlieb, Lubachevsky and Rudolph).
+ *
+ * During periods when no writers are active, readers execute no serial
+ * code at all: entry and exit are one fetch-and-add each.  Writers are
+ * inherently serial (the problem specification demands it) and take
+ * FIFO tickets among themselves.
+ */
+
+#ifndef ULTRA_RT_READERS_WRITERS_H
+#define ULTRA_RT_READERS_WRITERS_H
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace ultra::rt
+{
+
+/** Reader-preference readers-writers lock built on fetch-and-add. */
+class ReadersWriters
+{
+  public:
+    ReadersWriters() = default;
+    ReadersWriters(const ReadersWriters &) = delete;
+    ReadersWriters &operator=(const ReadersWriters &) = delete;
+
+    void
+    readerLock()
+    {
+        while (true) {
+            readers_.fetch_add(1, std::memory_order_acq_rel);
+            if (writer_.load(std::memory_order_acquire) == 0)
+                return; // fully parallel entry
+            readers_.fetch_add(-1, std::memory_order_acq_rel);
+            while (writer_.load(std::memory_order_acquire) != 0)
+                std::this_thread::yield();
+        }
+    }
+
+    void
+    readerUnlock()
+    {
+        readers_.fetch_add(-1, std::memory_order_acq_rel);
+    }
+
+    void
+    writerLock()
+    {
+        const std::uint64_t ticket =
+            wticket_.fetch_add(1, std::memory_order_acq_rel);
+        while (wserving_.load(std::memory_order_acquire) != ticket)
+            std::this_thread::yield();
+        writer_.store(1, std::memory_order_release);
+        while (readers_.load(std::memory_order_acquire) != 0)
+            std::this_thread::yield();
+    }
+
+    void
+    writerUnlock()
+    {
+        writer_.store(0, std::memory_order_release);
+        wserving_.fetch_add(1, std::memory_order_acq_rel);
+    }
+
+    /** Active readers (diagnostics). */
+    std::int64_t
+    activeReaders() const
+    {
+        return readers_.load(std::memory_order_acquire);
+    }
+
+  private:
+    alignas(64) std::atomic<std::int64_t> readers_{0};
+    alignas(64) std::atomic<std::uint32_t> writer_{0};
+    alignas(64) std::atomic<std::uint64_t> wticket_{0};
+    alignas(64) std::atomic<std::uint64_t> wserving_{0};
+};
+
+} // namespace ultra::rt
+
+#endif // ULTRA_RT_READERS_WRITERS_H

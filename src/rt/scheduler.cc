@@ -1,0 +1,57 @@
+#include "scheduler.h"
+
+namespace ultra::rt
+{
+
+Scheduler::Scheduler(unsigned workers, std::size_t queue_capacity)
+    : queue_(queue_capacity)
+{
+    ULTRA_ASSERT(workers > 0);
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+Scheduler::~Scheduler()
+{
+    wait();
+    stopping_.store(true, std::memory_order_release);
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+Scheduler::submit(TaskFn task)
+{
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    auto *boxed = new TaskFn(std::move(task));
+    while (!queue_.tryInsert(boxed))
+        std::this_thread::yield();
+}
+
+void
+Scheduler::wait()
+{
+    while (outstanding_.load(std::memory_order_acquire) != 0)
+        std::this_thread::yield();
+}
+
+void
+Scheduler::workerLoop()
+{
+    while (true) {
+        TaskFn *boxed = nullptr;
+        if (queue_.tryDelete(&boxed)) {
+            (*boxed)();
+            delete boxed;
+            executed_.fetch_add(1, std::memory_order_acq_rel);
+            outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+            continue;
+        }
+        if (stopping_.load(std::memory_order_acquire))
+            return;
+        std::this_thread::yield();
+    }
+}
+
+} // namespace ultra::rt

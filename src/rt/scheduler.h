@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A totally decentralized task scheduler (section 2.3).
+ *
+ * "A highly concurrent queue management technique ... can be used to
+ * implement a totally decentralized operating system scheduler": worker
+ * threads share one critical-section-free ParallelQueue of ready tasks;
+ * there is no dispatcher thread and no scheduler lock.  Tasks may
+ * submit further tasks; wait() returns when the system is quiescent.
+ */
+
+#ifndef ULTRA_RT_SCHEDULER_H
+#define ULTRA_RT_SCHEDULER_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "rt/parallel_queue.h"
+
+namespace ultra::rt
+{
+
+/** Decentralized work-queue scheduler. */
+class Scheduler
+{
+  public:
+    using TaskFn = std::function<void()>;
+
+    /**
+     * @param workers        Worker threads to spawn.
+     * @param queue_capacity Ready-queue slots; submit() blocks (spins)
+     *                       while the queue is full.
+     */
+    explicit Scheduler(unsigned workers,
+                       std::size_t queue_capacity = 4096);
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** Enqueue a task; callable from any thread, including tasks. */
+    void submit(TaskFn task);
+
+    /** Block until every submitted task (transitively) completed. */
+    void wait();
+
+    /** Tasks executed so far. */
+    std::uint64_t executed() const
+    {
+        return executed_.load(std::memory_order_acquire);
+    }
+
+  private:
+    void workerLoop();
+
+    ParallelQueue<TaskFn *> queue_;
+    std::atomic<std::uint64_t> outstanding_{0};
+    std::atomic<std::uint64_t> executed_{0};
+    std::atomic<bool> stopping_{false};
+    std::vector<std::thread> workers_;
+};
+
+} // namespace ultra::rt
+
+#endif // ULTRA_RT_SCHEDULER_H

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the PE-local write-back cache with release and flush
+ * (sections 3.2 and 3.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cache/cache.h"
+
+namespace ultra::cache
+{
+namespace
+{
+
+CacheConfig
+tinyConfig()
+{
+    CacheConfig cfg;
+    cfg.numSets = 2;
+    cfg.associativity = 2;
+    cfg.blockWords = 4;
+    return cfg;
+}
+
+std::vector<Word>
+block(Word base_value)
+{
+    return {base_value, base_value + 1, base_value + 2, base_value + 3};
+}
+
+TEST(CacheTest, MissThenHit)
+{
+    Cache cache(tinyConfig());
+    auto miss = cache.read(0);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_TRUE(miss.writeBacks.empty());
+    cache.installBlock(0, block(100).data());
+    auto hit = cache.read(2);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.value, 102);
+    EXPECT_EQ(cache.stats().readMisses, 1u);
+    EXPECT_EQ(cache.stats().readHits, 1u);
+}
+
+TEST(CacheTest, WriteBackOnlyOnEviction)
+{
+    // Write-back policy: writes are not written through; dirty words
+    // surface only when the block is evicted.
+    Cache cache(tinyConfig());
+    cache.installBlock(0, block(0).data());
+    EXPECT_TRUE(cache.write(1, 42).hit);
+    EXPECT_EQ(cache.stats().wordsWrittenBack, 0u);
+
+    // Fill the set (set 0 holds blocks at 0, 32, 64 ... for this
+    // geometry: setOf = (addr/4) & 1).
+    cache.installBlock(8, block(200).data());
+    // Next miss in set 0 evicts the LRU block (base 0, dirty word 1).
+    auto miss = cache.read(16);
+    EXPECT_FALSE(miss.hit);
+    ASSERT_EQ(miss.writeBacks.size(), 1u);
+    EXPECT_EQ(miss.writeBacks[0].vaddr, 1u);
+    EXPECT_EQ(miss.writeBacks[0].value, 42);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(CacheTest, LruVictimSelection)
+{
+    Cache cache(tinyConfig());
+    cache.installBlock(0, block(0).data());
+    cache.installBlock(8, block(8).data());
+    // Touch block 0 so block 8 is LRU.
+    EXPECT_TRUE(cache.read(0).hit);
+    cache.read(16); // miss; victim should be block 8
+    cache.installBlock(16, block(16).data());
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(8));
+    EXPECT_TRUE(cache.contains(16));
+}
+
+TEST(CacheTest, ReleaseDropsWithoutWriteBack)
+{
+    // Release marks entries available without a central-memory update:
+    // write-back traffic for dead private variables is avoided.
+    Cache cache(tinyConfig());
+    cache.installBlock(0, block(0).data());
+    cache.write(0, 7);
+    cache.release(0, 3);
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_EQ(cache.stats().releasedDirtyWords, 1u);
+    EXPECT_EQ(cache.stats().wordsWrittenBack, 0u);
+}
+
+TEST(CacheTest, ReleaseRangeIsSelective)
+{
+    Cache cache(tinyConfig());
+    cache.installBlock(0, block(0).data());
+    cache.installBlock(8, block(8).data());
+    cache.release(8, 11);
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(8));
+}
+
+TEST(CacheTest, FlushWritesDirtyAndKeepsClean)
+{
+    // Flush forces the write-back (for task switches) but the data
+    // stays cached and clean.
+    Cache cache(tinyConfig());
+    cache.installBlock(0, block(0).data());
+    cache.write(2, 99);
+    auto flushed = cache.flush(0, 3);
+    ASSERT_EQ(flushed.size(), 1u);
+    EXPECT_EQ(flushed[0].vaddr, 2u);
+    EXPECT_EQ(flushed[0].value, 99);
+    EXPECT_TRUE(cache.contains(2));
+    // A second flush finds nothing dirty.
+    EXPECT_TRUE(cache.flush(0, 3).empty());
+    // And eviction after flush writes nothing back.
+    cache.installBlock(8, block(0).data());
+    auto miss = cache.read(16);
+    EXPECT_TRUE(miss.writeBacks.empty());
+}
+
+TEST(CacheTest, FlushAllCoversEverything)
+{
+    Cache cache(tinyConfig());
+    cache.installBlock(0, block(0).data());
+    cache.installBlock(4, block(4).data());
+    cache.write(0, 1);
+    cache.write(4, 2);
+    auto flushed = cache.flushAll();
+    EXPECT_EQ(flushed.size(), 2u);
+}
+
+TEST(CacheTest, WriteMissIsWriteAllocate)
+{
+    Cache cache(tinyConfig());
+    auto miss = cache.write(0, 5);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_EQ(cache.stats().writeMisses, 1u);
+    cache.installBlock(0, block(0).data());
+    EXPECT_TRUE(cache.write(0, 5).hit);
+}
+
+TEST(CacheTest, HitRate)
+{
+    Cache cache(tinyConfig());
+    cache.installBlock(0, block(0).data());
+    for (int i = 0; i < 19; ++i)
+        cache.read(i % 4);
+    cache.read(100); // one miss
+    EXPECT_NEAR(cache.stats().hitRate(), 19.0 / 20.0, 1e-9);
+}
+
+TEST(CacheTest, SharePrivatizeProtocol)
+{
+    // Section 3.4: task T treats V as private (cached), then flushes,
+    // releases, and marks it shared before spawning subtasks; after
+    // they complete T may cache it again.  The cache-side mechanics:
+    Cache cache(tinyConfig());
+    cache.installBlock(0, block(10).data());
+    cache.write(1, 77); // T updates V privately
+
+    // Before spawning: flush (main memory current) + release (no stale
+    // reuse).
+    auto flushed = cache.flush(0, 3);
+    ASSERT_EQ(flushed.size(), 1u);
+    EXPECT_EQ(flushed[0].value, 77);
+    cache.release(0, 3);
+    EXPECT_FALSE(cache.contains(1));
+    EXPECT_EQ(cache.stats().wordsWrittenBack, 0u); // flush, not evict
+
+    // After subtasks finish, T re-caches the (possibly updated) block.
+    cache.installBlock(0, block(20).data());
+    EXPECT_EQ(cache.read(1).value, 21);
+}
+
+} // namespace
+} // namespace ultra::cache

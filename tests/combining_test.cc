@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Exhaustive tests of the pairwise combining rules (sections 3.1.2,
+ * 3.1.3): every combinable op pair must effect *some* serialization of
+ * the two requests -- correct values returned to both requesters and
+ * the correct final memory value, as checked against both serial
+ * orders.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "mem/fetch_phi.h"
+#include "net/combining.h"
+#include "net/message.h"
+#include "net/wait_buffer.h"
+
+namespace ultra::net
+{
+namespace
+{
+
+using mem::applyPhi;
+using mem::decombineReply;
+
+Message
+makeReq(Op op, Word data, PEId origin, std::uint64_t id)
+{
+    Message msg;
+    msg.id = id;
+    msg.op = op;
+    msg.paddr = 42;
+    msg.data = data;
+    msg.origin = origin;
+    msg.packets = mem::opCarriesData(op) ? 3 : 1;
+    return msg;
+}
+
+/** Result of the combined execution, reconstructed from the plan. */
+struct Outcome
+{
+    Word oldReply;  //!< value delivered for R-old
+    Word newReply;  //!< value delivered for R-new
+    Word memory;    //!< final memory value
+};
+
+/**
+ * Execute the combined request against initial value @p x and rebuild
+ * both replies the way the switch and wait buffer would.
+ */
+Outcome
+executeCombined(const Message &r_old, const CombinePlan &plan, Word x)
+{
+    Outcome out;
+    // Memory executes the (rewritten) combined request.
+    const Word y = x;
+    out.memory = applyPhi(plan.newOldOp, x, plan.newOldData);
+    // The returning reply (for R-old) and the spawned reply (R-new).
+    const WaitEntry &e = plan.entry;
+    out.newReply = e.rule == ReplyRule::Decombine
+                       ? decombineReply(e.decombineOp, y, e.datum)
+                       : e.datum;
+    // The reply to R-old's originator: possibly rewritten in flight;
+    // a store's reply is an acknowledgement whose value is ignored by
+    // the PNI, so normalize it to 0 as expectedReply() does.
+    const Word raw = e.rewriteReturning ? e.rewriteDatum : y;
+    out.oldReply = r_old.op == Op::Store ? 0 : raw;
+    return out;
+}
+
+/** What a request should receive when executed against value v. */
+Word
+expectedReply(Op op, Word v)
+{
+    return op == Op::Store ? 0 : v;
+}
+
+/**
+ * Check the outcome is consistent with one of the two serial orders of
+ * (op_a, ea) and (op_b, eb) starting from x.
+ */
+bool
+consistentWithSomeOrder(Op op_a, Word ea, Op op_b, Word eb, Word x,
+                        const Outcome &out)
+{
+    // Order 1: a then b.
+    {
+        const Word ya = x;
+        const Word m1 = applyPhi(op_a, x, ea);
+        const Word yb = m1;
+        const Word m2 = applyPhi(op_b, m1, eb);
+        if (out.oldReply == expectedReply(op_a, ya) &&
+            out.newReply == expectedReply(op_b, yb) &&
+            out.memory == m2) {
+            return true;
+        }
+    }
+    // Order 2: b then a.
+    {
+        const Word yb = x;
+        const Word m1 = applyPhi(op_b, x, eb);
+        const Word ya = m1;
+        const Word m2 = applyPhi(op_a, m1, ea);
+        if (out.oldReply == expectedReply(op_a, ya) &&
+            out.newReply == expectedReply(op_b, yb) &&
+            out.memory == m2) {
+            return true;
+        }
+    }
+    return false;
+}
+
+struct PairParam
+{
+    Op opOld;
+    Op opNew;
+};
+
+class CombinePairTest : public ::testing::TestWithParam<PairParam>
+{};
+
+TEST_P(CombinePairTest, SerializationPrinciple)
+{
+    const auto [op_old, op_new] = GetParam();
+    for (Word x : {0, 5, -3, 100}) {
+        for (Word ea : {1, -2, 7}) {
+            for (Word eb : {1, 3, -4}) {
+                Message r_old = makeReq(op_old, ea, 1, 10);
+                Message r_new = makeReq(op_new, eb, 2, 11);
+                const auto plan = planCombine(
+                    r_old, r_new, CombinePolicy::Full, 3);
+                ASSERT_TRUE(plan.has_value())
+                    << mem::opName(op_old) << "+"
+                    << mem::opName(op_new);
+                const Outcome out = executeCombined(r_old, *plan, x);
+                EXPECT_TRUE(consistentWithSomeOrder(op_old, ea, op_new,
+                                                    eb, x, out))
+                    << mem::opName(op_old) << "(" << ea << ") + "
+                    << mem::opName(op_new) << "(" << eb << ") @ " << x
+                    << " -> old=" << out.oldReply
+                    << " new=" << out.newReply << " mem=" << out.memory;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, CombinePairTest,
+    ::testing::Values(
+        // Homogeneous (section 3.1.2 / 3.3).
+        PairParam{Op::Load, Op::Load}, PairParam{Op::Store, Op::Store},
+        PairParam{Op::FetchAdd, Op::FetchAdd},
+        PairParam{Op::Swap, Op::Swap},
+        PairParam{Op::TestAndSet, Op::TestAndSet},
+        PairParam{Op::FetchAnd, Op::FetchAnd},
+        PairParam{Op::FetchOr, Op::FetchOr},
+        PairParam{Op::FetchMax, Op::FetchMax},
+        PairParam{Op::FetchMin, Op::FetchMin},
+        // Heterogeneous (section 3.1.3).
+        PairParam{Op::FetchAdd, Op::Load},
+        PairParam{Op::Load, Op::FetchAdd},
+        PairParam{Op::FetchAdd, Op::Store},
+        PairParam{Op::Store, Op::FetchAdd},
+        PairParam{Op::Load, Op::Store},
+        PairParam{Op::Store, Op::Load}),
+    [](const auto &info) {
+        return std::string(mem::opName(info.param.opOld)) + "_" +
+               mem::opName(info.param.opNew);
+    });
+
+TEST(CombinePolicyTest, NonePolicyNeverCombines)
+{
+    Message a = makeReq(Op::FetchAdd, 1, 0, 1);
+    Message b = makeReq(Op::FetchAdd, 2, 1, 2);
+    EXPECT_FALSE(planCombine(a, b, CombinePolicy::None, 3).has_value());
+}
+
+TEST(CombinePolicyTest, HomogeneousPolicyRejectsMixedPairs)
+{
+    Message a = makeReq(Op::FetchAdd, 1, 0, 1);
+    Message b = makeReq(Op::Load, 0, 1, 2);
+    EXPECT_FALSE(
+        planCombine(a, b, CombinePolicy::Homogeneous, 3).has_value());
+    Message c = makeReq(Op::FetchAdd, 2, 2, 3);
+    EXPECT_TRUE(
+        planCombine(a, c, CombinePolicy::Homogeneous, 3).has_value());
+}
+
+TEST(CombinePolicyTest, LoadUpgradeGrowsMessage)
+{
+    // Load(X) + FetchAdd(X, f) upgrades the queued 1-packet load to a
+    // 3-packet data-carrying request under ByContent sizing.
+    Message a = makeReq(Op::Load, 0, 0, 1);
+    Message b = makeReq(Op::FetchAdd, 5, 1, 2);
+    const auto plan = planCombine(a, b, CombinePolicy::Full, 3);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->newOldOp, Op::FetchAdd);
+    EXPECT_EQ(plan->growOldBy, 2u);
+    // Under Uniform sizing no growth is needed.
+    const auto uniform = planCombine(a, b, CombinePolicy::Full, 0);
+    ASSERT_TRUE(uniform.has_value());
+    EXPECT_EQ(uniform->growOldBy, 0u);
+}
+
+TEST(CombinePolicyTest, WaitEntryIdentityFields)
+{
+    Message a = makeReq(Op::FetchAdd, 1, 3, 10);
+    Message b = makeReq(Op::FetchAdd, 2, 9, 11);
+    b.tag = 777;
+    b.injectedAt = 123;
+    const auto plan = planCombine(a, b, CombinePolicy::Full, 3);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->entry.satisfiedId, 11u);
+    EXPECT_EQ(plan->entry.satisfiedOrigin, 9u);
+    EXPECT_EQ(plan->entry.satisfiedTag, 777u);
+    EXPECT_EQ(plan->entry.satisfiedInjectedAt, 123u);
+    EXPECT_EQ(plan->entry.satisfiedOp, Op::FetchAdd);
+}
+
+TEST(WaitBufferTest, TakeMatchesInInsertionOrder)
+{
+    WaitBuffer wb;
+    WaitEntry e1;
+    e1.waitKey = 5;
+    e1.datum = 1;
+    WaitEntry e2;
+    e2.waitKey = 5;
+    e2.datum = 2;
+    WaitEntry other;
+    other.waitKey = 9;
+    wb.insert(e1);
+    wb.insert(other);
+    wb.insert(e2);
+    std::vector<WaitEntry> out;
+    EXPECT_EQ(wb.takeMatches(5, out), 2u);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].datum, 1);
+    EXPECT_EQ(out[1].datum, 2);
+    EXPECT_EQ(wb.size(), 1u);
+    out.clear();
+    EXPECT_EQ(wb.takeMatches(5, out), 0u);
+}
+
+TEST(WaitBufferTest, CapacityLimit)
+{
+    WaitBuffer wb(2);
+    EXPECT_FALSE(wb.full());
+    wb.insert(WaitEntry{});
+    wb.insert(WaitEntry{});
+    EXPECT_TRUE(wb.full());
+}
+
+} // namespace
+} // namespace ultra::net

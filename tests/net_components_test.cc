@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Unit tests for the network's building blocks: OutQueue reservation
+ * and occupancy accounting, message growth, the MessagePool's id
+ * discipline, and packet sizing rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "net/message.h"
+#include "net/network.h"
+#include "net/out_queue.h"
+
+namespace ultra::net
+{
+namespace
+{
+
+Message *
+makeMsg(MessagePool &pool, std::uint32_t packets)
+{
+    Message *msg = pool.alloc();
+    msg->packets = packets;
+    return msg;
+}
+
+TEST(OutQueueTest, ReserveEnqueueDequeueAccounting)
+{
+    MessagePool pool;
+    OutQueue queue(10);
+    EXPECT_TRUE(queue.canAccept(10));
+    EXPECT_FALSE(queue.canAccept(11));
+
+    queue.reserve(3);
+    EXPECT_EQ(queue.reservedPackets(), 3u);
+    EXPECT_TRUE(queue.canAccept(7));
+    EXPECT_FALSE(queue.canAccept(8));
+
+    Message *msg = makeMsg(pool, 3);
+    queue.enqueue(msg);
+    EXPECT_EQ(queue.reservedPackets(), 0u);
+    EXPECT_EQ(queue.usedPackets(), 3u);
+    EXPECT_EQ(queue.sizeMessages(), 1u);
+
+    Message *out = queue.dequeue();
+    EXPECT_EQ(out, msg);
+    EXPECT_EQ(queue.usedPackets(), 0u);
+    EXPECT_TRUE(queue.empty());
+    pool.free(msg);
+}
+
+TEST(OutQueueTest, CancelReservation)
+{
+    OutQueue queue(6);
+    queue.reserve(3);
+    queue.cancelReservation(3);
+    EXPECT_EQ(queue.reservedPackets(), 0u);
+    EXPECT_TRUE(queue.canAccept(6));
+}
+
+TEST(OutQueueTest, UnboundedAcceptsEverything)
+{
+    MessagePool pool;
+    OutQueue queue(0);
+    EXPECT_TRUE(queue.unbounded());
+    for (int i = 0; i < 100; ++i) {
+        queue.reserve(3);
+        queue.enqueue(makeMsg(pool, 3));
+    }
+    EXPECT_EQ(queue.usedPackets(), 300u);
+}
+
+TEST(OutQueueTest, GrowRespectsCapacity)
+{
+    MessagePool pool;
+    OutQueue queue(8);
+    queue.reserve(3);
+    Message *msg = makeMsg(pool, 3);
+    queue.enqueue(msg);
+    EXPECT_TRUE(queue.grow(msg, 2));
+    EXPECT_EQ(msg->packets, 5u);
+    EXPECT_EQ(queue.usedPackets(), 5u);
+    EXPECT_FALSE(queue.grow(msg, 4)) << "5 + 4 > 8 must fail";
+    EXPECT_EQ(msg->packets, 5u);
+    EXPECT_TRUE(queue.grow(msg, 0));
+    pool.free(queue.dequeue());
+}
+
+TEST(OutQueueTest, FifoOrderAndSearchAccess)
+{
+    MessagePool pool;
+    OutQueue queue(0);
+    std::vector<Message *> msgs;
+    for (int i = 0; i < 5; ++i) {
+        Message *msg = makeMsg(pool, 1);
+        msg->paddr = static_cast<Addr>(i);
+        queue.reserve(1);
+        queue.enqueue(msg);
+        msgs.push_back(msg);
+    }
+    // Middle entries remain searchable ("entries within the middle of
+    // the queue may also be accessed").
+    EXPECT_EQ(queue.entries()[2]->paddr, 2u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(queue.dequeue(), msgs[i]);
+}
+
+TEST(OutQueueTest, DequeueResetsCombineMarker)
+{
+    MessagePool pool;
+    OutQueue queue(0);
+    Message *msg = makeMsg(pool, 1);
+    msg->combinedAtThisQueue = 3;
+    queue.reserve(1);
+    queue.enqueue(msg);
+    queue.dequeue();
+    EXPECT_EQ(msg->combinedAtThisQueue, 0u)
+        << "a message may combine again at later switches";
+    pool.free(msg);
+}
+
+TEST(OutQueueTest, ClaimsAreServedInAgeOrder)
+{
+    MessagePool pool;
+    OutQueue queue(6);
+    // Fill the queue completely.
+    queue.reserve(6);
+    Message *big = makeMsg(pool, 6);
+    queue.enqueue(big);
+
+    // A 3-packet claim arrives first, then 1-packet newcomers try.
+    const auto claim = queue.openClaim(3);
+    EXPECT_FALSE(queue.claimReady(claim));
+    EXPECT_FALSE(queue.tryReserve(1))
+        << "newcomers must not overtake a waiting claim";
+
+    // Drain: freed space is granted to the claim, not to tryReserve.
+    queue.dequeue();
+    EXPECT_TRUE(queue.claimReady(claim));
+    EXPECT_FALSE(queue.tryReserve(1))
+        << "granted claim space is not up for grabs";
+    queue.consumeClaim(claim);
+    // Claim space became a reservation; 3 packets remain free.
+    EXPECT_TRUE(queue.tryReserve(3));
+    EXPECT_FALSE(queue.tryReserve(1));
+    pool.free(big);
+}
+
+TEST(OutQueueTest, PartialGrantsAccumulate)
+{
+    MessagePool pool;
+    OutQueue queue(4);
+    queue.reserve(4);
+    Message *a = makeMsg(pool, 1);
+    Message *b = makeMsg(pool, 3);
+    // Occupy 4 packets as 1 + 3.
+    queue.enqueue(a);
+    queue.enqueue(b);
+    const auto claim = queue.openClaim(3);
+    queue.dequeue(); // frees 1: partial grant
+    EXPECT_FALSE(queue.claimReady(claim));
+    EXPECT_FALSE(queue.tryReserve(1)) << "partial grant held";
+    queue.dequeue(); // frees 3 more: claim complete
+    EXPECT_TRUE(queue.claimReady(claim));
+    queue.consumeClaim(claim);
+    pool.free(a);
+    pool.free(b);
+}
+
+TEST(OutQueueTest, CancelClaimReleasesGrants)
+{
+    OutQueue queue(4);
+    queue.reserve(4);
+    const auto claim = queue.openClaim(2);
+    queue.cancelReservation(4); // space frees; pump grants it
+    EXPECT_TRUE(queue.claimReady(claim));
+    queue.cancelClaim(claim);
+    EXPECT_TRUE(queue.tryReserve(4)) << "cancelled grant returned";
+}
+
+TEST(OutQueueTest, SecondClaimWaitsForFirst)
+{
+    OutQueue queue(4);
+    queue.reserve(4);
+    const auto first = queue.openClaim(2);
+    const auto second = queue.openClaim(2);
+    queue.cancelReservation(4);
+    EXPECT_TRUE(queue.claimReady(first));
+    EXPECT_FALSE(queue.claimReady(second))
+        << "strict FIFO: second claim waits for the first to consume";
+    queue.consumeClaim(first);
+    queue.cancelReservation(2); // pretend the first message passed
+    EXPECT_TRUE(queue.claimReady(second));
+    queue.consumeClaim(second);
+}
+
+TEST(MessagePoolTest, IdsAreUniqueAcrossRecycling)
+{
+    // Wait-buffer keys are message ids; recycling an id could misroute
+    // a reply, so ids must never repeat even when slots do.
+    MessagePool pool;
+    std::set<std::uint64_t> ids;
+    std::vector<Message *> live;
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 40; ++i) {
+            Message *msg = pool.alloc();
+            ASSERT_TRUE(ids.insert(msg->id).second)
+                << "id " << msg->id << " reused";
+            live.push_back(msg);
+        }
+        for (Message *msg : live)
+            pool.free(msg);
+        live.clear();
+    }
+    EXPECT_EQ(pool.liveCount(), 0u);
+}
+
+TEST(MessagePoolTest, AllocResetsFields)
+{
+    MessagePool pool;
+    Message *a = pool.alloc();
+    a->paddr = 99;
+    a->timesCombined = 7;
+    a->isReply = true;
+    pool.free(a);
+    Message *b = pool.alloc(); // likely the same slot
+    EXPECT_EQ(b->paddr, kBadAddr);
+    EXPECT_EQ(b->timesCombined, 0u);
+    EXPECT_FALSE(b->isReply);
+    pool.free(b);
+}
+
+TEST(PacketSizingTest, ByContentFollowsDataDirection)
+{
+    NetSimConfig cfg;
+    cfg.sizing = PacketSizing::ByContent;
+    cfg.dataPackets = 3;
+    // Requests: loads carry no data, stores and F&As do.
+    EXPECT_EQ(cfg.packetsFor(Op::Load, false), 1u);
+    EXPECT_EQ(cfg.packetsFor(Op::Store, false), 3u);
+    EXPECT_EQ(cfg.packetsFor(Op::FetchAdd, false), 3u);
+    EXPECT_EQ(cfg.packetsFor(Op::TestAndSet, false), 1u);
+    // Replies: loads and F&As return data, store acks do not.
+    EXPECT_EQ(cfg.packetsFor(Op::Load, true), 3u);
+    EXPECT_EQ(cfg.packetsFor(Op::Store, true), 1u);
+    EXPECT_EQ(cfg.packetsFor(Op::FetchAdd, true), 3u);
+}
+
+TEST(PacketSizingTest, UniformIgnoresContent)
+{
+    NetSimConfig cfg;
+    cfg.sizing = PacketSizing::Uniform;
+    cfg.m = 4;
+    for (Op op : {Op::Load, Op::Store, Op::FetchAdd}) {
+        EXPECT_EQ(cfg.packetsFor(op, false), 4u);
+        EXPECT_EQ(cfg.packetsFor(op, true), 4u);
+    }
+}
+
+} // namespace
+} // namespace ultra::net

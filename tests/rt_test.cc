@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Host-threaded tests of the ultra::rt runtime: fetch-and-phi on real
+ * atomics, the critical-section-free parallel queue, the sense-
+ * reversing barrier, the readers-writers protocol, and the
+ * decentralized scheduler (sections 2.2-2.4, appendix).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "rt/barrier.h"
+#include "rt/parallel_for.h"
+#include "rt/fetch_and_add.h"
+#include "rt/parallel_queue.h"
+#include "rt/readers_writers.h"
+#include "rt/scheduler.h"
+
+namespace ultra::rt
+{
+namespace
+{
+
+unsigned
+threadsFor(unsigned want)
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::max(2u, std::min(want, hw ? hw * 2 : 2));
+}
+
+TEST(FetchPhiTest, FetchAddReturnsOldValue)
+{
+    std::atomic<long> v{10};
+    EXPECT_EQ(fetchAdd(v, 5L), 10);
+    EXPECT_EQ(v.load(), 15);
+}
+
+TEST(FetchPhiTest, SwapAndTestAndSet)
+{
+    std::atomic<int> v{3};
+    EXPECT_EQ(swap(v, 9), 3);
+    EXPECT_EQ(v.load(), 9);
+    std::atomic<bool> flag{false};
+    EXPECT_FALSE(testAndSet(flag));
+    EXPECT_TRUE(testAndSet(flag));
+}
+
+TEST(FetchPhiTest, GenericPhiMax)
+{
+    std::atomic<int> v{4};
+    const int old_value =
+        fetchPhi(v, 9, [](int a, int b) { return a > b ? a : b; });
+    EXPECT_EQ(old_value, 4);
+    EXPECT_EQ(v.load(), 9);
+}
+
+TEST(FetchPhiTest, ConcurrentFetchAddIsExact)
+{
+    std::atomic<long> v{0};
+    const unsigned nthreads = threadsFor(4);
+    const long per = 10000;
+    std::vector<std::thread> threads;
+    std::atomic<long> sum_of_olds{0};
+    for (unsigned t = 0; t < nthreads; ++t) {
+        threads.emplace_back([&] {
+            for (long i = 0; i < per; ++i)
+                sum_of_olds.fetch_add(fetchAdd(v, 1L) % 2 == 0 ? 0 : 0);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(v.load(), static_cast<long>(nthreads) * per);
+}
+
+TEST(ParallelQueueTest, SerialFifo)
+{
+    ParallelQueue<int> q(8);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(q.tryInsert(i));
+    int v;
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(q.tryDelete(&v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(q.tryDelete(&v));
+}
+
+TEST(ParallelQueueTest, OverflowAndUnderflow)
+{
+    ParallelQueue<int> q(2);
+    EXPECT_TRUE(q.tryInsert(1));
+    EXPECT_TRUE(q.tryInsert(2));
+    EXPECT_FALSE(q.tryInsert(3)) << "QueueOverflow expected";
+    int v;
+    EXPECT_TRUE(q.tryDelete(&v));
+    EXPECT_TRUE(q.tryDelete(&v));
+    EXPECT_FALSE(q.tryDelete(&v)) << "QueueUnderflow expected";
+}
+
+TEST(ParallelQueueTest, WrapAroundFifo)
+{
+    ParallelQueue<int> q(4);
+    int v;
+    for (int round = 0; round < 10; ++round) {
+        EXPECT_TRUE(q.tryInsert(round * 2));
+        EXPECT_TRUE(q.tryInsert(round * 2 + 1));
+        ASSERT_TRUE(q.tryDelete(&v));
+        EXPECT_EQ(v, round * 2);
+        ASSERT_TRUE(q.tryDelete(&v));
+        EXPECT_EQ(v, round * 2 + 1);
+    }
+}
+
+TEST(ParallelQueueTest, OccupancyBounds)
+{
+    ParallelQueue<int> q(8);
+    q.tryInsert(1);
+    q.tryInsert(2);
+    EXPECT_EQ(q.occupancyLowerBound(), 2);
+    EXPECT_EQ(q.occupancyUpperBound(), 2);
+    int v;
+    q.tryDelete(&v);
+    EXPECT_EQ(q.occupancyLowerBound(), 1);
+}
+
+TEST(ParallelQueueTest, ConcurrentConservation)
+{
+    // Producers and consumers hammer the queue; every item is consumed
+    // exactly once and nothing is lost.
+    ParallelQueue<std::uint64_t> q(64);
+    const unsigned producers = threadsFor(4) / 2;
+    const unsigned consumers = producers;
+    const std::uint64_t per = 5000;
+    std::vector<std::thread> threads;
+    std::vector<std::vector<std::uint64_t>> got(consumers);
+    std::atomic<bool> done{false};
+
+    for (unsigned p = 0; p < producers; ++p) {
+        threads.emplace_back([&, p] {
+            for (std::uint64_t i = 0; i < per; ++i) {
+                const std::uint64_t item = p * per + i;
+                while (!q.tryInsert(item))
+                    std::this_thread::yield();
+            }
+        });
+    }
+    for (unsigned c = 0; c < consumers; ++c) {
+        threads.emplace_back([&, c] {
+            std::uint64_t item;
+            while (!done.load(std::memory_order_acquire) ||
+                   q.tryDelete(&item)) {
+                if (q.tryDelete(&item))
+                    got[c].push_back(item);
+                else
+                    std::this_thread::yield();
+            }
+        });
+    }
+    for (unsigned p = 0; p < producers; ++p)
+        threads[p].join();
+    done.store(true, std::memory_order_release);
+    for (unsigned c = 0; c < consumers; ++c)
+        threads[producers + c].join();
+
+    std::set<std::uint64_t> all;
+    std::size_t total = 0;
+    for (const auto &v : got) {
+        total += v.size();
+        all.insert(v.begin(), v.end());
+    }
+    EXPECT_EQ(total, producers * per);
+    EXPECT_EQ(all.size(), producers * per) << "duplicate consumption";
+}
+
+TEST(ParallelQueueTest, PerProducerOrderPreserved)
+{
+    // FIFO per producer: a consumer must see each producer's items in
+    // increasing order.
+    ParallelQueue<std::uint64_t> q(32);
+    const std::uint64_t per = 20000;
+    std::vector<std::uint64_t> seen;
+    seen.reserve(per);
+    std::thread producer([&] {
+        for (std::uint64_t i = 0; i < per; ++i)
+            while (!q.tryInsert(i))
+                std::this_thread::yield();
+    });
+    std::uint64_t item;
+    while (seen.size() < per) {
+        if (q.tryDelete(&item))
+            seen.push_back(item);
+    }
+    producer.join();
+    for (std::uint64_t i = 0; i < per; ++i)
+        ASSERT_EQ(seen[i], i);
+}
+
+TEST(BarrierTest, PhasesStaySynchronized)
+{
+    const unsigned nthreads = threadsFor(4);
+    Barrier barrier(nthreads);
+    std::atomic<int> arrivals{0};
+    std::atomic<bool> error{false};
+    const int phases = 50;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < nthreads; ++t) {
+        threads.emplace_back([&] {
+            for (int ph = 0; ph < phases; ++ph) {
+                arrivals.fetch_add(1);
+                barrier.arriveAndWait();
+                // Everyone must have arrived for this phase.
+                if (arrivals.load() <
+                    static_cast<int>(nthreads) * (ph + 1)) {
+                    error.store(true);
+                }
+                barrier.arriveAndWait();
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_FALSE(error.load());
+    EXPECT_EQ(arrivals.load(), static_cast<int>(nthreads) * phases);
+}
+
+TEST(ReadersWritersTest, WritersExcludeReaders)
+{
+    ReadersWriters lock;
+    std::atomic<long> a{0}, b{0};
+    std::atomic<bool> torn{false};
+    const unsigned readers = threadsFor(4) / 2;
+    const int rounds = 2000;
+    std::vector<std::thread> threads;
+    threads.emplace_back([&] { // writer
+        for (int r = 0; r < rounds; ++r) {
+            lock.writerLock();
+            a.store(r, std::memory_order_relaxed);
+            b.store(r, std::memory_order_relaxed);
+            lock.writerUnlock();
+        }
+    });
+    for (unsigned t = 0; t < readers; ++t) {
+        threads.emplace_back([&] {
+            for (int r = 0; r < rounds; ++r) {
+                lock.readerLock();
+                const long x = a.load(std::memory_order_relaxed);
+                const long y = b.load(std::memory_order_relaxed);
+                if (x != y)
+                    torn.store(true);
+                lock.readerUnlock();
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_FALSE(torn.load());
+    EXPECT_EQ(lock.activeReaders(), 0);
+}
+
+TEST(ReadersWritersTest, WritersAreMutuallyExclusive)
+{
+    ReadersWriters lock;
+    std::atomic<int> inside{0};
+    std::atomic<bool> overlap{false};
+    const int rounds = 1000;
+    std::vector<std::thread> threads;
+    for (int w = 0; w < 3; ++w) {
+        threads.emplace_back([&] {
+            for (int r = 0; r < rounds; ++r) {
+                lock.writerLock();
+                if (inside.fetch_add(1) != 0)
+                    overlap.store(true);
+                inside.fetch_sub(1);
+                lock.writerUnlock();
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_FALSE(overlap.load());
+}
+
+TEST(ParallelForTest, CoversSpaceExactlyOnce)
+{
+    const std::uint64_t total = 10000;
+    std::vector<std::atomic<int>> marks(total);
+    parallelFor(total, 64, threadsFor(4),
+                [&](std::uint64_t begin, std::uint64_t end) {
+                    for (std::uint64_t i = begin; i < end; ++i)
+                        marks[i].fetch_add(1);
+                });
+    for (std::uint64_t i = 0; i < total; ++i)
+        ASSERT_EQ(marks[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelForTest, SingleThreadAndOddChunks)
+{
+    std::atomic<std::uint64_t> sum{0};
+    parallelFor(103, 7, 1, [&](std::uint64_t begin, std::uint64_t end) {
+        sum.fetch_add(end - begin);
+    });
+    EXPECT_EQ(sum.load(), 103u);
+}
+
+TEST(SchedulerTest, RunsAllSubmittedTasks)
+{
+    Scheduler sched(threadsFor(4));
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 500; ++i)
+        sched.submit([&] { ran.fetch_add(1); });
+    sched.wait();
+    EXPECT_EQ(ran.load(), 500);
+    EXPECT_EQ(sched.executed(), 500u);
+}
+
+TEST(SchedulerTest, TasksCanSpawnTasks)
+{
+    // Decentralized scheduling: tasks submit subtasks, like the paper's
+    // task-spawning programs; wait() covers the transitive closure.
+    Scheduler sched(threadsFor(4));
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 20; ++i) {
+        sched.submit([&sched, &ran] {
+            ran.fetch_add(1);
+            for (int j = 0; j < 10; ++j)
+                sched.submit([&ran] { ran.fetch_add(1); });
+        });
+    }
+    sched.wait();
+    EXPECT_EQ(ran.load(), 20 + 200);
+}
+
+} // namespace
+} // namespace ultra::rt

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests of the parallel shortest-path application (the appendix's
+ * motivating workload): correctness against serial Dijkstra across
+ * graph shapes and PE counts, with and without the read-only graph
+ * cache, plus the refutation of the "constant upper bound on speedup"
+ * claim -- queue concurrency does scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/shortest_path.h"
+
+namespace ultra::apps
+{
+namespace
+{
+
+core::MachineConfig
+machineFor(std::uint32_t pes)
+{
+    core::MachineConfig cfg = core::MachineConfig::small(
+        std::max<std::uint32_t>(16, pes), 2);
+    cfg.net.combinePolicy = net::CombinePolicy::Full;
+    return cfg;
+}
+
+TEST(SsspSerialTest, GridDistancesAreManhattan)
+{
+    const Graph graph = gridGraph(5);
+    const auto dist = shortestPathsSerial(graph, 0);
+    for (std::size_t r = 0; r < 5; ++r)
+        for (std::size_t c = 0; c < 5; ++c)
+            EXPECT_EQ(dist[r * 5 + c], static_cast<Word>(r + c));
+}
+
+TEST(SsspSerialTest, RingGraphIsConnected)
+{
+    const Graph graph = randomGraph(32, 3, 7);
+    const auto dist = shortestPathsSerial(graph, 0);
+    for (std::size_t v = 0; v < graph.numVertices; ++v)
+        EXPECT_LT(dist[v], kUnreachable) << "vertex " << v;
+}
+
+struct SsspParam
+{
+    std::uint32_t pes;
+    bool useCache;
+};
+
+class SsspParallelTest : public ::testing::TestWithParam<SsspParam>
+{};
+
+TEST_P(SsspParallelTest, RandomGraphMatchesDijkstra)
+{
+    const auto [pes, use_cache] = GetParam();
+    const Graph graph = randomGraph(48, 4, 11);
+    const auto expect = shortestPathsSerial(graph, 3);
+
+    core::Machine machine(machineFor(pes));
+    const SsspResult result =
+        shortestPathsParallel(machine, pes, graph, 3, use_cache);
+    ASSERT_EQ(result.dist.size(), expect.size());
+    for (std::size_t v = 0; v < expect.size(); ++v)
+        EXPECT_EQ(result.dist[v], expect[v]) << "vertex " << v;
+    // Label correcting may relax more than V times, never less.
+    EXPECT_GE(result.relaxations, graph.numVertices / 2);
+}
+
+TEST_P(SsspParallelTest, GridGraphMatchesDijkstra)
+{
+    const auto [pes, use_cache] = GetParam();
+    const Graph graph = gridGraph(6);
+    const auto expect = shortestPathsSerial(graph, 0);
+    core::Machine machine(machineFor(pes));
+    const SsspResult result =
+        shortestPathsParallel(machine, pes, graph, 0, use_cache);
+    for (std::size_t v = 0; v < expect.size(); ++v)
+        EXPECT_EQ(result.dist[v], expect[v]) << "vertex " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SsspParallelTest,
+    ::testing::Values(SsspParam{1, false}, SsspParam{4, false},
+                      SsspParam{8, false}, SsspParam{4, true},
+                      SsspParam{16, true}),
+    [](const auto &info) {
+        return "P" + std::to_string(info.param.pes) +
+               (info.param.useCache ? "cached" : "plain");
+    });
+
+TEST(SsspTest, QueueConcurrencyScales)
+{
+    // The Deo-Pang-Lord refutation: with the critical-section-free
+    // queue, more PEs make the search faster, not constant-bounded.
+    const Graph graph = randomGraph(96, 4, 5);
+    core::Machine m1(machineFor(1));
+    core::Machine m8(machineFor(8));
+    const auto r1 = shortestPathsParallel(m1, 1, graph, 0, false);
+    const auto r8 = shortestPathsParallel(m8, 8, graph, 0, false);
+    EXPECT_EQ(r1.dist, r8.dist);
+    EXPECT_LT(r8.cycles, r1.cycles * 2 / 3)
+        << "8 PEs should be well faster than 1";
+}
+
+TEST(SsspTest, CacheCutsSharedTraffic)
+{
+    // The CSR arrays are read-only shared data: cached, they stop
+    // costing network traffic after the first touch.  (The graph must
+    // fit the 512-word PE cache for re-touches to hit: 32 vertices x 4
+    // edges is ~290 CSR words; a graph much larger than the cache
+    // makes block fetches a net loss, as the weather/TRED2 codes'
+    // block-copy style acknowledges.)
+    const Graph graph = randomGraph(24, 8, 13);
+    core::Machine plain(machineFor(4));
+    core::Machine cached(machineFor(4));
+    const auto r_plain =
+        shortestPathsParallel(plain, 4, graph, 0, false);
+    const auto r_cached =
+        shortestPathsParallel(cached, 4, graph, 0, true);
+    EXPECT_EQ(r_plain.dist, r_cached.dist);
+    // Graph re-reads become cache hits (total sharedRefs is a noisy
+    // comparator: the faster cached run spends more requests polling
+    // the idle work queue, so we assert the cache behaviour itself).
+    EXPECT_GT(r_cached.peTotals.privateRefs,
+              r_plain.peTotals.privateRefs);
+    for (PEId p = 0; p < 4; ++p) {
+        const auto &cstats = cached.peAt(p).cache().stats();
+        const std::uint64_t accesses =
+            cstats.readHits + cstats.readMisses;
+        ASSERT_GT(accesses, 0u);
+        EXPECT_GT(cstats.hitRate(), 0.5)
+            << "PE " << p << " graph reuse should mostly hit";
+    }
+}
+
+} // namespace
+} // namespace ultra::apps

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests of the decentralized TaskPool scheduler and the
+ * self-scheduling parallelFor (sections 2.2, 2.3) on the simulated
+ * machine: every submitted task runs exactly once, spawning works,
+ * quiescence terminates all workers, and dynamic chunking covers the
+ * iteration space with automatic load balance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/task_pool.h"
+
+namespace ultra
+{
+namespace
+{
+
+using core::Machine;
+using core::MachineConfig;
+using pe::Pe;
+using pe::Task;
+
+MachineConfig
+testConfig()
+{
+    return MachineConfig::small(16, 2);
+}
+
+TEST(TaskPoolTest, EveryTaskRunsExactlyOnce)
+{
+    Machine machine(testConfig());
+    auto pool = core::TaskPool::create(machine, 128);
+    const Addr marks = machine.allocShared(64);
+    const int tasks = 48;
+
+    core::PoolHandler handler = [&](Pe &pe, Word desc) -> Task {
+        co_await pe.compute(10);
+        const Word was = co_await pe.fetchAdd(marks + desc, 1);
+        (void)was;
+    };
+    for (PEId p = 0; p < 8; ++p) {
+        machine.launch(p, [&, pool, handler, p](Pe &pe) -> Task {
+            // Workers double as submitters: PE p seeds tasks
+            // p, p+8, p+16 ... (fully decentralized, no master).
+            for (Word desc = p; desc < tasks; desc += 8)
+                co_await core::poolSubmit(pe, pool, desc);
+            co_await core::poolWorker(pe, pool, handler);
+        });
+    }
+    ASSERT_TRUE(machine.run());
+    for (Word desc = 0; desc < tasks; ++desc)
+        EXPECT_EQ(machine.peek(marks + desc), 1) << "task " << desc;
+    EXPECT_EQ(machine.peek(pool.executed), tasks);
+    EXPECT_EQ(machine.peek(pool.pending), 0);
+}
+
+TEST(TaskPoolTest, TasksSpawnTasks)
+{
+    // A two-level spawn tree: descriptors encode remaining depth.
+    Machine machine(testConfig());
+    auto pool = core::TaskPool::create(machine, 256);
+    const Addr count = machine.allocShared(1);
+
+    core::PoolHandler handler = [&, pool](Pe &pe, Word depth) -> Task {
+        const Word was = co_await pe.fetchAdd(count, 1);
+        (void)was;
+        if (depth > 0) {
+            co_await core::poolSubmit(pe, pool, depth - 1);
+            co_await core::poolSubmit(pe, pool, depth - 1);
+        }
+    };
+    machine.launch(0, [&, pool, handler](Pe &pe) -> Task {
+        co_await core::poolSubmit(pe, pool, 3); // 1+2+4+8 = 15 tasks
+        co_await core::poolWorker(pe, pool, handler);
+    });
+    for (PEId p = 1; p < 6; ++p) {
+        machine.launch(p, [pool, handler](Pe &pe) -> Task {
+            co_await core::poolWorker(pe, pool, handler);
+        });
+    }
+    ASSERT_TRUE(machine.run());
+    EXPECT_EQ(machine.peek(count), 15);
+}
+
+TEST(TaskPoolTest, WorkersExitWhenPoolStartsEmpty)
+{
+    Machine machine(testConfig());
+    auto pool = core::TaskPool::create(machine, 16);
+    core::PoolHandler handler = [](Pe &pe, Word) -> Task {
+        co_await pe.compute(1);
+    };
+    for (PEId p = 0; p < 4; ++p) {
+        machine.launch(p, [pool, handler](Pe &pe) -> Task {
+            co_await core::poolWorker(pe, pool, handler);
+        });
+    }
+    ASSERT_TRUE(machine.run(100000)) << "empty pool must quiesce";
+}
+
+TEST(ParallelForTest, CoversIterationSpaceExactlyOnce)
+{
+    Machine machine(testConfig());
+    const Addr counter = machine.allocShared(1);
+    const Addr marks = machine.allocShared(256);
+    const Word total = 200;
+
+    for (PEId p = 0; p < 8; ++p) {
+        machine.launch(p, [&, counter](Pe &pe) -> Task {
+            co_await core::parallelFor(
+                pe, counter, total, 7,
+                [&](Pe &body_pe, Word begin, Word end) -> Task {
+                    for (Word i = begin; i < end; ++i) {
+                        const Word was =
+                            co_await body_pe.fetchAdd(marks + i, 1);
+                        (void)was;
+                    }
+                });
+        });
+    }
+    ASSERT_TRUE(machine.run());
+    for (Word i = 0; i < total; ++i)
+        EXPECT_EQ(machine.peek(marks + i), 1) << "index " << i;
+    EXPECT_GE(machine.peek(counter), static_cast<Word>(total));
+}
+
+TEST(ParallelForTest, UnevenWorkBalancesDynamically)
+{
+    // Iteration cost varies 30x; dynamic chunking keeps PEs busy:
+    // no PE should end up with a tiny share of the work.
+    Machine machine(testConfig());
+    const Addr counter = machine.allocShared(1);
+    const Word total = 64;
+
+    for (PEId p = 0; p < 4; ++p) {
+        machine.launch(p, [&, counter](Pe &pe) -> Task {
+            co_await core::parallelFor(
+                pe, counter, total, 1,
+                [](Pe &body_pe, Word begin, Word end) -> Task {
+                    for (Word i = begin; i < end; ++i)
+                        co_await body_pe.compute((i % 8) * 30 + 10);
+                });
+        });
+    }
+    ASSERT_TRUE(machine.run());
+    std::uint64_t min_busy = ~0ULL, max_busy = 0;
+    for (PEId p = 0; p < 4; ++p) {
+        const auto busy = machine.peAt(p).stats().busyCycles;
+        min_busy = std::min(min_busy, busy);
+        max_busy = std::max(max_busy, busy);
+    }
+    EXPECT_GT(min_busy * 3, max_busy)
+        << "self-scheduling should balance uneven iterations";
+}
+
+TEST(ParallelForTest, ChunkLargerThanSpace)
+{
+    Machine machine(testConfig());
+    const Addr counter = machine.allocShared(1);
+    const Addr sum = machine.allocShared(1);
+    machine.launch(0, [&](Pe &pe) -> Task {
+        co_await core::parallelFor(
+            pe, counter, 5, 100,
+            [&](Pe &body_pe, Word begin, Word end) -> Task {
+                const Word was = co_await body_pe.fetchAdd(
+                    sum, static_cast<Word>(end - begin));
+                (void)was;
+            });
+    });
+    ASSERT_TRUE(machine.run());
+    EXPECT_EQ(machine.peek(sum), 5);
+}
+
+} // namespace
+} // namespace ultra

@@ -1,0 +1,508 @@
+/**
+ * @file
+ * ultrasim -- command-line driver for network and workload
+ * experiments on the simulated Ultracomputer.
+ *
+ * Subcommands:
+ *
+ *   ultrasim net   [options]   synthetic-traffic network experiment
+ *   ultrasim app   [options]   run a scientific workload
+ *   ultrasim model [options]   evaluate the analytic transit-time model
+ *   ultrasim pack  [options]   section-3.6 packaging estimate
+ *   ultrasim trace [options]   record an app's traffic / replay a file
+ *
+ * `trace` options:
+ *   --record FILE --app NAME --pes P --n N    record a workload trace
+ *   --replay FILE [network options]           replay through a config
+ *
+ * Common network options:
+ *   --ports N      ports per side (default 256)
+ *   --k K          switch degree (default 2)
+ *   --m M          multiplexing factor / uniform message length
+ *   --d D          network copies (default 1)
+ *   --queue Q      queue capacity in packets, 0 = unbounded (default 15)
+ *   --policy P     none | homo | full (default full)
+ *   --burroughs    kill-on-conflict switches
+ *   --ideal        ideal paracomputer (single-cycle shared memory)
+ *   --uniform      uniform packet sizing (analytic-model assumption)
+ *
+ * `net` options:
+ *   --rate R       offered load, messages/PE/cycle (default 0.1)
+ *   --hot F        fraction of traffic to one hot F&A cell (default 0)
+ *   --cycles C     measured cycles (default 10000)
+ *   --closed W     closed loop with window W instead of open loop
+ *
+ * `app` options:
+ *   --app NAME     tred2 | weather | multigrid | montecarlo | sssp | accounts
+ *   --pes P        cooperating PEs (default 16)
+ *   --n N          problem size (matrix order / grid side / particles /
+ *                  vertices; default depends on app)
+ *   --contexts K   hardware multiprogramming fold (tred2 only)
+ *
+ * `model` options:
+ *   --ports --k --m --d as above; sweeps p and prints the curve
+ *   --best --rate R --budget T   cheapest config with T(R) <= budget
+ *
+ * Examples:
+ *   ultrasim net --ports 1024 --k 4 --m 4 --d 2 --uniform --rate 0.15
+ *   ultrasim net --hot 1 --policy none        # hot-spot, no combining
+ *   ultrasim app --app tred2 --pes 16 --n 32 --contexts 2
+ *   ultrasim model --ports 4096 --k 4 --m 4 --d 2
+ *   ultrasim pack --ports 4096
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "analytic/packaging.h"
+#include "analytic/queueing.h"
+#include "apps/accounts.h"
+#include "apps/montecarlo.h"
+#include "apps/multigrid.h"
+#include "apps/shortest_path.h"
+#include "apps/tred2.h"
+#include "apps/weather.h"
+#include "common/table.h"
+#include "core/machine.h"
+#include "mem/address_hash.h"
+#include "net/pni.h"
+#include "net/trace.h"
+#include "net/traffic.h"
+
+namespace
+{
+
+using namespace ultra;
+
+/** Minimal flag parser: --name value and boolean --name. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0) {
+                std::fprintf(stderr, "unexpected argument '%s'\n",
+                             argv[i]);
+                std::exit(2);
+            }
+            key = key.substr(2);
+            if (i + 1 < argc && argv[i + 1][0] != '-') {
+                values_[key] = argv[++i];
+            } else {
+                values_[key] = "";
+            }
+        }
+    }
+
+    bool has(const std::string &key) const { return values_.count(key); }
+
+    std::uint64_t
+    getInt(const std::string &key, std::uint64_t fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end()
+                   ? fallback
+                   : std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end()
+                   ? fallback
+                   : std::strtod(it->second.c_str(), nullptr);
+    }
+
+    std::string
+    getString(const std::string &key, const std::string &fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+net::NetSimConfig
+netConfigFrom(const Args &args)
+{
+    net::NetSimConfig cfg;
+    cfg.numPorts = static_cast<std::uint32_t>(args.getInt("ports", 256));
+    cfg.k = static_cast<unsigned>(args.getInt("k", 2));
+    cfg.m = static_cast<unsigned>(args.getInt("m", cfg.k));
+    cfg.d = static_cast<unsigned>(args.getInt("d", 1));
+    cfg.queueCapacityPackets =
+        static_cast<std::uint32_t>(args.getInt("queue", 15));
+    cfg.mmPendingCapacityPackets = cfg.queueCapacityPackets;
+    cfg.sizing = args.has("uniform") ? net::PacketSizing::Uniform
+                                     : net::PacketSizing::ByContent;
+    cfg.burroughsKill = args.has("burroughs");
+    cfg.idealParacomputer = args.has("ideal");
+    const std::string policy = args.getString("policy", "full");
+    cfg.combinePolicy = policy == "none" ? net::CombinePolicy::None
+                        : policy == "homo"
+                            ? net::CombinePolicy::Homogeneous
+                            : net::CombinePolicy::Full;
+    if (!cfg.valid()) {
+        std::fprintf(stderr, "invalid network configuration (ports "
+                             "must be a power of k, queues >= one "
+                             "message)\n");
+        std::exit(2);
+    }
+    return cfg;
+}
+
+int
+cmdNet(const Args &args)
+{
+    const net::NetSimConfig ncfg = netConfigFrom(args);
+    net::TrafficConfig tcfg;
+    tcfg.activePes = ncfg.numPorts;
+    tcfg.rate = args.getDouble("rate", 0.1);
+    tcfg.hotFraction = args.getDouble("hot", 0.0);
+    tcfg.hotAddr = 13;
+    tcfg.addrSpaceWords = std::uint64_t{ncfg.numPorts} << 8;
+    if (args.has("closed")) {
+        tcfg.closedLoop = true;
+        tcfg.window =
+            static_cast<unsigned>(args.getInt("closed", 1));
+    }
+
+    mem::MemoryConfig mcfg;
+    mcfg.numModules = ncfg.numPorts;
+    mcfg.wordsPerModule = 1 << 14;
+    mcfg.accessTime = ncfg.mmAccessTime;
+    mem::MemorySystem memory(mcfg);
+    net::Network network(ncfg, memory);
+    mem::AddressHash hash(log2Exact(memory.totalWords()), true);
+    net::PniConfig pcfg;
+    pcfg.maxOutstanding = tcfg.closedLoop ? 0 : 8;
+    net::PniArray pni(pcfg, network, hash);
+    net::TrafficGenerator traffic(tcfg, pni, network);
+
+    const Cycle cycles = args.getInt("cycles", 10000);
+    traffic.run(cycles / 5); // warm up
+    network.resetStats();
+    pni.resetStats();
+    traffic.run(cycles);
+
+    const auto &stats = network.stats();
+    std::printf("ports %u, k=%u m=%u d=%u, policy %s%s\n",
+                ncfg.numPorts, ncfg.k, ncfg.m, ncfg.d,
+                args.getString("policy", "full").c_str(),
+                ncfg.burroughsKill ? " (kill-on-conflict)" : "");
+    std::printf("injected:        %llu (%.3f/PE/cycle)\n",
+                static_cast<unsigned long long>(stats.injected),
+                static_cast<double>(stats.injected) / cycles /
+                    ncfg.numPorts);
+    std::printf("delivered:       %llu\n",
+                static_cast<unsigned long long>(stats.delivered));
+    std::printf("combined:        %llu (%.1f%% of injected)\n",
+                static_cast<unsigned long long>(stats.combined),
+                stats.injected ? 100.0 * stats.combined /
+                                     static_cast<double>(stats.injected)
+                               : 0.0);
+    std::printf("killed:          %llu\n",
+                static_cast<unsigned long long>(stats.killed));
+    std::printf("one-way transit: %.2f cycles (max %.0f)\n",
+                stats.oneWayTransit.mean(), stats.oneWayTransit.max());
+    std::printf("round trip:      %.2f cycles (p50 %llu, p95 %llu, "
+                "p99 %llu)\n",
+                stats.roundTrip.mean(),
+                static_cast<unsigned long long>(
+                    stats.roundTripHist.percentile(0.5)),
+                static_cast<unsigned long long>(
+                    stats.roundTripHist.percentile(0.95)),
+                static_cast<unsigned long long>(
+                    stats.roundTripHist.percentile(0.99)));
+    std::printf("access time:     %.2f cycles (incl. issue wait)\n",
+                pni.stats().accessTime.mean());
+    std::printf("MM queue wait:   %.2f cycles\n",
+                stats.mmQueueWait.mean());
+    return 0;
+}
+
+int
+cmdApp(const Args &args)
+{
+    const std::string app = args.getString("app", "tred2");
+    const auto pes =
+        static_cast<std::uint32_t>(args.getInt("pes", 16));
+    core::MachineConfig mcfg = core::MachineConfig::small(
+        std::max<std::uint32_t>(16, pes), 2);
+    mcfg.net.combinePolicy = net::CombinePolicy::Full;
+
+    Cycle cycles = 0;
+    pe::PeStats totals;
+    double access = 0.0;
+    core::Machine machine(mcfg);
+    if (app == "tred2") {
+        const std::size_t n = args.getInt("n", 32);
+        const auto contexts =
+            static_cast<std::uint32_t>(args.getInt("contexts", 1));
+        const auto result = apps::tred2Parallel(
+            machine, pes, apps::randomSymmetric(n, 1), n, contexts);
+        cycles = result.cycles;
+        totals = result.peTotals;
+        std::printf("tred2: N=%zu, %u workers on %u PEs, "
+                    "waiting/worker %.0f cycles\n",
+                    n, pes, pes / contexts, result.waitingTime);
+    } else if (app == "weather") {
+        apps::WeatherConfig wcfg;
+        wcfg.rows = args.getInt("n", 32);
+        wcfg.cols = wcfg.rows;
+        wcfg.steps = 4;
+        const auto result = apps::weatherParallel(
+            machine, pes, wcfg, apps::weatherInitial(wcfg, 1));
+        cycles = result.cycles;
+        totals = result.peTotals;
+        std::printf("weather: %zux%zu grid, %u steps, %u PEs\n",
+                    wcfg.rows, wcfg.cols, wcfg.steps, pes);
+    } else if (app == "multigrid") {
+        apps::MultigridConfig gcfg;
+        gcfg.level = static_cast<unsigned>(args.getInt("n", 5));
+        const auto result = apps::multigridParallel(
+            machine, pes, gcfg, apps::multigridRhs(gcfg.level));
+        cycles = result.cycles;
+        totals = result.peTotals;
+        std::printf("multigrid: level %u (%zu^2 grid), residual "
+                    "%.2e, %u PEs\n",
+                    gcfg.level, apps::multigridSide(gcfg.level),
+                    result.residualNorm, pes);
+    } else if (app == "montecarlo") {
+        apps::MonteCarloConfig ccfg;
+        ccfg.particles = args.getInt("n", 512);
+        const auto result =
+            apps::monteCarloParallel(machine, pes, ccfg);
+        cycles = result.cycles;
+        totals = result.peTotals;
+        std::printf("montecarlo: %llu particles, %u PEs\n",
+                    static_cast<unsigned long long>(ccfg.particles),
+                    pes);
+    } else if (app == "accounts") {
+        apps::AccountsConfig acfg;
+        acfg.numAccounts = static_cast<std::uint32_t>(
+            args.getInt("n", 64));
+        const auto result = apps::runAccounts(machine, pes, acfg);
+        cycles = result.cycles;
+        totals = machine.aggregatePeStats();
+        std::printf("accounts: %u accounts, total %lld (conserved: "
+                    "%s), %u PEs\n",
+                    acfg.numAccounts,
+                    static_cast<long long>(result.total),
+                    result.total == static_cast<Word>(
+                                        acfg.numAccounts) *
+                                        acfg.initialBalance
+                        ? "yes"
+                        : "NO",
+                    pes);
+    } else if (app == "sssp") {
+        const std::size_t n = args.getInt("n", 64);
+        const apps::Graph graph = apps::randomGraph(n, 4, 1);
+        const auto result = apps::shortestPathsParallel(
+            machine, pes, graph, 0, true);
+        cycles = result.cycles;
+        totals = result.peTotals;
+        std::printf("sssp: %zu vertices, %zu edges, %llu "
+                    "relaxations, %u PEs\n",
+                    graph.numVertices, graph.numEdges(),
+                    static_cast<unsigned long long>(
+                        result.relaxations),
+                    pes);
+    } else {
+        std::fprintf(stderr, "unknown app '%s'\n", app.c_str());
+        return 2;
+    }
+    access = machine.pni().stats().accessTime.mean();
+
+    std::printf("simulated time:  %llu cycles\n",
+                static_cast<unsigned long long>(cycles));
+    std::printf("instructions:    %llu (%.2f mem refs/instr, %.3f "
+                "shared)\n",
+                static_cast<unsigned long long>(totals.instructions),
+                static_cast<double>(totals.sharedRefs +
+                                    totals.privateRefs) /
+                    static_cast<double>(totals.instructions),
+                static_cast<double>(totals.sharedRefs) /
+                    static_cast<double>(totals.instructions));
+    std::printf("CM access time:  %.2f cycles\n", access);
+    std::printf("combined:        %llu requests\n",
+                static_cast<unsigned long long>(
+                    machine.network().stats().combined));
+    std::printf("\n%s", machine.statsReport().c_str());
+    return 0;
+}
+
+int
+cmdModel(const Args &args)
+{
+    if (args.has("best")) {
+        // Cheapest configuration meeting a latency budget at a load.
+        const double p = args.getDouble("rate", 0.2);
+        const double budget = args.getDouble("budget", 20.0);
+        const std::uint64_t n = args.getInt("ports", 4096);
+        const auto best = analytic::cheapestConfiguration(n, p, budget);
+        if (best.d == 0) {
+            std::printf("no configuration meets T <= %.1f at p = %.2f "
+                        "for n = %llu\n",
+                        budget, p, static_cast<unsigned long long>(n));
+            return 1;
+        }
+        std::printf("cheapest feasible: k=%u m=%u d=%u  (T = %.2f "
+                    "cycles, cost C = %.3f, capacity %.2f)\n",
+                    best.k, best.m, best.d,
+                    analytic::transitTime(best, p), best.costFactor(),
+                    best.capacity());
+        return 0;
+    }
+    analytic::NetworkConfig cfg;
+    cfg.n = args.getInt("ports", 4096);
+    cfg.k = static_cast<unsigned>(args.getInt("k", 4));
+    cfg.m = static_cast<unsigned>(args.getInt("m", cfg.k));
+    cfg.d = static_cast<unsigned>(args.getInt("d", 1));
+    if (!cfg.valid()) {
+        std::fprintf(stderr, "invalid model configuration\n");
+        return 2;
+    }
+    std::printf("T(p) for n=%llu k=%u m=%u d=%u "
+                "(capacity %.3f msgs/PE/cycle, cost C=%.3f)\n",
+                static_cast<unsigned long long>(cfg.n), cfg.k, cfg.m,
+                cfg.d, cfg.capacity(), cfg.costFactor());
+    TextTable table;
+    table.setHeader({"p", "transit (cycles)"});
+    const auto curve =
+        analytic::sweepTransitTime(cfg, cfg.capacity() * 0.98, 14);
+    for (std::size_t i = 0; i < curve.load.size(); ++i) {
+        table.addRow({TextTable::fmt(curve.load[i], 3),
+                      curve.transit[i] < 1e30
+                          ? TextTable::fmt(curve.transit[i], 2)
+                          : "inf"});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdTrace(const Args &args)
+{
+    if (args.has("record")) {
+        const std::string path = args.getString("record", "trace.csv");
+        const std::string app = args.getString("app", "tred2");
+        const auto pes =
+            static_cast<std::uint32_t>(args.getInt("pes", 16));
+        core::MachineConfig mcfg = core::MachineConfig::small(
+            std::max<std::uint32_t>(64, pes), 2);
+        core::Machine machine(mcfg);
+        net::TraceRecorder recorder(machine.pni());
+        if (app == "tred2") {
+            const std::size_t n = args.getInt("n", 32);
+            (void)apps::tred2Parallel(
+                machine, pes, apps::randomSymmetric(n, 1), n);
+        } else if (app == "weather") {
+            apps::WeatherConfig wcfg;
+            wcfg.rows = args.getInt("n", 32);
+            wcfg.cols = wcfg.rows;
+            (void)apps::weatherParallel(
+                machine, pes, wcfg, apps::weatherInitial(wcfg, 1));
+        } else {
+            std::fprintf(stderr, "trace --record supports tred2 and "
+                                 "weather\n");
+            return 2;
+        }
+        const net::Trace trace = recorder.take();
+        net::saveTrace(trace, path);
+        std::printf("recorded %zu requests over %llu cycles to %s "
+                    "(intensity %.4f/PE/cycle)\n",
+                    trace.entries.size(),
+                    static_cast<unsigned long long>(trace.duration()),
+                    path.c_str(), trace.intensity(pes));
+        return 0;
+    }
+    if (args.has("replay")) {
+        const std::string path = args.getString("replay", "trace.csv");
+        const net::Trace trace = net::loadTrace(path);
+        const net::NetSimConfig ncfg = netConfigFrom(args);
+        mem::MemoryConfig mcfg;
+        mcfg.numModules = ncfg.numPorts;
+        mcfg.wordsPerModule = 1 << 14;
+        mem::MemorySystem memory(mcfg);
+        net::Network network(ncfg, memory);
+        mem::AddressHash hash(log2Exact(memory.totalWords()), true);
+        net::PniArray pni(net::PniConfig{}, network, hash);
+        const auto result = net::replayTrace(trace, pni, network);
+        std::printf("replayed %llu requests: mean access %.2f cycles, "
+                    "one-way %.2f, finished at %llu\n",
+                    static_cast<unsigned long long>(result.requests),
+                    result.meanAccessTime, result.meanOneWay,
+                    static_cast<unsigned long long>(result.finishedAt));
+        return 0;
+    }
+    std::fprintf(stderr, "trace needs --record FILE or --replay FILE\n");
+    return 2;
+}
+
+int
+cmdPack(const Args &args)
+{
+    const auto pkg =
+        analytic::packageMachine(args.getInt("ports", 4096));
+    std::printf("PEs: %llu\nchips: %llu PE + %llu MM + %llu network "
+                "= %llu total (%.1f%% network)\n",
+                static_cast<unsigned long long>(pkg.numPe),
+                static_cast<unsigned long long>(pkg.peChips),
+                static_cast<unsigned long long>(pkg.mmChips),
+                static_cast<unsigned long long>(pkg.networkChips),
+                static_cast<unsigned long long>(pkg.totalChips()),
+                100.0 * pkg.networkFraction());
+    if (pkg.peBoards) {
+        std::printf("boards: %llu PE boards of %llu chips, %llu MM "
+                    "boards of %llu chips\n",
+                    static_cast<unsigned long long>(pkg.peBoards),
+                    static_cast<unsigned long long>(
+                        pkg.chipsPerPeBoard),
+                    static_cast<unsigned long long>(pkg.mmBoards),
+                    static_cast<unsigned long long>(
+                        pkg.chipsPerMmBoard));
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: ultrasim <net|app|model|pack> [options]\n"
+                 "see the comment at the top of tools/ultrasim.cc\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    const Args args(argc, argv, 2);
+    if (cmd == "net")
+        return cmdNet(args);
+    if (cmd == "app")
+        return cmdApp(args);
+    if (cmd == "model")
+        return cmdModel(args);
+    if (cmd == "pack")
+        return cmdPack(args);
+    if (cmd == "trace")
+        return cmdTrace(args);
+    usage();
+    return 2;
+}
