@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/barrier_scaling"
+  "../bench/barrier_scaling.pdb"
+  "CMakeFiles/barrier_scaling.dir/barrier_scaling.cc.o"
+  "CMakeFiles/barrier_scaling.dir/barrier_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

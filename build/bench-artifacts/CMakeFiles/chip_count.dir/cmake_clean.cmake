@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/chip_count"
+  "../bench/chip_count.pdb"
+  "CMakeFiles/chip_count.dir/chip_count.cc.o"
+  "CMakeFiles/chip_count.dir/chip_count.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/combining_ablation"
+  "../bench/combining_ablation.pdb"
+  "CMakeFiles/combining_ablation.dir/combining_ablation.cc.o"
+  "CMakeFiles/combining_ablation.dir/combining_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combining_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

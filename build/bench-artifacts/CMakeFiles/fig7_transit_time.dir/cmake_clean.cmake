@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_transit_time"
+  "../bench/fig7_transit_time.pdb"
+  "CMakeFiles/fig7_transit_time.dir/fig7_transit_time.cc.o"
+  "CMakeFiles/fig7_transit_time.dir/fig7_transit_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_transit_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/hashing_ablation"
+  "../bench/hashing_ablation.pdb"
+  "CMakeFiles/hashing_ablation.dir/hashing_ablation.cc.o"
+  "CMakeFiles/hashing_ablation.dir/hashing_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashing_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/hotspot_combining"
+  "../bench/hotspot_combining.pdb"
+  "CMakeFiles/hotspot_combining.dir/hotspot_combining.cc.o"
+  "CMakeFiles/hotspot_combining.dir/hotspot_combining.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

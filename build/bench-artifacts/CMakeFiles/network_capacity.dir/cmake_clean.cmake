@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/network_capacity"
+  "../bench/network_capacity.pdb"
+  "CMakeFiles/network_capacity.dir/network_capacity.cc.o"
+  "CMakeFiles/network_capacity.dir/network_capacity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/paracomputer_gap"
+  "../bench/paracomputer_gap.pdb"
+  "CMakeFiles/paracomputer_gap.dir/paracomputer_gap.cc.o"
+  "CMakeFiles/paracomputer_gap.dir/paracomputer_gap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paracomputer_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

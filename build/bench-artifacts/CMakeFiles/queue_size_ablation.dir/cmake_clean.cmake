@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/queue_size_ablation"
+  "../bench/queue_size_ablation.pdb"
+  "CMakeFiles/queue_size_ablation.dir/queue_size_ablation.cc.o"
+  "CMakeFiles/queue_size_ablation.dir/queue_size_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_size_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

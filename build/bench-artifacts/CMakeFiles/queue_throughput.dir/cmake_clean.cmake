@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/queue_throughput"
+  "../bench/queue_throughput.pdb"
+  "CMakeFiles/queue_throughput.dir/queue_throughput.cc.o"
+  "CMakeFiles/queue_throughput.dir/queue_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

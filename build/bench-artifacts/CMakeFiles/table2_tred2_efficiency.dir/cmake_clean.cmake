@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_tred2_efficiency"
+  "../bench/table2_tred2_efficiency.pdb"
+  "CMakeFiles/table2_tred2_efficiency.dir/table2_tred2_efficiency.cc.o"
+  "CMakeFiles/table2_tred2_efficiency.dir/table2_tred2_efficiency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_tred2_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_projected_efficiency"
+  "../bench/table3_projected_efficiency.pdb"
+  "CMakeFiles/table3_projected_efficiency.dir/table3_projected_efficiency.cc.o"
+  "CMakeFiles/table3_projected_efficiency.dir/table3_projected_efficiency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_projected_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/trace_replay"
+  "../bench/trace_replay.pdb"
+  "CMakeFiles/trace_replay.dir/trace_replay.cc.o"
+  "CMakeFiles/trace_replay.dir/trace_replay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/decentralized_scheduler.cpp" "examples/CMakeFiles/decentralized_scheduler.dir/decentralized_scheduler.cpp.o" "gcc" "examples/CMakeFiles/decentralized_scheduler.dir/decentralized_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ultra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/ultra_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ultra_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ultra_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ultra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/ultra_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ultra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/ultra_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ultra_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentralized_scheduler.dir/decentralized_scheduler.cpp.o"
+  "CMakeFiles/decentralized_scheduler.dir/decentralized_scheduler.cpp.o.d"
+  "decentralized_scheduler"
+  "decentralized_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentralized_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetch_phi_zoo.dir/fetch_phi_zoo.cpp.o"
+  "CMakeFiles/fetch_phi_zoo.dir/fetch_phi_zoo.cpp.o.d"
+  "fetch_phi_zoo"
+  "fetch_phi_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetch_phi_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/share_reprivatize.dir/share_reprivatize.cpp.o"
+  "CMakeFiles/share_reprivatize.dir/share_reprivatize.cpp.o.d"
+  "share_reprivatize"
+  "share_reprivatize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/share_reprivatize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for share_reprivatize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tred2_reduction.dir/tred2_reduction.cpp.o"
+  "CMakeFiles/tred2_reduction.dir/tred2_reduction.cpp.o.d"
+  "tred2_reduction"
+  "tred2_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tred2_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

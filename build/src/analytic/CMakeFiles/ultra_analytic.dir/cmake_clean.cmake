@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ultra_analytic.dir/config.cc.o"
+  "CMakeFiles/ultra_analytic.dir/config.cc.o.d"
+  "CMakeFiles/ultra_analytic.dir/packaging.cc.o"
+  "CMakeFiles/ultra_analytic.dir/packaging.cc.o.d"
+  "CMakeFiles/ultra_analytic.dir/queueing.cc.o"
+  "CMakeFiles/ultra_analytic.dir/queueing.cc.o.d"
+  "libultra_analytic.a"
+  "libultra_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ultra_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

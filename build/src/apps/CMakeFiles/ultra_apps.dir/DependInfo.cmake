@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/accounts.cc" "src/apps/CMakeFiles/ultra_apps.dir/accounts.cc.o" "gcc" "src/apps/CMakeFiles/ultra_apps.dir/accounts.cc.o.d"
+  "/root/repo/src/apps/efficiency_model.cc" "src/apps/CMakeFiles/ultra_apps.dir/efficiency_model.cc.o" "gcc" "src/apps/CMakeFiles/ultra_apps.dir/efficiency_model.cc.o.d"
+  "/root/repo/src/apps/montecarlo.cc" "src/apps/CMakeFiles/ultra_apps.dir/montecarlo.cc.o" "gcc" "src/apps/CMakeFiles/ultra_apps.dir/montecarlo.cc.o.d"
+  "/root/repo/src/apps/multigrid.cc" "src/apps/CMakeFiles/ultra_apps.dir/multigrid.cc.o" "gcc" "src/apps/CMakeFiles/ultra_apps.dir/multigrid.cc.o.d"
+  "/root/repo/src/apps/shortest_path.cc" "src/apps/CMakeFiles/ultra_apps.dir/shortest_path.cc.o" "gcc" "src/apps/CMakeFiles/ultra_apps.dir/shortest_path.cc.o.d"
+  "/root/repo/src/apps/tred2.cc" "src/apps/CMakeFiles/ultra_apps.dir/tred2.cc.o" "gcc" "src/apps/CMakeFiles/ultra_apps.dir/tred2.cc.o.d"
+  "/root/repo/src/apps/weather.cc" "src/apps/CMakeFiles/ultra_apps.dir/weather.cc.o" "gcc" "src/apps/CMakeFiles/ultra_apps.dir/weather.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ultra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/ultra_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ultra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ultra_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ultra_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ultra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

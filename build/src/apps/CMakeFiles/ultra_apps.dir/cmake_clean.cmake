@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ultra_apps.dir/accounts.cc.o"
+  "CMakeFiles/ultra_apps.dir/accounts.cc.o.d"
+  "CMakeFiles/ultra_apps.dir/efficiency_model.cc.o"
+  "CMakeFiles/ultra_apps.dir/efficiency_model.cc.o.d"
+  "CMakeFiles/ultra_apps.dir/montecarlo.cc.o"
+  "CMakeFiles/ultra_apps.dir/montecarlo.cc.o.d"
+  "CMakeFiles/ultra_apps.dir/multigrid.cc.o"
+  "CMakeFiles/ultra_apps.dir/multigrid.cc.o.d"
+  "CMakeFiles/ultra_apps.dir/shortest_path.cc.o"
+  "CMakeFiles/ultra_apps.dir/shortest_path.cc.o.d"
+  "CMakeFiles/ultra_apps.dir/tred2.cc.o"
+  "CMakeFiles/ultra_apps.dir/tred2.cc.o.d"
+  "CMakeFiles/ultra_apps.dir/weather.cc.o"
+  "CMakeFiles/ultra_apps.dir/weather.cc.o.d"
+  "libultra_apps.a"
+  "libultra_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ultra_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

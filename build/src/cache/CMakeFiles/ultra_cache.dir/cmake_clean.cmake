@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ultra_cache.dir/cache.cc.o"
+  "CMakeFiles/ultra_cache.dir/cache.cc.o.d"
+  "libultra_cache.a"
+  "libultra_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ultra_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

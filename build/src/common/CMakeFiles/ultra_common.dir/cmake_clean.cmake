@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ultra_common.dir/log.cc.o"
+  "CMakeFiles/ultra_common.dir/log.cc.o.d"
+  "CMakeFiles/ultra_common.dir/rng.cc.o"
+  "CMakeFiles/ultra_common.dir/rng.cc.o.d"
+  "CMakeFiles/ultra_common.dir/stats.cc.o"
+  "CMakeFiles/ultra_common.dir/stats.cc.o.d"
+  "CMakeFiles/ultra_common.dir/table.cc.o"
+  "CMakeFiles/ultra_common.dir/table.cc.o.d"
+  "libultra_common.a"
+  "libultra_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ultra_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ultra_core.dir/coord.cc.o"
+  "CMakeFiles/ultra_core.dir/coord.cc.o.d"
+  "CMakeFiles/ultra_core.dir/machine.cc.o"
+  "CMakeFiles/ultra_core.dir/machine.cc.o.d"
+  "CMakeFiles/ultra_core.dir/task_pool.cc.o"
+  "CMakeFiles/ultra_core.dir/task_pool.cc.o.d"
+  "libultra_core.a"
+  "libultra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ultra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_hash.cc" "src/mem/CMakeFiles/ultra_mem.dir/address_hash.cc.o" "gcc" "src/mem/CMakeFiles/ultra_mem.dir/address_hash.cc.o.d"
+  "/root/repo/src/mem/fetch_phi.cc" "src/mem/CMakeFiles/ultra_mem.dir/fetch_phi.cc.o" "gcc" "src/mem/CMakeFiles/ultra_mem.dir/fetch_phi.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/mem/CMakeFiles/ultra_mem.dir/memory_system.cc.o" "gcc" "src/mem/CMakeFiles/ultra_mem.dir/memory_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ultra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ultra_mem.dir/address_hash.cc.o"
+  "CMakeFiles/ultra_mem.dir/address_hash.cc.o.d"
+  "CMakeFiles/ultra_mem.dir/fetch_phi.cc.o"
+  "CMakeFiles/ultra_mem.dir/fetch_phi.cc.o.d"
+  "CMakeFiles/ultra_mem.dir/memory_system.cc.o"
+  "CMakeFiles/ultra_mem.dir/memory_system.cc.o.d"
+  "libultra_mem.a"
+  "libultra_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ultra_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/combining.cc" "src/net/CMakeFiles/ultra_net.dir/combining.cc.o" "gcc" "src/net/CMakeFiles/ultra_net.dir/combining.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/ultra_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/ultra_net.dir/network.cc.o.d"
+  "/root/repo/src/net/pni.cc" "src/net/CMakeFiles/ultra_net.dir/pni.cc.o" "gcc" "src/net/CMakeFiles/ultra_net.dir/pni.cc.o.d"
+  "/root/repo/src/net/routing.cc" "src/net/CMakeFiles/ultra_net.dir/routing.cc.o" "gcc" "src/net/CMakeFiles/ultra_net.dir/routing.cc.o.d"
+  "/root/repo/src/net/systolic_queue.cc" "src/net/CMakeFiles/ultra_net.dir/systolic_queue.cc.o" "gcc" "src/net/CMakeFiles/ultra_net.dir/systolic_queue.cc.o.d"
+  "/root/repo/src/net/trace.cc" "src/net/CMakeFiles/ultra_net.dir/trace.cc.o" "gcc" "src/net/CMakeFiles/ultra_net.dir/trace.cc.o.d"
+  "/root/repo/src/net/traffic.cc" "src/net/CMakeFiles/ultra_net.dir/traffic.cc.o" "gcc" "src/net/CMakeFiles/ultra_net.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ultra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ultra_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ultra_net.dir/combining.cc.o"
+  "CMakeFiles/ultra_net.dir/combining.cc.o.d"
+  "CMakeFiles/ultra_net.dir/network.cc.o"
+  "CMakeFiles/ultra_net.dir/network.cc.o.d"
+  "CMakeFiles/ultra_net.dir/pni.cc.o"
+  "CMakeFiles/ultra_net.dir/pni.cc.o.d"
+  "CMakeFiles/ultra_net.dir/routing.cc.o"
+  "CMakeFiles/ultra_net.dir/routing.cc.o.d"
+  "CMakeFiles/ultra_net.dir/systolic_queue.cc.o"
+  "CMakeFiles/ultra_net.dir/systolic_queue.cc.o.d"
+  "CMakeFiles/ultra_net.dir/trace.cc.o"
+  "CMakeFiles/ultra_net.dir/trace.cc.o.d"
+  "CMakeFiles/ultra_net.dir/traffic.cc.o"
+  "CMakeFiles/ultra_net.dir/traffic.cc.o.d"
+  "libultra_net.a"
+  "libultra_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ultra_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ultra_pe.dir/pe.cc.o"
+  "CMakeFiles/ultra_pe.dir/pe.cc.o.d"
+  "libultra_pe.a"
+  "libultra_pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ultra_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

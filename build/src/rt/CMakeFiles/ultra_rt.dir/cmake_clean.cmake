@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ultra_rt.dir/scheduler.cc.o"
+  "CMakeFiles/ultra_rt.dir/scheduler.cc.o.d"
+  "libultra_rt.a"
+  "libultra_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ultra_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combining_test.dir/combining_test.cc.o"
+  "CMakeFiles/combining_test.dir/combining_test.cc.o.d"
+  "combining_test"
+  "combining_test.pdb"
+  "combining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprogram_test.dir/multiprogram_test.cc.o"
+  "CMakeFiles/multiprogram_test.dir/multiprogram_test.cc.o.d"
+  "multiprogram_test"
+  "multiprogram_test.pdb"
+  "multiprogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_components_test.dir/net_components_test.cc.o"
+  "CMakeFiles/net_components_test.dir/net_components_test.cc.o.d"
+  "net_components_test"
+  "net_components_test.pdb"
+  "net_components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_stress_test.dir/network_stress_test.cc.o"
+  "CMakeFiles/network_stress_test.dir/network_stress_test.cc.o.d"
+  "network_stress_test"
+  "network_stress_test.pdb"
+  "network_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pni_traffic_test.dir/pni_traffic_test.cc.o"
+  "CMakeFiles/pni_traffic_test.dir/pni_traffic_test.cc.o.d"
+  "pni_traffic_test"
+  "pni_traffic_test.pdb"
+  "pni_traffic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pni_traffic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

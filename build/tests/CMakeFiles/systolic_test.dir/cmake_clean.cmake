@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_test.dir/systolic_test.cc.o"
+  "CMakeFiles/systolic_test.dir/systolic_test.cc.o.d"
+  "systolic_test"
+  "systolic_test.pdb"
+  "systolic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

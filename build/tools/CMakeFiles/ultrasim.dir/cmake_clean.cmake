@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ultrasim.dir/ultrasim.cc.o"
+  "CMakeFiles/ultrasim.dir/ultrasim.cc.o.d"
+  "ultrasim"
+  "ultrasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ultrasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
