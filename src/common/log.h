@@ -6,19 +6,36 @@
  * fatal()  -- the user asked for an impossible configuration.
  * warn()   -- something is off but simulation can continue.
  * inform() -- plain status output.
+ * debug()  -- developer chatter, off unless ULTRA_LOG=debug.
+ *
+ * Every message flows through one process-wide sink (stderr by
+ * default); setLogSink() redirects it, which is how tests capture log
+ * output.  The minimum emitted level defaults from the ULTRA_LOG
+ * environment variable ("debug", "inform", "warn") and can be
+ * overridden with setLogThreshold().
  */
 
 #ifndef ULTRA_COMMON_LOG_H
 #define ULTRA_COMMON_LOG_H
 
+#include <functional>
 #include <sstream>
 #include <string>
 
 namespace ultra
 {
 
-/** Severity of a log message. */
-enum class LogLevel { Inform, Warn, Fatal, Panic };
+/** Severity of a log message, in increasing order. */
+enum class LogLevel { Debug, Inform, Warn, Fatal, Panic };
+
+/** Receives every emitted message (after threshold filtering). */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/** Route all log output to @p sink; nullptr restores stderr. */
+void setLogSink(LogSink sink);
+
+/** Suppress messages below @p level (Fatal/Panic always emit). */
+void setLogThreshold(LogLevel level);
 
 namespace detail
 {
@@ -26,6 +43,13 @@ namespace detail
 /** Emit @p msg at @p level; Fatal exits(1), Panic aborts. */
 [[noreturn]] void logAndDie(LogLevel level, const std::string &msg);
 void log(LogLevel level, const std::string &msg);
+
+/** True when Debug-level messages pass the current threshold. */
+bool debugEnabled();
+
+/** Threshold named by the ULTRA_LOG environment variable right now
+ *  (Inform when unset or unrecognized). */
+LogLevel thresholdFromEnv();
 
 /** Fold a parameter pack into one string via operator<<. */
 template <typename... Args>
@@ -71,6 +95,17 @@ void
 inform(Args &&...args)
 {
     detail::log(LogLevel::Inform,
+                detail::concat(std::forward<Args>(args)...));
+}
+
+/** Developer diagnostics; free when disabled (no string assembly). */
+template <typename... Args>
+void
+debug(Args &&...args)
+{
+    if (!detail::debugEnabled())
+        return;
+    detail::log(LogLevel::Debug,
                 detail::concat(std::forward<Args>(args)...));
 }
 

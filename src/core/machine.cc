@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "common/table.h"
+#include "obs/event_trace.h"
 
 namespace ultra::core
 {
@@ -71,6 +72,47 @@ Machine::Machine(const MachineConfig &cfg)
         [this](PEId pe, std::uint64_t ticket, Word value) {
             pes_[pe]->onComplete(ticket, value);
         });
+    registerMachineStats();
+}
+
+void
+Machine::registerMachineStats()
+{
+    network_.registerStats(registry_, "net");
+    pni_.registerStats(registry_, "pni");
+    memory_.registerStats(registry_, "mem");
+
+    registry_.addScalar("machine.pes_engaged",
+                        [this] {
+                            return static_cast<double>(launched_.size());
+                        },
+                        "PEs with a launched program");
+    auto peTotal = [this](std::uint64_t pe::PeStats::*field) {
+        return [this, field] {
+            std::uint64_t total = 0;
+            for (PEId pe : launched_)
+                total += pes_[pe]->stats().*field;
+            return static_cast<double>(total);
+        };
+    };
+    registry_.addScalar("pe.instructions",
+                        peTotal(&pe::PeStats::instructions),
+                        "instructions executed (all engaged PEs)");
+    registry_.addScalar("pe.shared_refs",
+                        peTotal(&pe::PeStats::sharedRefs),
+                        "central-memory references");
+    registry_.addScalar("pe.shared_loads",
+                        peTotal(&pe::PeStats::sharedLoads),
+                        "central-memory loads");
+    registry_.addScalar("pe.private_refs",
+                        peTotal(&pe::PeStats::privateRefs),
+                        "cache-hit data references");
+    registry_.addScalar("pe.busy_cycles",
+                        peTotal(&pe::PeStats::busyCycles),
+                        "pipeline cycles executing instructions");
+    registry_.addScalar("pe.idle_cycles",
+                        peTotal(&pe::PeStats::idleCycles),
+                        "per-context cycles waiting on memory");
 }
 
 void
@@ -131,8 +173,41 @@ Machine::run(Cycle max_cycles)
             return true;
         pni_.tick();
         network_.tick();
+        if (samplePeriod_ != 0 && now() % samplePeriod_ == 0)
+            sampler_.sample(now());
     }
     return false;
+}
+
+void
+Machine::enableSampling(Cycle every)
+{
+    samplePeriod_ = every;
+    if (every == 0 || sampler_.numColumns() > 0)
+        return;
+    for (unsigned s = 0; s < network_.topology().stages(); ++s) {
+        const std::string stage = "net.stage" + std::to_string(s) + ".";
+        sampler_.addRegistryColumn(registry_, stage + "tomm_pkts");
+        sampler_.addRegistryColumn(registry_, stage + "wb_entries");
+        sampler_.addRegistryColumn(registry_, stage + "combines");
+    }
+    sampler_.addRegistryColumn(registry_, "pni.outstanding");
+    sampler_.addRegistryColumn(registry_, "pe.idle_cycles");
+}
+
+std::string
+Machine::statsJson() const
+{
+    return registry_.jsonDump(now());
+}
+
+void
+Machine::attachEventTrace(obs::EventTrace *trace)
+{
+    network_.setEventTrace(trace);
+    const std::uint32_t pe_track = trace ? trace->track("pe") : 0;
+    for (auto &pe : pes_)
+        pe->setEventTrace(trace, pe_track);
 }
 
 Addr
@@ -179,78 +254,83 @@ Machine::aggregatePeStats() const
 std::string
 Machine::statsReport() const
 {
+    // Every number below reads through the registry, so this report,
+    // statsJson() and any sampled series all agree by construction.
+    auto v = [this](const char *path) { return registry_.value(path); };
+    auto u = [&](const char *path) {
+        return static_cast<std::uint64_t>(v(path));
+    };
+
     std::ostringstream os;
-    const pe::PeStats totals = aggregatePeStats();
     const double cycles = static_cast<double>(now());
-    const double pes = static_cast<double>(launched_.size());
+    const double pes = v("machine.pes_engaged");
+    const std::uint64_t instructions = u("pe.instructions");
     os << "=== machine report @ cycle " << now() << " ("
-       << launched_.size() << " PEs engaged) ===\n";
-    if (totals.instructions > 0) {
-        os << "PEs: " << totals.instructions << " instructions, "
-           << totals.sharedRefs << " shared refs ("
-           << totals.sharedLoads << " loads), " << totals.privateRefs
+       << u("machine.pes_engaged") << " PEs engaged) ===\n";
+    if (instructions > 0) {
+        const double shared = v("pe.shared_refs");
+        const double priv = v("pe.private_refs");
+        os << "PEs: " << instructions << " instructions, "
+           << u("pe.shared_refs") << " shared refs ("
+           << u("pe.shared_loads") << " loads), " << u("pe.private_refs")
            << " private refs\n";
         os << "  mem refs/instr "
-           << TextTable::fmt(
-                  static_cast<double>(totals.sharedRefs +
-                                      totals.privateRefs) /
-                      static_cast<double>(totals.instructions),
-                  3)
+           << TextTable::fmt((shared + priv) /
+                                 static_cast<double>(instructions),
+                             3)
            << ", shared/instr "
-           << TextTable::fmt(static_cast<double>(totals.sharedRefs) /
-                                 static_cast<double>(
-                                     totals.instructions),
+           << TextTable::fmt(shared / static_cast<double>(instructions),
                              3)
            << ", busy "
            << TextTable::pct(pes > 0 && cycles > 0
-                                 ? static_cast<double>(
-                                       totals.busyCycles) /
-                                       (cycles * pes)
+                                 ? v("pe.busy_cycles") / (cycles * pes)
                                  : 0.0)
            << ", context waiting "
            << TextTable::pct(pes > 0 && cycles > 0
-                                 ? static_cast<double>(
-                                       totals.idleCycles) /
-                                       (cycles * pes)
+                                 ? v("pe.idle_cycles") / (cycles * pes)
                                  : 0.0)
            << "\n";
     }
-    const net::NetStats &ns = network_.stats();
-    os << "network: " << ns.injected << " injected, " << ns.combined
+    const std::uint64_t injected = u("net.injected");
+    const std::uint64_t combined = u("net.combined");
+    os << "network: " << injected << " injected, " << combined
        << " combined";
-    if (ns.injected > 0) {
-        os << " (" << TextTable::pct(static_cast<double>(ns.combined) /
-                                     static_cast<double>(ns.injected))
+    if (injected > 0) {
+        os << " (" << TextTable::pct(static_cast<double>(combined) /
+                                     static_cast<double>(injected))
            << ")";
     }
-    os << ", " << ns.mmServed << " memory accesses, " << ns.killed
-       << " killed\n";
-    if (ns.roundTrip.count() > 0) {
-        os << "  round trip mean "
-           << TextTable::fmt(ns.roundTrip.mean(), 1) << " cycles, p50 "
-           << ns.roundTripHist.percentile(0.5) << ", p95 "
-           << ns.roundTripHist.percentile(0.95) << ", p99 "
-           << ns.roundTripHist.percentile(0.99) << "\n";
+    os << ", " << u("net.mm_served") << " memory accesses, "
+       << u("net.killed") << " killed\n";
+    if (combined > 0) {
+        os << "  combines by stage:";
+        for (unsigned s = 0; s < network_.topology().stages(); ++s) {
+            os << " s" << s << " "
+               << static_cast<std::uint64_t>(registry_.value(
+                      "net.stage" + std::to_string(s) + ".combines"));
+        }
+        os << "\n";
     }
-    const net::PniStats &ps = pni_.stats();
-    if (ps.completed > 0) {
-        os << "PNI: " << ps.completed << " completed, access mean "
-           << TextTable::fmt(ps.accessTime.mean(), 1)
-           << " cycles (max " << TextTable::fmt(ps.accessTime.max(), 0)
-           << ")\n";
+    const Accumulator &rt = registry_.accumulator("net.round_trip");
+    if (rt.count() > 0) {
+        const Histogram &rth =
+            registry_.histogram("net.round_trip_hist");
+        os << "  round trip mean " << TextTable::fmt(rt.mean(), 1)
+           << " cycles, p50 " << rth.percentile(0.5) << ", p95 "
+           << rth.percentile(0.95) << ", p99 " << rth.percentile(0.99)
+           << "\n";
+    }
+    const Accumulator &access = registry_.accumulator("pni.access_time");
+    if (u("pni.completed") > 0) {
+        os << "PNI: " << u("pni.completed")
+           << " completed, access mean "
+           << TextTable::fmt(access.mean(), 1) << " cycles (max "
+           << TextTable::fmt(access.max(), 0) << ")\n";
     }
     // Memory-module balance: hot/mean ratio over modules with load.
-    const auto &loads = memory_.moduleLoad();
-    std::uint64_t peak = 0, total = 0;
-    for (std::uint64_t l : loads) {
-        peak = std::max(peak, l);
-        total += l;
-    }
-    if (total > 0) {
+    if (u("mem.executed") > 0) {
         os << "memory: hottest module carried "
-           << TextTable::fmt(static_cast<double>(peak) * loads.size() /
-                                 static_cast<double>(total),
-                             2)
+           << TextTable::fmt(v("mem.imbalance"), 2)
            << "x the mean load\n";
     }
     return os.str();

@@ -28,8 +28,15 @@
 #include "mem/memory_system.h"
 #include "net/network.h"
 #include "net/pni.h"
+#include "obs/registry.h"
+#include "obs/sampler.h"
 #include "pe/pe.h"
 #include "pe/task.h"
+
+namespace ultra::obs
+{
+class EventTrace;
+} // namespace ultra::obs
 
 namespace ultra::core
 {
@@ -118,18 +125,54 @@ class Machine
     /**
      * Consolidated human-readable run report: PE instruction mix,
      * idle fractions, network combining and latency statistics, and
-     * memory-module load balance.
+     * memory-module load balance.  Every number is pulled from the
+     * stats registry, so this and statsJson() always agree.
      */
     std::string statsReport() const;
+
+    // --- observability (ultra::obs) -----------------------------------
+
+    /** The machine-wide stats registry ("net.*", "pni.*", "mem.*",
+     *  "pe.*", "machine.*"); populated during construction. */
+    obs::Registry &registry() { return registry_; }
+    const obs::Registry &registry() const { return registry_; }
+
+    /** The time-series sampler ticked by run(); empty until
+     *  enableSampling() is called. */
+    obs::Sampler &sampler() { return sampler_; }
+    const obs::Sampler &sampler() const { return sampler_; }
+
+    /**
+     * Sample key occupancy gauges (per-stage ToMM queue fill, wait
+     * buffers and combines, PNI outstanding requests, PE idle cycles)
+     * every @p every cycles during run().  Pass 0 to disable.
+     */
+    void enableSampling(Cycle every);
+
+    /** Machine-readable JSON dump of every registered statistic. */
+    std::string statsJson() const;
+
+    /**
+     * Attach (or detach, with nullptr) a Chrome-trace-event recorder to
+     * the network and every PE: message injects, per-stage hops,
+     * combines, decombines, MM service, reply deliveries and
+     * per-context memory waits all land on it.
+     */
+    void attachEventTrace(obs::EventTrace *trace);
 
     const MachineConfig &config() const { return cfg_; }
 
   private:
+    void registerMachineStats();
+
     MachineConfig cfg_;
     mem::MemorySystem memory_;
     mem::AddressHash hash_;
     net::Network network_;
     net::PniArray pni_;
+    obs::Registry registry_;
+    obs::Sampler sampler_;
+    Cycle samplePeriod_ = 0;
     std::vector<std::unique_ptr<pe::Pe>> pes_;
     /** Keeps each PE's program callables (and thus any coroutine-lambda
      *  closures) alive while its tasks run; one entry per context. */

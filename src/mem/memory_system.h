@@ -13,10 +13,16 @@
 #define ULTRA_MEM_MEMORY_SYSTEM_H
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
 #include "mem/fetch_phi.h"
+
+namespace ultra::obs
+{
+class Registry;
+} // namespace ultra::obs
 
 namespace ultra::mem
 {
@@ -80,6 +86,29 @@ class MemorySystem
         return moduleLoad_;
     }
 
+    /** Per-module count of fetch-and-phi executions (ops with an MNI
+     *  adder cycle: everything but plain Load / Store). */
+    const std::vector<std::uint64_t> &moduleFaOps() const
+    {
+        return faOps_;
+    }
+
+    /** Requests executed across all modules. */
+    std::uint64_t totalExecuted() const;
+
+    /** Hottest module's load as a multiple of the mean (1.0 = perfectly
+     *  balanced, 0.0 with no load yet). */
+    double loadImbalance() const;
+
+    /**
+     * Register totals, the imbalance gauge, and -- for machines small
+     * enough to keep the dump readable -- per-module loads
+     * ("<prefix>.module12.load", "<prefix>.module12.fa_ops") under
+     * "<prefix>." (see Network::registerStats).
+     */
+    void registerStats(obs::Registry &registry,
+                       const std::string &prefix) const;
+
     void resetStats();
 
     const MemoryConfig &config() const { return cfg_; }
@@ -90,6 +119,7 @@ class MemorySystem
     MemoryConfig cfg_;
     std::vector<Word> words_;
     std::vector<std::uint64_t> moduleLoad_;
+    std::vector<std::uint64_t> faOps_;
 };
 
 } // namespace ultra::mem

@@ -5,6 +5,8 @@
 
 #include "common/log.h"
 #include "net/combining.h"
+#include "obs/event_trace.h"
+#include "obs/registry.h"
 
 namespace ultra::net
 {
@@ -72,6 +74,8 @@ Network::Network(const NetSimConfig &cfg, mem::MemorySystem &memory)
     stats_.combinesPerStage.assign(topo_.stages(), 0);
 
     copies_.resize(cfg_.d);
+    for (unsigned c = 0; c < cfg_.d; ++c)
+        copies_[c].index = c;
     for (auto &copy : copies_) {
         copy.stage.resize(topo_.stages());
         for (auto &stage : copy.stage) {
@@ -137,6 +141,8 @@ Network::tryInject(PEId pe, Op op, Addr paddr, Word data,
         msg->injectedAt = now_;
         idealPending_.push_back({msg, now_ + 1});
         ++stats_.injected;
+        if (trace_)
+            trace_->instant(peTrack_, pe, "inject", now_);
         return true;
     }
 
@@ -175,6 +181,8 @@ Network::tryInject(PEId pe, Op op, Addr paddr, Word data,
         activateNode(copy, 0, entry.sw);
         nextCopy_[pe] = (c + 1) % cfg_.d;
         ++stats_.injected;
+        if (trace_)
+            trace_->instant(peTrack_, pe, "inject", now_);
         return true;
     }
     return false;
@@ -260,6 +268,8 @@ Network::arriveForward(Copy &copy, unsigned s, std::uint32_t idx,
         // Kill-on-conflict: the output must be idle or the request dies.
         if (out.linkFreeAt > now_ || !out.queue.empty()) {
             ++stats_.killed;
+            if (trace_)
+                trace_->instant(peTrack_, msg->origin, "kill", now_);
             if (killFn_)
                 killFn_(msg->origin, msg->tag);
             pool_.free(msg);
@@ -269,8 +279,13 @@ Network::arriveForward(Copy &copy, unsigned s, std::uint32_t idx,
         return;
     }
 
-    if (tryCombine(copy, s, node, port, msg))
+    if (tryCombine(copy, s, node, port, msg)) {
+        if (trace_) {
+            trace_->instant(fwdTrack_[copy.index][s],
+                            traceLane(idx, port), "combine", now_);
+        }
         return;
+    }
     stats_.queueLenAtEnqueue.add(
         static_cast<double>(out.queue.usedPackets()));
     out.queue.enqueue(msg);
@@ -317,6 +332,11 @@ Network::arriveReverse(Copy &copy, unsigned s, std::uint32_t idx,
             ++stats_.decombined;
             const unsigned sp_port =
                 topo_.routeDigit(spawn->origin, s);
+            if (trace_) {
+                trace_->instant(revTrack_[copy.index][s],
+                                traceLane(idx, sp_port), "decombine",
+                                now_);
+            }
             OutQueue &sp_queue = node.rev[sp_port].queue;
             if (!sp_queue.canAccept(spawn->packets))
                 stats_.revOverflowPackets += spawn->packets;
@@ -365,6 +385,8 @@ Network::departForward(Copy &copy, unsigned s, std::uint32_t idx,
                 !mni.pending.unbounded()) {
                 out.queue.dequeue();
                 ++stats_.killed;
+                if (trace_)
+                    trace_->instant(peTrack_, msg->origin, "kill", now_);
                 if (killFn_)
                     killFn_(msg->origin, msg->tag);
                 pool_.free(msg);
@@ -380,6 +402,11 @@ Network::departForward(Copy &copy, unsigned s, std::uint32_t idx,
         }
         out.queue.dequeue();
         out.linkFreeAt = now_ + msg->packets;
+        if (trace_) {
+            trace_->complete(fwdTrack_[copy.index][s],
+                             traceLane(idx, port), mem::opName(msg->op),
+                             now_, msg->packets);
+        }
         // The MNI may begin service only once the tail has arrived.
         mni.inbox.push_back({msg, now_ + msg->packets});
         activateMni(copy, msg->dest);
@@ -399,6 +426,10 @@ Network::departForward(Copy &copy, unsigned s, std::uint32_t idx,
     }
     out.queue.dequeue();
     out.linkFreeAt = now_ + msg->packets;
+    if (trace_) {
+        trace_->complete(fwdTrack_[copy.index][s], traceLane(idx, port),
+                         mem::opName(msg->op), now_, msg->packets);
+    }
     next_node.fwdInbox.push_back({msg, now_ + 1});
     activateNode(copy, s + 1, next.sw);
 }
@@ -421,6 +452,11 @@ Network::departReverse(Copy &copy, unsigned s, std::uint32_t idx,
                      " but belongs to PE ", msg->origin);
         out.queue.dequeue();
         out.linkFreeAt = now_ + msg->packets;
+        if (trace_) {
+            trace_->complete(revTrack_[copy.index][s],
+                             traceLane(idx, port), mem::opName(msg->op),
+                             now_, msg->packets);
+        }
         deliveries_.push_back({msg, now_ + msg->packets});
         return;
     }
@@ -438,6 +474,10 @@ Network::departReverse(Copy &copy, unsigned s, std::uint32_t idx,
     }
     out.queue.dequeue();
     out.linkFreeAt = now_ + msg->packets;
+    if (trace_) {
+        trace_->complete(revTrack_[copy.index][s], traceLane(idx, port),
+                         mem::opName(msg->op), now_, msg->packets);
+    }
     prev_node.revInbox.push_back({msg, now_ + 1});
     activateNode(copy, s - 1, prev_idx);
 }
@@ -529,6 +569,10 @@ Network::processMnis(Copy &copy)
                 mni.pending.dequeue();
                 stats_.mmQueueWait.add(
                     static_cast<double>(now_ - msg->mniArriveAt));
+                if (trace_) {
+                    trace_->complete(mmTrack_, mm, mem::opName(msg->op),
+                                     now_, cfg_.mmAccessTime);
+                }
                 msg->data =
                     memory_.execute(msg->op, msg->paddr, msg->data);
                 makeReply(msg);
@@ -613,6 +657,8 @@ Network::tick()
                 static_cast<double>(arr.at - msg->injectedAt));
             stats_.roundTripHist.add(arr.at - msg->injectedAt);
             ++stats_.delivered;
+            if (trace_)
+                trace_->instant(peTrack_, msg->origin, "reply", now_);
             if (deliverFn_)
                 deliverFn_(msg->origin, msg->tag, msg->data);
             pool_.free(msg);
@@ -709,6 +755,140 @@ Network::resetStats()
     const auto stages = stats_.combinesPerStage.size();
     stats_ = NetStats{};
     stats_.combinesPerStage.assign(stages, 0);
+}
+
+std::uint64_t
+Network::stageQueuePackets(unsigned stage, bool to_mm) const
+{
+    ULTRA_ASSERT(stage < topo_.stages());
+    std::uint64_t total = 0;
+    for (const Copy &copy : copies_) {
+        for (const Node &node : copy.stage[stage]) {
+            const auto &ports = to_mm ? node.fwd : node.rev;
+            for (const OutPort &out : ports)
+                total += out.queue.usedPackets();
+        }
+    }
+    return total;
+}
+
+std::uint64_t
+Network::stageWaitBufferEntries(unsigned stage) const
+{
+    ULTRA_ASSERT(stage < topo_.stages());
+    std::uint64_t total = 0;
+    for (const Copy &copy : copies_) {
+        for (const Node &node : copy.stage[stage])
+            total += node.wb.size();
+    }
+    return total;
+}
+
+std::uint64_t
+Network::mniPendingPackets() const
+{
+    std::uint64_t total = 0;
+    for (const Copy &copy : copies_) {
+        for (const MniState &mni : copy.mni)
+            total += mni.pending.usedPackets();
+    }
+    return total;
+}
+
+void
+Network::registerStats(obs::Registry &registry,
+                       const std::string &prefix) const
+{
+    auto count = [&](const char *leaf, const std::uint64_t NetStats::*f,
+                     const char *desc) {
+        registry.addScalar(prefix + "." + leaf,
+                           [this, f] {
+                               return static_cast<double>(stats_.*f);
+                           },
+                           desc);
+    };
+    count("injected", &NetStats::injected, "requests entered");
+    count("mm_served", &NetStats::mmServed, "requests executed at MMs");
+    count("delivered", &NetStats::delivered, "replies handed to PEs");
+    count("combined", &NetStats::combined,
+          "requests absorbed by combining");
+    count("decombined", &NetStats::decombined,
+          "replies synthesized back");
+    count("killed", &NetStats::killed, "Burroughs-mode kills");
+    count("rev_overflow_packets", &NetStats::revOverflowPackets,
+          "fission slack packets");
+
+    registry.addAccumulator(prefix + ".one_way_transit",
+                            &stats_.oneWayTransit,
+                            "inject -> full receipt at MNI, cycles");
+    registry.addAccumulator(prefix + ".round_trip", &stats_.roundTrip,
+                            "inject -> reply receipt at PE, cycles");
+    registry.addAccumulator(prefix + ".mm_queue_wait",
+                            &stats_.mmQueueWait,
+                            "arrival at MNI -> service start, cycles");
+    registry.addAccumulator(prefix + ".queue_len_at_enqueue",
+                            &stats_.queueLenAtEnqueue,
+                            "ToMM occupancy seen by arrivals, packets");
+    registry.addHistogram(prefix + ".round_trip_hist",
+                          &stats_.roundTripHist,
+                          "round-trip latency distribution");
+
+    registry.addScalar(prefix + ".mni_pending_pkts",
+                       [this] {
+                           return static_cast<double>(
+                               mniPendingPackets());
+                       },
+                       "packets queued at MNIs (gauge)");
+    for (unsigned s = 0; s < topo_.stages(); ++s) {
+        const std::string stage =
+            prefix + ".stage" + std::to_string(s) + ".";
+        registry.addScalar(stage + "combines",
+                           [this, s] {
+                               return static_cast<double>(
+                                   stats_.combinesPerStage[s]);
+                           },
+                           "requests combined at this stage");
+        registry.addScalar(stage + "tomm_pkts",
+                           [this, s] {
+                               return static_cast<double>(
+                                   stageQueuePackets(s, true));
+                           },
+                           "ToMM queue occupancy (gauge)");
+        registry.addScalar(stage + "tope_pkts",
+                           [this, s] {
+                               return static_cast<double>(
+                                   stageQueuePackets(s, false));
+                           },
+                           "ToPE queue occupancy (gauge)");
+        registry.addScalar(stage + "wb_entries",
+                           [this, s] {
+                               return static_cast<double>(
+                                   stageWaitBufferEntries(s));
+                           },
+                           "wait-buffer fill (gauge)");
+    }
+}
+
+void
+Network::setEventTrace(obs::EventTrace *trace)
+{
+    trace_ = trace;
+    fwdTrack_.clear();
+    revTrack_.clear();
+    if (trace_ == nullptr)
+        return;
+    peTrack_ = trace_->track("pe");
+    mmTrack_ = trace_->track("mm");
+    fwdTrack_.resize(cfg_.d);
+    revTrack_.resize(cfg_.d);
+    for (unsigned c = 0; c < cfg_.d; ++c) {
+        for (unsigned s = 0; s < topo_.stages(); ++s) {
+            const std::string base = "net.copy" + std::to_string(c) +
+                                     ".stage" + std::to_string(s);
+            fwdTrack_[c].push_back(trace_->track(base + ".tomm"));
+            revTrack_[c].push_back(trace_->track(base + ".tope"));
+        }
+    }
 }
 
 } // namespace ultra::net

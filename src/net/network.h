@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
@@ -33,6 +34,12 @@
 #include "net/out_queue.h"
 #include "net/routing.h"
 #include "net/wait_buffer.h"
+
+namespace ultra::obs
+{
+class EventTrace;
+class Registry;
+} // namespace ultra::obs
 
 namespace ultra::net
 {
@@ -152,6 +159,35 @@ class Network
     const NetStats &stats() const { return stats_; }
     void resetStats();
 
+    // --- observability (ultra::obs) -----------------------------------
+
+    /**
+     * Register counters, latency accumulators and live occupancy gauges
+     * under "<prefix>." (e.g. "net.injected", "net.stage2.combines",
+     * "net.stage2.tomm_pkts").  The registry reads through to this
+     * network; resetStats() is reflected immediately.
+     */
+    void registerStats(obs::Registry &registry,
+                       const std::string &prefix) const;
+
+    /**
+     * Attach (or detach, with nullptr) an event tracer.  Emits message
+     * injects, per-stage link occupancy, combines, decombines, MM
+     * service intervals and reply deliveries; detached, each hook is
+     * one branch.
+     */
+    void setEventTrace(obs::EventTrace *trace);
+
+    /** Packets queued right now across one stage's ToMM (or ToPE)
+     *  output queues, summed over copies and switches. */
+    std::uint64_t stageQueuePackets(unsigned stage, bool to_mm) const;
+
+    /** Wait-buffer entries held right now across one stage. */
+    std::uint64_t stageWaitBufferEntries(unsigned stage) const;
+
+    /** Packets pending in all MNI service queues right now. */
+    std::uint64_t mniPendingPackets() const;
+
     /**
      * Diagnostic dump of every nonempty queue, wait buffer and MNI
      * (location, occupancy, head message and its age) -- for debugging
@@ -205,6 +241,7 @@ class Network
 
     struct Copy
     {
+        unsigned index = 0; //!< which of the d copies this is
         std::vector<std::vector<Node>> stage; //!< [stage][switch]
         std::vector<Cycle> peLinkFreeAt;      //!< injection links
         std::vector<std::pair<unsigned, std::uint32_t>> activeNodes;
@@ -262,6 +299,19 @@ class Network
         OutQueue *claimTarget = nullptr;
         unsigned copy = 0;
     };
+
+    /** Trace lane for a stage's output queues: one tid per port. */
+    std::uint32_t traceLane(std::uint32_t sw, unsigned port) const
+    {
+        return sw * cfg_.k + port;
+    }
+
+    obs::EventTrace *trace_ = nullptr;
+    /** Interned track ids, valid while trace_ != nullptr. */
+    std::vector<std::vector<std::uint32_t>> fwdTrack_; //!< [copy][stage]
+    std::vector<std::vector<std::uint32_t>> revTrack_; //!< [copy][stage]
+    std::uint32_t mmTrack_ = 0;
+    std::uint32_t peTrack_ = 0;
 
     std::vector<Copy> copies_;
     std::vector<unsigned> nextCopy_; //!< per-PE round-robin cursor

@@ -1,6 +1,7 @@
 #include "pni.h"
 
 #include "common/log.h"
+#include "obs/registry.h"
 
 namespace ultra::net
 {
@@ -97,6 +98,61 @@ PniArray::pendingCount(PEId pe) const
 {
     const PeState &state = pes_[pe];
     return state.issueQueue.size() + state.outstanding.size();
+}
+
+std::size_t
+PniArray::outstandingCount() const
+{
+    std::size_t total = 0;
+    for (const PeState &state : pes_)
+        total += state.outstanding.size();
+    return total;
+}
+
+std::size_t
+PniArray::queuedCount() const
+{
+    std::size_t total = 0;
+    for (const PeState &state : pes_)
+        total += state.issueQueue.size();
+    return total;
+}
+
+void
+PniArray::registerStats(obs::Registry &registry,
+                        const std::string &prefix) const
+{
+    registry.addScalar(prefix + ".requested",
+                       [this] {
+                           return static_cast<double>(stats_.requested);
+                       },
+                       "requests enqueued by PEs");
+    registry.addScalar(prefix + ".completed",
+                       [this] {
+                           return static_cast<double>(stats_.completed);
+                       },
+                       "requests completed");
+    registry.addScalar(prefix + ".retries",
+                       [this] {
+                           return static_cast<double>(stats_.retries);
+                       },
+                       "Burroughs-mode re-issues");
+    registry.addScalar(prefix + ".outstanding",
+                       [this] {
+                           return static_cast<double>(
+                               outstandingCount());
+                       },
+                       "requests in the network (gauge)");
+    registry.addScalar(prefix + ".issue_queued",
+                       [this] {
+                           return static_cast<double>(queuedCount());
+                       },
+                       "requests awaiting issue (gauge)");
+    registry.addAccumulator(prefix + ".access_time",
+                            &stats_.accessTime,
+                            "request() -> completion, cycles");
+    registry.addAccumulator(prefix + ".issue_wait", &stats_.issueWait,
+                            "request() -> network acceptance, cycles");
 }
 
 void

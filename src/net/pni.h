@@ -97,6 +97,17 @@ class PniArray
     const PniStats &stats() const { return stats_; }
     void resetStats() { stats_ = PniStats{}; }
 
+    /** Requests currently in the network (all PEs, gauge). */
+    std::size_t outstandingCount() const;
+
+    /** Requests queued at the PNIs awaiting issue (all PEs, gauge). */
+    std::size_t queuedCount() const;
+
+    /** Register counters and gauges under "<prefix>." (see
+     *  Network::registerStats). */
+    void registerStats(obs::Registry &registry,
+                       const std::string &prefix) const;
+
     const mem::AddressHash &hash() const { return hash_; }
 
   private:

@@ -1,0 +1,136 @@
+#include "event_trace.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.h"
+#include "obs/json.h"
+
+namespace ultra::obs
+{
+
+EventTrace::EventTrace(std::size_t max_events) : maxEvents_(max_events)
+{
+    ULTRA_ASSERT(max_events > 0);
+}
+
+EventTrace::TrackId
+EventTrace::track(const std::string &name)
+{
+    auto it = trackIndex_.find(name);
+    if (it != trackIndex_.end())
+        return it->second;
+    const TrackId id = static_cast<TrackId>(tracks_.size());
+    tracks_.push_back(name);
+    trackIndex_.emplace(name, id);
+    return id;
+}
+
+bool
+EventTrace::admit()
+{
+    if (events_.size() >= maxEvents_) {
+        ++dropped_;
+        return false;
+    }
+    return true;
+}
+
+void
+EventTrace::complete(TrackId track, std::uint32_t tid, const char *name,
+                     Cycle start, Cycle duration)
+{
+    if (!admit())
+        return;
+    events_.push_back({name, track, tid, start, duration, 0.0, 'X'});
+}
+
+void
+EventTrace::instant(TrackId track, std::uint32_t tid, const char *name,
+                    Cycle at)
+{
+    if (!admit())
+        return;
+    events_.push_back({name, track, tid, at, 0, 0.0, 'i'});
+}
+
+void
+EventTrace::counter(TrackId track, const char *name, Cycle at,
+                    double value)
+{
+    if (!admit())
+        return;
+    events_.push_back({name, track, 0, at, 0, value, 'C'});
+}
+
+void
+EventTrace::writeJson(std::ostream &os) const
+{
+    os << "{\"traceEvents\": [";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n ";
+    };
+    // Metadata names every track ("process") for the viewer.
+    for (TrackId id = 0; id < tracks_.size(); ++id) {
+        sep();
+        os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+           << id + 1 << ", \"tid\": 0, \"args\": {\"name\": ";
+        writeJsonString(os, tracks_[id]);
+        os << "}}";
+    }
+    for (const Event &ev : events_) {
+        sep();
+        os << "{\"name\": ";
+        writeJsonString(os, ev.name);
+        os << ", \"cat\": \"sim\", \"ph\": \"" << ev.ph
+           << "\", \"pid\": " << ev.track + 1 << ", \"tid\": " << ev.tid
+           << ", \"ts\": " << ev.ts;
+        switch (ev.ph) {
+          case 'X':
+            // Zero-width intervals are invisible; draw at least 1.
+            os << ", \"dur\": " << (ev.dur > 0 ? ev.dur : 1);
+            break;
+          case 'i':
+            os << ", \"s\": \"t\"";
+            break;
+          case 'C':
+            os << ", \"args\": {\"value\": ";
+            writeJsonNumber(os, ev.value);
+            os << "}";
+            break;
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+std::string
+EventTrace::json() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+bool
+EventTrace::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write trace events to '", path, "'");
+        return false;
+    }
+    writeJson(out);
+    if (dropped_ > 0) {
+        warn("trace buffer full: dropped ", dropped_,
+             " events after the first ", events_.size());
+    }
+    return static_cast<bool>(out);
+}
+
+} // namespace ultra::obs

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Chrome trace-event recording (loadable in Perfetto / chrome://tracing).
+ *
+ * An EventTrace collects timestamped events on named *tracks*: a track
+ * corresponds to a trace-event "process" (one per network stage and
+ * direction, one for the PEs, one for the memory modules) and the tid
+ * within it to a lane (switch output port, PE id, MM id).  Components
+ * hold a nullable EventTrace pointer and emit through it; with no trace
+ * attached the hooks cost one branch.
+ *
+ * Three event shapes cover the simulator:
+ *   - complete ("X"): an interval -- a message holding a link for its
+ *     packet count, an MM servicing a request, a PE context waiting;
+ *   - instant ("i"): a point -- inject, combine, decombine, reply;
+ *   - counter ("C"): a numeric series -- queue occupancy over time.
+ *
+ * Timestamps are simulated cycles written into the "ts"/"dur" fields
+ * (nominally microseconds; read them as cycles).  Event names must be
+ * string literals or otherwise outlive the trace -- the recorder stores
+ * the pointer, keeping the hot path allocation-free.
+ *
+ * The buffer is bounded: past maxEvents, further events are counted as
+ * dropped rather than recorded, so a runaway run degrades instead of
+ * exhausting memory.
+ */
+
+#ifndef ULTRA_OBS_EVENT_TRACE_H
+#define ULTRA_OBS_EVENT_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ultra::obs
+{
+
+/** A bounded in-memory recorder of Chrome trace events. */
+class EventTrace
+{
+  public:
+    /** Identifies a track (a trace-event process). */
+    using TrackId = std::uint32_t;
+
+    explicit EventTrace(std::size_t max_events = 4'000'000);
+
+    /** Intern @p name as a track; idempotent per name. */
+    TrackId track(const std::string &name);
+
+    /** An interval [start, start + duration) on @p track / @p tid. */
+    void complete(TrackId track, std::uint32_t tid, const char *name,
+                  Cycle start, Cycle duration);
+
+    /** A point event at @p at. */
+    void instant(TrackId track, std::uint32_t tid, const char *name,
+                 Cycle at);
+
+    /** One point of the numeric series @p name. */
+    void counter(TrackId track, const char *name, Cycle at,
+                 double value);
+
+    std::size_t size() const { return events_.size(); }
+    std::uint64_t dropped() const { return dropped_; }
+    std::size_t numTracks() const { return tracks_.size(); }
+
+    /** The whole trace as Chrome JSON: {"traceEvents": [...]}. */
+    std::string json() const;
+    void writeJson(std::ostream &os) const;
+
+    /** Write json() to @p path; false (with a warning) on failure. */
+    bool save(const std::string &path) const;
+
+  private:
+    struct Event
+    {
+        const char *name;
+        TrackId track;
+        std::uint32_t tid;
+        Cycle ts;
+        Cycle dur;   //!< complete events only
+        double value; //!< counter events only
+        char ph;     //!< 'X', 'i' or 'C'
+    };
+
+    bool admit();
+
+    std::vector<std::string> tracks_;
+    std::unordered_map<std::string, TrackId> trackIndex_;
+    std::vector<Event> events_;
+    std::size_t maxEvents_;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace ultra::obs
+
+#endif // ULTRA_OBS_EVENT_TRACE_H

@@ -1,0 +1,53 @@
+#include "json.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+namespace ultra::obs
+{
+
+void
+writeJsonString(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+writeJsonNumber(std::ostream &os, double x)
+{
+    if (!std::isfinite(x)) {
+        os << "null";
+        return;
+    }
+    // Counters are the common case; print them exactly and compactly.
+    constexpr double kExactInt = 9007199254740992.0; // 2^53
+    if (x == std::floor(x) && std::fabs(x) < kExactInt) {
+        os << static_cast<std::int64_t>(x);
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", x);
+    os << buf;
+}
+
+} // namespace ultra::obs

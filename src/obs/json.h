@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the observability sinks
+ * (registry dumps, trace-event files).  Writing only -- the simulator
+ * never parses JSON.
+ */
+
+#ifndef ULTRA_OBS_JSON_H
+#define ULTRA_OBS_JSON_H
+
+#include <ostream>
+#include <string_view>
+
+namespace ultra::obs
+{
+
+/** Write @p s as a JSON string literal, with escaping. */
+void writeJsonString(std::ostream &os, std::string_view s);
+
+/**
+ * Write @p x as a JSON number.  Integral values print without a
+ * fraction; non-finite values (which JSON cannot represent) print as
+ * null.
+ */
+void writeJsonNumber(std::ostream &os, double x);
+
+} // namespace ultra::obs
+
+#endif // ULTRA_OBS_JSON_H

@@ -1,0 +1,197 @@
+#include "registry.h"
+
+#include <sstream>
+
+#include "common/log.h"
+#include "obs/json.h"
+
+namespace ultra::obs
+{
+
+void
+Registry::insert(Entry entry)
+{
+    ULTRA_ASSERT(!entry.path.empty(), "empty statistic path");
+    ULTRA_ASSERT(index_.find(entry.path) == index_.end(),
+                 "duplicate statistic path '", entry.path, "'");
+    index_.emplace(entry.path, entries_.size());
+    entries_.push_back(std::move(entry));
+}
+
+void
+Registry::addScalar(const std::string &path, ValueFn fn, std::string desc)
+{
+    ULTRA_ASSERT(fn != nullptr, "scalar '", path, "' needs a getter");
+    Entry entry;
+    entry.path = path;
+    entry.desc = std::move(desc);
+    entry.kind = Kind::Scalar;
+    entry.fn = std::move(fn);
+    insert(std::move(entry));
+}
+
+void
+Registry::addAccumulator(const std::string &path, const Accumulator *acc,
+                         std::string desc)
+{
+    ULTRA_ASSERT(acc != nullptr, "accumulator '", path, "' is null");
+    Entry entry;
+    entry.path = path;
+    entry.desc = std::move(desc);
+    entry.kind = Kind::Accumulator;
+    entry.acc = acc;
+    insert(std::move(entry));
+}
+
+void
+Registry::addHistogram(const std::string &path, const Histogram *hist,
+                       std::string desc)
+{
+    ULTRA_ASSERT(hist != nullptr, "histogram '", path, "' is null");
+    Entry entry;
+    entry.path = path;
+    entry.desc = std::move(desc);
+    entry.kind = Kind::Histogram;
+    entry.hist = hist;
+    insert(std::move(entry));
+}
+
+bool
+Registry::has(const std::string &path) const
+{
+    return index_.find(path) != index_.end();
+}
+
+std::vector<std::string>
+Registry::paths() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry &entry : entries_)
+        out.push_back(entry.path);
+    return out;
+}
+
+const Registry::Entry &
+Registry::find(const std::string &path) const
+{
+    auto it = index_.find(path);
+    ULTRA_ASSERT(it != index_.end(), "unknown statistic '", path, "'");
+    return entries_[it->second];
+}
+
+double
+Registry::value(const std::string &path) const
+{
+    const Entry &entry = find(path);
+    switch (entry.kind) {
+      case Kind::Scalar: return entry.fn();
+      case Kind::Accumulator: return entry.acc->mean();
+      case Kind::Histogram: return entry.hist->mean();
+    }
+    return 0.0;
+}
+
+const Accumulator &
+Registry::accumulator(const std::string &path) const
+{
+    const Entry &entry = find(path);
+    ULTRA_ASSERT(entry.kind == Kind::Accumulator, "'", path,
+                 "' is not an accumulator");
+    return *entry.acc;
+}
+
+const Histogram &
+Registry::histogram(const std::string &path) const
+{
+    const Entry &entry = find(path);
+    ULTRA_ASSERT(entry.kind == Kind::Histogram, "'", path,
+                 "' is not a histogram");
+    return *entry.hist;
+}
+
+std::string
+Registry::jsonDump(Cycle now) const
+{
+    std::ostringstream os;
+    os << "{\"cycle\": " << now << ", \"stats\": {";
+    bool first = true;
+    for (const Entry &entry : entries_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  ";
+        writeJsonString(os, entry.path);
+        os << ": ";
+        switch (entry.kind) {
+          case Kind::Scalar:
+            writeJsonNumber(os, entry.fn());
+            break;
+          case Kind::Accumulator: {
+            const Accumulator &acc = *entry.acc;
+            os << "{\"count\": " << acc.count() << ", \"mean\": ";
+            writeJsonNumber(os, acc.mean());
+            os << ", \"stddev\": ";
+            writeJsonNumber(os, acc.stddev());
+            os << ", \"min\": ";
+            writeJsonNumber(os, acc.min());
+            os << ", \"max\": ";
+            writeJsonNumber(os, acc.max());
+            os << "}";
+            break;
+          }
+          case Kind::Histogram: {
+            const Histogram &hist = *entry.hist;
+            os << "{\"count\": " << hist.count() << ", \"mean\": ";
+            writeJsonNumber(os, hist.mean());
+            os << ", \"bin_width\": " << hist.binWidth()
+               << ", \"p50\": " << hist.percentile(0.5)
+               << ", \"p95\": " << hist.percentile(0.95)
+               << ", \"p99\": " << hist.percentile(0.99)
+               << ", \"bins\": [";
+            // Trailing empty bins carry no information; trim them.
+            std::size_t last = hist.numBins();
+            while (last > 0 && hist.binCount(last - 1) == 0)
+                --last;
+            for (std::size_t i = 0; i < last; ++i) {
+                if (i)
+                    os << ",";
+                os << hist.binCount(i);
+            }
+            os << "]}";
+            break;
+          }
+        }
+    }
+    os << "\n}}\n";
+    return os.str();
+}
+
+std::string
+Registry::render() const
+{
+    std::ostringstream os;
+    for (const Entry &entry : entries_) {
+        os << entry.path << " = ";
+        switch (entry.kind) {
+          case Kind::Scalar:
+            writeJsonNumber(os, entry.fn());
+            break;
+          case Kind::Accumulator:
+            os << "count " << entry.acc->count() << " mean "
+               << entry.acc->mean() << " max " << entry.acc->max();
+            break;
+          case Kind::Histogram:
+            os << "count " << entry.hist->count() << " mean "
+               << entry.hist->mean() << " p99 "
+               << entry.hist->percentile(0.99);
+            break;
+        }
+        if (!entry.desc.empty())
+            os << "  # " << entry.desc;
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace ultra::obs

@@ -1,0 +1,86 @@
+#include "sampler.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+
+namespace ultra::obs
+{
+
+void
+Sampler::addColumn(std::string name, ValueFn fn)
+{
+    ULTRA_ASSERT(cycles_.empty(),
+                 "cannot add sampler column '", name,
+                 "' after sampling started");
+    ULTRA_ASSERT(fn != nullptr);
+    names_.push_back(std::move(name));
+    columns_.push_back({std::move(fn)});
+}
+
+void
+Sampler::addRegistryColumn(const Registry &registry,
+                           const std::string &path)
+{
+    ULTRA_ASSERT(registry.has(path),
+                 "sampler column for unknown statistic '", path, "'");
+    addColumn(path, [&registry, path] { return registry.value(path); });
+}
+
+void
+Sampler::sample(Cycle now)
+{
+    cycles_.push_back(now);
+    for (const Column &col : columns_)
+        data_.push_back(col.fn());
+}
+
+double
+Sampler::at(std::size_t row, std::size_t col) const
+{
+    ULTRA_ASSERT(row < numRows() && col < numColumns());
+    return data_[row * numColumns() + col];
+}
+
+void
+Sampler::clear()
+{
+    cycles_.clear();
+    data_.clear();
+}
+
+std::string
+Sampler::csv() const
+{
+    std::ostringstream os;
+    os << "cycle";
+    for (const std::string &name : names_)
+        os << ',' << name;
+    os << '\n';
+    for (std::size_t row = 0; row < numRows(); ++row) {
+        os << cycles_[row];
+        for (std::size_t col = 0; col < numColumns(); ++col) {
+            os << ',';
+            writeJsonNumber(os, at(row, col)); // compact numerals
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+bool
+Sampler::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write samples to '", path, "'");
+        return false;
+    }
+    out << csv();
+    return static_cast<bool>(out);
+}
+
+} // namespace ultra::obs

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Per-cycle time-series probes (the section-4 saturation analysis,
+ * time-resolved).
+ *
+ * A Sampler holds a set of named columns, each a getter; sample(now)
+ * evaluates every column and appends one row.  The driving loop
+ * (Machine::run, or a bench's own loop) calls sample() every S cycles,
+ * turning end-of-run means into curves: queue occupancy ramping as a
+ * hot spot saturates, combine rate per stage settling, PE idle
+ * fraction over a barrier.  Rows dump as CSV with a leading "cycle"
+ * column.
+ */
+
+#ifndef ULTRA_OBS_SAMPLER_H
+#define ULTRA_OBS_SAMPLER_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ultra::obs
+{
+
+class Registry;
+
+/** A growing table of (cycle, column values) snapshots. */
+class Sampler
+{
+  public:
+    using ValueFn = std::function<double()>;
+
+    /** Add a column; must happen before the first sample(). */
+    void addColumn(std::string name, ValueFn fn);
+
+    /** Add a column reading @p path from @p registry (named after it). */
+    void addRegistryColumn(const Registry &registry,
+                           const std::string &path);
+
+    /** Snapshot every column at time @p now (appends one row). */
+    void sample(Cycle now);
+
+    std::size_t numColumns() const { return columns_.size(); }
+    std::size_t numRows() const { return cycles_.size(); }
+    const std::vector<std::string> &columnNames() const { return names_; }
+
+    Cycle cycleAt(std::size_t row) const { return cycles_.at(row); }
+    double at(std::size_t row, std::size_t col) const;
+
+    /** Drop all rows (columns stay). */
+    void clear();
+
+    /** Render all rows as CSV ("cycle,<col>,<col>,...\n..."). */
+    std::string csv() const;
+
+    /** Write csv() to @p path; false (with a warning) on I/O failure. */
+    bool save(const std::string &path) const;
+
+  private:
+    struct Column
+    {
+        ValueFn fn;
+    };
+
+    std::vector<Column> columns_;
+    std::vector<std::string> names_;
+    std::vector<Cycle> cycles_;
+    std::vector<double> data_; //!< row-major, numColumns() per row
+};
+
+} // namespace ultra::obs
+
+#endif // ULTRA_OBS_SAMPLER_H

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "obs/event_trace.h"
 
 namespace ultra::pe
 {
@@ -175,6 +176,10 @@ Pe::unblock(Context &ctx, Cycle earliest)
 {
     ctx.readyAt = std::max(earliest, ctx.blockStart);
     stats_.idleCycles += ctx.readyAt - ctx.blockStart;
+    if (trace_ && ctx.readyAt > ctx.blockStart) {
+        trace_->complete(traceTrack_, id_, "wait", ctx.blockStart,
+                         ctx.readyAt - ctx.blockStart);
+    }
     ctx.state = State::Ready;
 }
 

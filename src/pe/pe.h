@@ -52,6 +52,11 @@
 #include "net/pni.h"
 #include "pe/task.h"
 
+namespace ultra::obs
+{
+class EventTrace;
+} // namespace ultra::obs
+
 namespace ultra::pe
 {
 
@@ -229,6 +234,15 @@ class Pe
     const PeStats &stats() const { return stats_; }
     void resetStats() { stats_ = PeStats{}; }
 
+    /** Attach an event trace (nullptr detaches); @p track is the trace
+     *  track to emit per-context "wait" spans on (tid = PE id). */
+    void
+    setEventTrace(obs::EventTrace *trace, std::uint32_t track)
+    {
+        trace_ = trace;
+        traceTrack_ = track;
+    }
+
   private:
     enum class State { Ready, BlockedMem, BlockedHandle, BlockedFence };
 
@@ -350,6 +364,9 @@ class Pe
     std::unique_ptr<cache::Cache> cache_;
 
     PeStats stats_;
+
+    obs::EventTrace *trace_ = nullptr;
+    std::uint32_t traceTrack_ = 0;
 };
 
 inline bool

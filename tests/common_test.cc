@@ -6,8 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <set>
+#include <utility>
+#include <vector>
 
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -176,6 +180,29 @@ TEST(AccumulatorTest, MergeWithEmpty)
     EXPECT_DOUBLE_EQ(b.mean(), 3.0);
 }
 
+TEST(AccumulatorTest, MergeEmptyIntoEmpty)
+{
+    Accumulator a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.min(), 0.0);
+    EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(AccumulatorTest, MergePreservesExtremes)
+{
+    Accumulator a, b;
+    a.add(1.0);
+    a.add(10.0);
+    b.add(-5.0);
+    b.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.min(), -5.0);
+    EXPECT_DOUBLE_EQ(a.max(), 10.0);
+}
+
 TEST(HistogramTest, BinningAndMean)
 {
     Histogram h(10, 8);
@@ -206,6 +233,113 @@ TEST(HistogramTest, Percentile)
     EXPECT_LE(h.percentile(0.5), 51u);
     EXPECT_GE(h.percentile(0.5), 49u);
     EXPECT_GE(h.percentile(0.99), 97u);
+}
+
+TEST(HistogramTest, PercentileOfEmpty)
+{
+    Histogram h(1, 8);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.0), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.percentile(1.0), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, PercentileExtremeQuantiles)
+{
+    Histogram h(1, 100);
+    for (std::uint64_t x : {5, 6, 7})
+        h.add(x);
+    // q=0 lands in the first nonempty bin, q=1 in the last.
+    EXPECT_EQ(h.percentile(0.0), 5u);
+    EXPECT_EQ(h.percentile(1.0), 7u);
+    // Out-of-range quantiles clamp rather than misbehave.
+    EXPECT_EQ(h.percentile(-0.5), 5u);
+    EXPECT_EQ(h.percentile(2.0), 7u);
+}
+
+TEST(HistogramTest, AllSamplesInOverflowBin)
+{
+    Histogram h(1, 4);
+    h.add(100);
+    h.add(200);
+    EXPECT_EQ(h.binCount(h.numBins() - 1), 2u);
+    // Every percentile of an overflow-only distribution reports the
+    // largest sample -- the only value the bin still knows.
+    EXPECT_EQ(h.percentile(0.5), 200u);
+    EXPECT_EQ(h.percentile(1.0), 200u);
+}
+
+/** Captures log output through the pluggable sink, restoring the
+ *  default sink and threshold on destruction. */
+class LogCapture
+{
+  public:
+    LogCapture()
+    {
+        setLogSink([this](LogLevel level, const std::string &msg) {
+            messages_.emplace_back(level, msg);
+        });
+    }
+
+    ~LogCapture()
+    {
+        setLogSink(nullptr);
+        setLogThreshold(LogLevel::Inform);
+    }
+
+    const std::vector<std::pair<LogLevel, std::string>> &
+    messages() const
+    {
+        return messages_;
+    }
+
+  private:
+    std::vector<std::pair<LogLevel, std::string>> messages_;
+};
+
+TEST(LogTest, SinkCapturesFormattedMessages)
+{
+    LogCapture capture;
+    inform("hello ", 42);
+    warn("trouble at cycle ", 7);
+    ASSERT_EQ(capture.messages().size(), 2u);
+    EXPECT_EQ(capture.messages()[0].first, LogLevel::Inform);
+    EXPECT_EQ(capture.messages()[0].second, "hello 42");
+    EXPECT_EQ(capture.messages()[1].first, LogLevel::Warn);
+    EXPECT_EQ(capture.messages()[1].second, "trouble at cycle 7");
+}
+
+TEST(LogTest, ThresholdGatesLowerLevels)
+{
+    LogCapture capture;
+    debug("dropped at default threshold");
+    EXPECT_TRUE(capture.messages().empty());
+
+    setLogThreshold(LogLevel::Debug);
+    debug("now visible");
+    ASSERT_EQ(capture.messages().size(), 1u);
+    EXPECT_EQ(capture.messages()[0].first, LogLevel::Debug);
+    EXPECT_EQ(capture.messages()[0].second, "now visible");
+
+    setLogThreshold(LogLevel::Warn);
+    inform("suppressed");
+    debug("suppressed too");
+    warn("still emitted");
+    ASSERT_EQ(capture.messages().size(), 2u);
+    EXPECT_EQ(capture.messages()[1].second, "still emitted");
+}
+
+TEST(LogTest, ThresholdFromEnvironment)
+{
+    setenv("ULTRA_LOG", "debug", 1);
+    EXPECT_EQ(detail::thresholdFromEnv(), LogLevel::Debug);
+    setenv("ULTRA_LOG", "warn", 1);
+    EXPECT_EQ(detail::thresholdFromEnv(), LogLevel::Warn);
+    setenv("ULTRA_LOG", "bogus", 1);
+    EXPECT_EQ(detail::thresholdFromEnv(), LogLevel::Inform);
+    unsetenv("ULTRA_LOG");
+    EXPECT_EQ(detail::thresholdFromEnv(), LogLevel::Inform);
 }
 
 TEST(TextTableTest, RendersAlignedColumns)

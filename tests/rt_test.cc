@@ -151,11 +151,15 @@ TEST(ParallelQueueTest, ConcurrentConservation)
     }
     for (unsigned c = 0; c < consumers; ++c) {
         threads.emplace_back([&, c] {
+            // Every successful tryDelete must be recorded: once the
+            // claim lands the item belongs to this consumer, so a
+            // dropped result is a lost item, not a retry.
             std::uint64_t item;
-            while (!done.load(std::memory_order_acquire) ||
-                   q.tryDelete(&item)) {
+            while (true) {
                 if (q.tryDelete(&item))
                     got[c].push_back(item);
+                else if (done.load(std::memory_order_acquire))
+                    break;
                 else
                     std::this_thread::yield();
             }

@@ -26,6 +26,12 @@
  *   --ideal        ideal paracomputer (single-cycle shared memory)
  *   --uniform      uniform packet sizing (analytic-model assumption)
  *
+ * Observability options (`net` and `app`):
+ *   --stats-json FILE      dump every registered statistic as JSON
+ *   --sample-every S       snapshot occupancy gauges every S cycles
+ *   --sample-out FILE      write the sampled time series as CSV
+ *   --trace-events FILE    Chrome trace-event JSON (load in Perfetto)
+ *
  * `net` options:
  *   --rate R       offered load, messages/PE/cycle (default 0.1)
  *   --hot F        fraction of traffic to one hot F&A cell (default 0)
@@ -71,6 +77,9 @@
 #include "net/pni.h"
 #include "net/trace.h"
 #include "net/traffic.h"
+#include "obs/event_trace.h"
+#include "obs/registry.h"
+#include "obs/sampler.h"
 
 namespace
 {
@@ -130,6 +139,40 @@ class Args
     std::map<std::string, std::string> values_;
 };
 
+/** The shared --stats-json / --sample-* / --trace-events options. */
+struct ObsOptions
+{
+    std::string statsJson;
+    Cycle sampleEvery = 0;
+    std::string sampleOut;
+    std::string traceEvents;
+
+    static ObsOptions
+    from(const Args &args)
+    {
+        ObsOptions o;
+        o.statsJson = args.getString("stats-json", "");
+        o.sampleEvery = args.getInt("sample-every", 0);
+        o.sampleOut = args.getString("sample-out", "");
+        o.traceEvents = args.getString("trace-events", "");
+        return o;
+    }
+
+    bool sampling() const { return sampleEvery != 0; }
+};
+
+void
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+}
+
 net::NetSimConfig
 netConfigFrom(const Args &args)
 {
@@ -187,11 +230,52 @@ cmdNet(const Args &args)
     net::PniArray pni(pcfg, network, hash);
     net::TrafficGenerator traffic(tcfg, pni, network);
 
+    const ObsOptions obs = ObsOptions::from(args);
+    obs::Registry registry;
+    network.registerStats(registry, "net");
+    pni.registerStats(registry, "pni");
+    memory.registerStats(registry, "mem");
+    obs::EventTrace trace;
+    if (!obs.traceEvents.empty())
+        network.setEventTrace(&trace);
+    obs::Sampler sampler;
+    if (obs.sampling()) {
+        for (unsigned s = 0; s < network.topology().stages(); ++s) {
+            const std::string stage =
+                "net.stage" + std::to_string(s) + ".";
+            sampler.addRegistryColumn(registry, stage + "tomm_pkts");
+            sampler.addRegistryColumn(registry, stage + "wb_entries");
+            sampler.addRegistryColumn(registry, stage + "combines");
+        }
+        sampler.addRegistryColumn(registry, "pni.outstanding");
+        sampler.addRegistryColumn(registry, "net.mni_pending_pkts");
+    }
+
     const Cycle cycles = args.getInt("cycles", 10000);
-    traffic.run(cycles / 5); // warm up
+    // Sampling covers the warmup too, so the series shows queues
+    // ramping from cold (the hot-spot tree-saturation onset).
+    auto runSampled = [&](Cycle count) {
+        for (Cycle c = 0; c < count; ++c) {
+            traffic.tick();
+            pni.tick();
+            network.tick();
+            if (obs.sampling() &&
+                network.now() % obs.sampleEvery == 0) {
+                sampler.sample(network.now());
+            }
+        }
+    };
+    runSampled(cycles / 5); // warm up
     network.resetStats();
     pni.resetStats();
-    traffic.run(cycles);
+    runSampled(cycles);
+
+    if (!obs.statsJson.empty())
+        writeTextFile(obs.statsJson, registry.jsonDump(network.now()));
+    if (!obs.sampleOut.empty())
+        sampler.save(obs.sampleOut);
+    if (!obs.traceEvents.empty())
+        trace.save(obs.traceEvents);
 
     const auto &stats = network.stats();
     std::printf("ports %u, k=%u m=%u d=%u, policy %s%s\n",
@@ -243,6 +327,12 @@ cmdApp(const Args &args)
     pe::PeStats totals;
     double access = 0.0;
     core::Machine machine(mcfg);
+    const ObsOptions obs = ObsOptions::from(args);
+    obs::EventTrace trace;
+    if (!obs.traceEvents.empty())
+        machine.attachEventTrace(&trace);
+    if (obs.sampling())
+        machine.enableSampling(obs.sampleEvery);
     if (app == "tred2") {
         const std::size_t n = args.getInt("n", 32);
         const auto contexts =
@@ -337,6 +427,13 @@ cmdApp(const Args &args)
                 static_cast<unsigned long long>(
                     machine.network().stats().combined));
     std::printf("\n%s", machine.statsReport().c_str());
+
+    if (!obs.statsJson.empty())
+        writeTextFile(obs.statsJson, machine.statsJson());
+    if (!obs.sampleOut.empty())
+        machine.sampler().save(obs.sampleOut);
+    if (!obs.traceEvents.empty())
+        trace.save(obs.traceEvents);
     return 0;
 }
 
