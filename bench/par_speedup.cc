@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Self-speedup of the ultra::par tick engine: the Table-1 machine
+ * (4096 ports, k=4 combining switches) with 1024 engaged PEs running a
+ * compute + fetch-and-add worker loop, simulated with 1/2/4/8 host
+ * threads.  Reports wall-clock per run and the speedup over the
+ * 1-thread engine, and verifies the headline property along the way:
+ * every thread count must produce byte-identical stats.
+ *
+ * Only the compute phase (PE coroutine stepping) parallelizes; PNI
+ * issue, the network, and memory are the sequential commit phase, so
+ * the speedup ceiling is set by the compute fraction of the cycle
+ * (Amdahl) -- the point of recording BENCH_par.json is to track that
+ * fraction as later PRs move more work into the compute phase.
+ *
+ * Usage: par_speedup [output.json]   (default BENCH_par.json)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/table.h"
+#include "core/machine.h"
+#include "pe/task.h"
+
+namespace
+{
+
+using namespace ultra;
+
+constexpr std::uint32_t kPes = 1024;
+constexpr int kIterations = 150;
+
+struct RunResult
+{
+    unsigned threads = 1;
+    double seconds = 0.0;
+    Cycle cycles = 0;
+    std::string statsJson;
+};
+
+RunResult
+runOnce(unsigned threads)
+{
+    core::MachineConfig cfg = core::MachineConfig::paperTable1();
+    cfg.threads = threads;
+    core::Machine machine(cfg);
+    const Addr counter = machine.allocShared(1, "counter");
+    machine.launchAll(kPes, [counter](pe::Pe &pe) -> pe::Task {
+        for (int i = 0; i < kIterations; ++i) {
+            co_await pe.compute(16);
+            co_await pe.fetchAdd(counter, 1);
+        }
+    });
+
+    const auto start = std::chrono::steady_clock::now();
+    const bool finished = machine.run();
+    const auto stop = std::chrono::steady_clock::now();
+    if (!finished) {
+        std::fprintf(stderr, "run with %u threads did not finish\n",
+                     threads);
+        std::exit(1);
+    }
+    if (machine.peek(counter) !=
+        static_cast<Word>(kPes) * kIterations) {
+        std::fprintf(stderr, "wrong fetch-add total with %u threads\n",
+                     threads);
+        std::exit(1);
+    }
+
+    RunResult r;
+    r.threads = threads;
+    r.seconds = std::chrono::duration<double>(stop - start).count();
+    r.cycles = machine.now();
+    r.statsJson = machine.statsJson();
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_par.json";
+    const unsigned host_cores = std::thread::hardware_concurrency();
+    std::printf("par_speedup: Table-1 machine, %u PEs x %d "
+                "compute+fetch-add iterations, %u host core%s\n\n",
+                kPes, kIterations, host_cores,
+                host_cores == 1 ? "" : "s");
+
+    std::vector<RunResult> results;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        results.push_back(runOnce(threads));
+        const RunResult &r = results.back();
+        if (r.statsJson != results.front().statsJson) {
+            std::fprintf(stderr,
+                         "DETERMINISM VIOLATION: %u-thread stats "
+                         "differ from 1-thread stats\n",
+                         threads);
+            return 1;
+        }
+        std::printf("  threads=%u: %.2fs (%llu cycles, stats %s)\n",
+                    r.threads, r.seconds,
+                    static_cast<unsigned long long>(r.cycles),
+                    threads == 1 ? "baseline" : "identical");
+    }
+
+    TextTable table;
+    table.setHeader({"host threads", "wall (s)", "self-speedup"});
+    for (const RunResult &r : results) {
+        table.addRow({std::to_string(r.threads),
+                      TextTable::fmt(r.seconds, 2),
+                      TextTable::fmt(results.front().seconds /
+                                         r.seconds,
+                                     2)});
+    }
+    std::printf("\n%s", table.render().c_str());
+
+    std::ofstream out(out_path);
+    if (!out.good()) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    out << "{\n  \"bench\": \"par_speedup\",\n"
+        << "  \"config\": \"paperTable1\",\n"
+        << "  \"host_cores\": " << host_cores << ",\n"
+        << "  \"pes\": " << kPes << ",\n"
+        << "  \"iterations\": " << kIterations << ",\n"
+        << "  \"cycles\": " << results.front().cycles << ",\n"
+        << "  \"deterministic\": true,\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        char line[160];
+        std::snprintf(line, sizeof line,
+                      "    {\"threads\": %u, \"wall_seconds\": %.3f, "
+                      "\"self_speedup\": %.3f}%s\n",
+                      r.threads, r.seconds,
+                      results.front().seconds / r.seconds,
+                      i + 1 < results.size() ? "," : "");
+        out << line;
+    }
+    out << "  ]\n}\n";
+    std::printf("\nwrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -158,25 +158,96 @@ Machine::launchAll(std::uint32_t count, const ProgramFn &program)
         launch(pe, program);
 }
 
+void
+Machine::prepareShards()
+{
+    // Shard the *launched* PE list, not PE-id space: programs often
+    // engage a handful of PEs on a large machine, and raw-id sharding
+    // would park every busy PE in shard 0.
+    shardPes_ = launched_;
+    std::sort(shardPes_.begin(), shardPes_.end());
+
+    unsigned threads = par::TickEngine::resolveThreads(cfg_.threads);
+    if (!shardPes_.empty() &&
+        threads > static_cast<unsigned>(shardPes_.size()))
+        threads = static_cast<unsigned>(shardPes_.size());
+    // A request probe observes every request() in call order, which is
+    // not deterministic under parallel stepping; keep such runs serial.
+    if (pni_.hasRequestProbe())
+        threads = 1;
+    if (threads == 0)
+        threads = 1;
+
+    if (engineThreads_ != threads) {
+        engine_ = std::make_unique<par::TickEngine>(threads);
+        engineThreads_ = threads;
+    }
+    shardPlan_ = par::ShardPlan::contiguous(shardPes_.size(), threads);
+    shardDone_.assign(threads, 0);
+
+    std::vector<unsigned> shard_of(numPes(), 0);
+    for (std::size_t i = 0; i < shardPes_.size(); ++i)
+        shard_of[shardPes_[i]] = shardPlan_.shardOf(i);
+    pni_.setShardMap(threads, std::move(shard_of));
+}
+
+bool
+Machine::stepShard(unsigned shard, Cycle now)
+{
+    const par::ShardRange range = shardPlan_.range(shard);
+    bool all_done = true;
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+        pe::Pe &pe = *pes_[shardPes_[i]];
+        if (pe.runnable(now))
+            pe.step(now);
+        all_done = all_done && pe.finished();
+    }
+    return all_done;
+}
+
+void
+Machine::flushObservers()
+{
+    for (PEId pe : launched_)
+        pes_[pe]->flushWaits(now());
+    if (samplePeriod_ != 0 && sampler_.numColumns() > 0 &&
+        lastSampleAt_ != now()) {
+        sampler_.sample(now());
+        lastSampleAt_ = now();
+    }
+}
+
 bool
 Machine::run(Cycle max_cycles)
 {
+    prepareShards();
     const Cycle deadline = now() + max_cycles;
+    bool finished_all = false;
     while (now() < deadline) {
-        bool all_done = true;
-        for (PEId pe : launched_) {
-            if (pes_[pe]->runnable(now()))
-                pes_[pe]->step(now());
-            all_done = all_done && pes_[pe]->finished();
-        }
-        if (all_done)
-            return true;
+        // Compute phase: step PE coroutines, one shard per thread.
+        // Each shard touches only its own PEs' state and the PNI
+        // staging its shard owns; everything else this phase reads
+        // (now(), memory peeked before the run) is frozen.
+        const Cycle cycle = now();
+        engine_->forEachShard([this, cycle](unsigned shard) {
+            shardDone_[shard] = stepShard(shard, cycle) ? 1 : 0;
+        });
+        finished_all = true;
+        for (unsigned char done : shardDone_)
+            finished_all = finished_all && done != 0;
+        if (finished_all)
+            break;
+        // Commit phase (sequential): staged requests issue in PE-id
+        // order, the network and memory advance, observers sample.
         pni_.tick();
         network_.tick();
-        if (samplePeriod_ != 0 && now() % samplePeriod_ == 0)
+        if (samplePeriod_ != 0 && now() % samplePeriod_ == 0) {
             sampler_.sample(now());
+            lastSampleAt_ = now();
+        }
     }
-    return false;
+    flushObservers();
+    return finished_all;
 }
 
 void

@@ -30,6 +30,8 @@
 #include "net/pni.h"
 #include "obs/registry.h"
 #include "obs/sampler.h"
+#include "par/shard.h"
+#include "par/tick_engine.h"
 #include "pe/pe.h"
 #include "pe/task.h"
 
@@ -51,6 +53,14 @@ struct MachineConfig
     std::size_t wordsPerModule = 1 << 16;
     /** Hash virtual addresses across modules (section 3.1.4). */
     bool hashAddresses = true;
+    /**
+     * Host threads for run()'s compute phase (0 = one per hardware
+     * core).  PE coroutine stepping is partitioned across threads;
+     * PNI issue, the network, and memory remain a sequential commit
+     * phase, so results are bit-identical for every thread count (see
+     * DESIGN.md "The compute/commit phase contract").
+     */
+    unsigned threads = 1;
 
     /** The paper's Table-1 machine: 4096 ports, six stages of 4x4
      *  switches, 15-packet queues, PE instr = MM access = 2 cycles. */
@@ -94,6 +104,10 @@ class Machine
 
     /**
      * Run until every launched program finishes or @p max_cycles pass.
+     * Either way the run ends at a cycle boundary with observers
+     * flushed: blocked contexts' waiting time is credited (see
+     * Pe::flushWaits) and the sampler emits a final row, so a timed-out
+     * run's stats, samples, and traces cover every simulated cycle.
      * @return true when all programs finished.
      */
     bool run(Cycle max_cycles = 50'000'000);
@@ -164,6 +178,9 @@ class Machine
 
   private:
     void registerMachineStats();
+    void prepareShards();
+    bool stepShard(unsigned shard, Cycle now);
+    void flushObservers();
 
     MachineConfig cfg_;
     mem::MemorySystem memory_;
@@ -173,6 +190,18 @@ class Machine
     obs::Registry registry_;
     obs::Sampler sampler_;
     Cycle samplePeriod_ = 0;
+    Cycle lastSampleAt_ = static_cast<Cycle>(-1);
+
+    // --- parallel compute phase (ultra::par) --------------------------
+    std::unique_ptr<par::TickEngine> engine_;
+    unsigned engineThreads_ = 0;
+    /** Launched PEs in ascending id order; shards are contiguous slices
+     *  of this list (apps often engage few PEs of a big machine, so
+     *  sharding raw PE-id space would leave threads idle). */
+    std::vector<PEId> shardPes_;
+    par::ShardPlan shardPlan_;
+    /** Per-shard "all my PEs finished" flags (single-writer each). */
+    std::vector<unsigned char> shardDone_;
     std::vector<std::unique_ptr<pe::Pe>> pes_;
     /** Keeps each PE's program callables (and thus any coroutine-lambda
      *  closures) alive while its tasks run; one entry per context. */

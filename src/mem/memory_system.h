@@ -7,6 +7,11 @@
  * fetch-and-add.  Requests to one MM are serviced one at a time with a
  * fixed access latency; the module owning a physical word address is its
  * low lg N bits (hashing at the PNI keeps modules equally loaded).
+ *
+ * Threading: all MM execution happens via the MNI service inside
+ * Network::tick, i.e. in the sequential commit phase of the src/par
+ * compute/commit contract (DESIGN.md) -- MemorySystem itself needs no
+ * synchronization.
  */
 
 #ifndef ULTRA_MEM_MEMORY_SYSTEM_H

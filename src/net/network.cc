@@ -624,7 +624,7 @@ Network::processCopy(Copy &copy)
 }
 
 void
-Network::tick()
+Network::commitPhase()
 {
     // Ideal-paracomputer mode: execute and answer everything injected
     // last cycle, in injection order.
@@ -667,9 +667,20 @@ Network::tick()
         }
     }
     deliveries_.resize(keep);
+}
 
+void
+Network::computePhase()
+{
     for (auto &copy : copies_)
         processCopy(copy);
+}
+
+void
+Network::tick()
+{
+    commitPhase();
+    computePhase();
     ++now_;
 }
 

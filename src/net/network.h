@@ -139,7 +139,14 @@ class Network
     bool tryInject(PEId pe, Op op, Addr paddr, Word data,
                    std::uint64_t tag);
 
-    /** Advance one cycle. */
+    /**
+     * Advance one cycle: commitPhase() then computePhase() then the
+     * clock.  Always called from the machine's sequential commit phase
+     * — the network is a single simulation component whose per-cycle
+     * work is internally ordered (see DESIGN.md "The compute/commit
+     * phase contract"); sharding the switch columns themselves is
+     * future work tracked in ROADMAP.md.
+     */
     void tick();
 
     /** Current simulation time in cycles. */
@@ -255,6 +262,26 @@ class Network
     }
     void activateNode(Copy &copy, unsigned s, std::uint32_t idx);
     void activateMni(Copy &copy, MMId mm);
+
+    /**
+     * Commit half of a cycle: publish last cycle's staged results to
+     * their consumers — replies due now reach the PNIs (whose
+     * callbacks may enqueue same-cycle re-injections), and ideal-mode
+     * requests injected last cycle execute and stage their replies.
+     * Runs before computePhase() so every component's compute step
+     * sees a consistent "start of cycle" picture.
+     */
+    void commitPhase();
+
+    /**
+     * Compute half of a cycle: every switch and MNI consumes inputs
+     * that arrived before this cycle (inbox entries carry an arrival
+     * time; take_due only releases those <= now) and stages outputs
+     * for the next (downstream pushes land with at = now + 1).  Claims
+     * on downstream queue space are taken in fixed node-index order,
+     * which is what makes the whole cycle deterministic.
+     */
+    void computePhase();
 
     void processCopy(Copy &copy);
     void processNode(Copy &copy, unsigned s, std::uint32_t idx);

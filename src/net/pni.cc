@@ -1,5 +1,7 @@
 #include "pni.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "obs/registry.h"
 
@@ -9,7 +11,7 @@ namespace ultra::net
 PniArray::PniArray(const PniConfig &cfg, Network &network,
                    const mem::AddressHash &hash)
     : cfg_(cfg), network_(network), hash_(hash),
-      pes_(network.config().numPorts)
+      pes_(network.config().numPorts), pendingActive_(1)
 {
     network_.setDeliverCallback(
         [this](PEId pe, std::uint64_t ticket, Word value) {
@@ -21,12 +23,34 @@ PniArray::PniArray(const PniConfig &cfg, Network &network,
 }
 
 void
+PniArray::setShardMap(unsigned shards, std::vector<unsigned> shardOfPe)
+{
+    ULTRA_ASSERT(shards >= 1);
+    ULTRA_ASSERT(shardOfPe.empty() || shardOfPe.size() == pes_.size());
+    // Re-stage activations staged under the old map: a finished run's
+    // final network tick can leave delivery-triggered activations that
+    // tick() has not merged yet.
+    std::vector<PEId> staged;
+    for (std::vector<PEId> &pending : pendingActive_) {
+        staged.insert(staged.end(), pending.begin(), pending.end());
+        pending.clear();
+    }
+    pendingActive_.resize(shards);
+    shardOfPe_ = std::move(shardOfPe);
+    for (PEId pe : staged) {
+        const unsigned shard = shardOfPe_.empty() ? 0 : shardOfPe_[pe];
+        pendingActive_[shard].push_back(pe);
+    }
+}
+
+void
 PniArray::activate(PEId pe)
 {
     PeState &state = pes_[pe];
     if (!state.inActiveList) {
         state.inActiveList = true;
-        activePes_.push_back(pe);
+        const unsigned shard = shardOfPe_.empty() ? 0 : shardOfPe_[pe];
+        pendingActive_[shard].push_back(pe);
     }
 }
 
@@ -34,16 +58,17 @@ std::uint64_t
 PniArray::request(PEId pe, Op op, Addr vaddr, Word data)
 {
     ULTRA_ASSERT(pe < pes_.size());
+    PeState &state = pes_[pe];
     QueuedReq req;
-    req.ticket = nextTicket_++;
+    req.ticket = state.nextTicket++;
     req.op = op;
     req.paddr = hash_.toPhysical(vaddr);
     req.data = data;
     req.queuedAt = network_.now();
     req.notBefore = 0;
-    pes_[pe].issueQueue.push_back(req);
+    state.issueQueue.push_back(req);
     activate(pe);
-    ++stats_.requested;
+    ++state.requested;
     if (requestProbe_)
         requestProbe_(pe, op, vaddr, data);
     return req.ticket;
@@ -52,6 +77,16 @@ PniArray::request(PEId pe, Op op, Addr vaddr, Word data)
 void
 PniArray::tick()
 {
+    // Merge activations staged by the compute phase, then sort so the
+    // network sees injection attempts in PE-id order regardless of how
+    // many shards staged them -- the keystone of N-thread determinism.
+    for (std::vector<PEId> &pending : pendingActive_) {
+        activePes_.insert(activePes_.end(), pending.begin(),
+                          pending.end());
+        pending.clear();
+    }
+    std::sort(activePes_.begin(), activePes_.end());
+
     const Cycle now = network_.now();
     std::size_t keep = 0;
     for (std::size_t i = 0; i < activePes_.size(); ++i) {
@@ -93,6 +128,23 @@ PniArray::tick()
     activePes_.resize(keep);
 }
 
+void
+PniArray::resetStats()
+{
+    stats_ = PniStats{};
+    for (PeState &state : pes_)
+        state.requested = 0;
+}
+
+std::uint64_t
+PniArray::requestedCount() const
+{
+    std::uint64_t total = 0;
+    for (const PeState &state : pes_)
+        total += state.requested;
+    return total;
+}
+
 std::size_t
 PniArray::pendingCount(PEId pe) const
 {
@@ -124,7 +176,7 @@ PniArray::registerStats(obs::Registry &registry,
 {
     registry.addScalar(prefix + ".requested",
                        [this] {
-                           return static_cast<double>(stats_.requested);
+                           return static_cast<double>(requestedCount());
                        },
                        "requests enqueued by PEs");
     registry.addScalar(prefix + ".completed",

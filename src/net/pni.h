@@ -46,7 +46,6 @@ struct PniConfig
 /** Per-PE request statistics (feeds Table 1). */
 struct PniStats
 {
-    std::uint64_t requested = 0;
     std::uint64_t completed = 0;
     std::uint64_t retries = 0; //!< Burroughs-mode re-issues
     Accumulator accessTime;    //!< request() -> completion, cycles
@@ -95,7 +94,31 @@ class PniArray
     bool idle(PEId pe) const { return pendingCount(pe) == 0; }
 
     const PniStats &stats() const { return stats_; }
-    void resetStats() { stats_ = PniStats{}; }
+    void resetStats();
+
+    /** Requests enqueued by PEs (sum of per-PE counters). */
+    std::uint64_t requestedCount() const;
+
+    /**
+     * Declare the PE->shard ownership map used by the parallel compute
+     * phase.  request() may then be called concurrently for PEs owned
+     * by different shards: everything it touches (the PE's issue queue,
+     * ticket counter, request count, and the shard's activation staging
+     * list) is owned by shardOfPe[pe].  tick() — always sequential —
+     * merges the staged activations and sorts the active list, so issue
+     * order is a pure function of PE ids, not of shard arrival order.
+     *
+     * With no map set (or shards == 1) behaviour is unchanged apart
+     * from the deterministic sort.
+     */
+    void setShardMap(unsigned shards, std::vector<unsigned> shardOfPe);
+
+    /** True when a request probe is attached (probe call order is not
+     *  deterministic under parallel stepping; callers clamp threads). */
+    bool hasRequestProbe() const
+    {
+        return static_cast<bool>(requestProbe_);
+    }
 
     /** Requests currently in the network (all PEs, gauge). */
     std::size_t outstandingCount() const;
@@ -127,6 +150,11 @@ class PniArray
         std::unordered_map<std::uint64_t, QueuedReq> outstanding;
         std::unordered_set<Addr> outstandingAddrs;
         bool inActiveList = false;
+        /** Tickets are per-PE: the network routes replies by (pe,
+         *  ticket), so uniqueness per PE suffices, and a per-PE counter
+         *  keeps ticket values independent of cross-PE request order. */
+        std::uint64_t nextTicket = 1;
+        std::uint64_t requested = 0;
     };
 
     void activate(PEId pe);
@@ -138,8 +166,12 @@ class PniArray
     const mem::AddressHash &hash_;
     std::vector<PeState> pes_;
     std::vector<PEId> activePes_;
+    /** Newly-activated PEs, staged per shard during the compute phase
+     *  (single-writer per inner vector), merged+sorted by tick(). */
+    std::vector<std::vector<PEId>> pendingActive_;
+    /** PE -> owning shard; empty means everything is shard 0. */
+    std::vector<unsigned> shardOfPe_;
     PniStats stats_;
-    std::uint64_t nextTicket_ = 1;
     CompleteFn completeFn_;
     RequestProbe requestProbe_;
 };

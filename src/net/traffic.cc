@@ -7,49 +7,71 @@ namespace ultra::net
 
 TrafficGenerator::TrafficGenerator(const TrafficConfig &cfg,
                                    PniArray &pni, Network &network)
-    : cfg_(cfg), pni_(pni), network_(network), rng_(cfg.seed)
+    : cfg_(cfg), pni_(pni), network_(network),
+      generatedPe_(cfg.activePes, 0)
 {
     ULTRA_ASSERT(cfg_.activePes <= network.config().numPorts);
     ULTRA_ASSERT(cfg_.rate >= 0.0);
     ULTRA_ASSERT(cfg_.loadFraction + cfg_.storeFraction <= 1.0 + 1e-12);
     ULTRA_ASSERT(cfg_.addrSpaceWords > 0);
+    Rng parent(cfg_.seed);
+    rngs_.reserve(cfg_.activePes);
+    for (std::uint32_t pe = 0; pe < cfg_.activePes; ++pe)
+        rngs_.push_back(parent.split());
 }
 
 void
 TrafficGenerator::generateOne(PEId pe)
 {
+    Rng &rng = rngs_[pe];
     Op op;
     Addr vaddr;
     Word data = 1;
-    if (cfg_.hotFraction > 0.0 && rng_.bernoulli(cfg_.hotFraction)) {
+    if (cfg_.hotFraction > 0.0 && rng.bernoulli(cfg_.hotFraction)) {
         op = Op::FetchAdd;
         vaddr = cfg_.hotAddr;
     } else {
-        const double pick = rng_.uniformDouble();
+        const double pick = rng.uniformDouble();
         if (pick < cfg_.loadFraction)
             op = Op::Load;
         else if (pick < cfg_.loadFraction + cfg_.storeFraction)
             op = Op::Store;
         else
             op = Op::FetchAdd;
-        vaddr = rng_.uniformInt(cfg_.addrSpaceWords);
-        data = static_cast<Word>(rng_.uniformInt(1000));
+        vaddr = rng.uniformInt(cfg_.addrSpaceWords);
+        data = static_cast<Word>(rng.uniformInt(1000));
     }
     pni_.request(pe, op, vaddr, data);
-    ++generated_;
+    ++generatedPe_[pe];
 }
 
 void
 TrafficGenerator::tick()
 {
-    for (PEId pe = 0; pe < cfg_.activePes; ++pe) {
+    tickRange(0, cfg_.activePes);
+}
+
+void
+TrafficGenerator::tickRange(PEId begin, PEId end)
+{
+    ULTRA_ASSERT(begin <= end && end <= cfg_.activePes);
+    for (PEId pe = begin; pe < end; ++pe) {
         if (cfg_.closedLoop) {
             while (pni_.pendingCount(pe) < cfg_.window)
                 generateOne(pe);
-        } else if (rng_.bernoulli(cfg_.rate)) {
+        } else if (rngs_[pe].bernoulli(cfg_.rate)) {
             generateOne(pe);
         }
     }
+}
+
+std::uint64_t
+TrafficGenerator::generated() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t count : generatedPe_)
+        total += count;
+    return total;
 }
 
 void

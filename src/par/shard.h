@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Static partitioning of an indexed component list into worker shards.
+ *
+ * A ShardPlan divides `items` component indices into `shards` contiguous
+ * ranges whose sizes differ by at most one (the first `items % shards`
+ * ranges get the extra element).  Contiguity matters twice over: shard
+ * ownership can be computed in O(1) without a lookup table, and each
+ * worker walks a dense slice of the component array, which is the
+ * cache-friendly layout for the per-cycle compute sweep.
+ *
+ * Shards beyond the item count come out empty rather than being an
+ * error, so callers can size the engine from --threads without first
+ * clamping to the component count.
+ */
+
+#ifndef ULTRA_PAR_SHARD_H
+#define ULTRA_PAR_SHARD_H
+
+#include <cstddef>
+
+#include "common/log.h"
+
+namespace ultra::par
+{
+
+/** Half-open index range [begin, end) owned by one shard. */
+struct ShardRange {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t size() const { return end - begin; }
+    bool empty() const { return begin == end; }
+};
+
+/** Near-equal contiguous partition of [0, items) into `shards` ranges. */
+class ShardPlan
+{
+  public:
+    ShardPlan() = default;
+
+    static ShardPlan
+    contiguous(std::size_t items, unsigned shards)
+    {
+        ULTRA_ASSERT(shards > 0);
+        ShardPlan plan;
+        plan.items_ = items;
+        plan.shards_ = shards;
+        plan.base_ = items / shards;
+        plan.rem_ = items % shards;
+        return plan;
+    }
+
+    std::size_t items() const { return items_; }
+    unsigned shards() const { return shards_; }
+
+    /** Range owned by shard `s` (empty when more shards than items). */
+    ShardRange
+    range(unsigned s) const
+    {
+        ULTRA_ASSERT(s < shards_);
+        ShardRange r;
+        if (s < rem_) {
+            r.begin = s * (base_ + 1);
+            r.end = r.begin + base_ + 1;
+        } else {
+            r.begin = rem_ * (base_ + 1) + (s - rem_) * base_;
+            r.end = r.begin + base_;
+        }
+        return r;
+    }
+
+    /** Shard owning item `i`; inverse of range(). */
+    unsigned
+    shardOf(std::size_t i) const
+    {
+        ULTRA_ASSERT(i < items_);
+        const std::size_t fat = rem_ * (base_ + 1);
+        if (i < fat)
+            return static_cast<unsigned>(i / (base_ + 1));
+        return static_cast<unsigned>(rem_ + (i - fat) / base_);
+    }
+
+  private:
+    std::size_t items_ = 0;
+    unsigned shards_ = 1;
+    std::size_t base_ = 0;
+    std::size_t rem_ = 0;
+};
+
+} // namespace ultra::par
+
+#endif // ULTRA_PAR_SHARD_H

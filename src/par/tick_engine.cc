@@ -1,0 +1,71 @@
+#include "par/tick_engine.h"
+
+#include "common/log.h"
+
+namespace ultra::par
+{
+
+TickEngine::TickEngine(unsigned threads)
+    : threads_(threads), start_(threads), finish_(threads)
+{
+    ULTRA_ASSERT(threads >= 1);
+    workers_.reserve(threads_ - 1);
+    for (unsigned shard = 1; shard < threads_; ++shard)
+        workers_.emplace_back([this, shard] { workerLoop(shard); });
+}
+
+TickEngine::~TickEngine()
+{
+    if (workers_.empty())
+        return;
+    stop_ = true;
+    task_ = nullptr;
+    start_.arriveAndWait();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+TickEngine::runShard(unsigned shard)
+{
+    try {
+        (*task_)(shard);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(failureMutex_);
+        if (!failure_)
+            failure_ = std::current_exception();
+    }
+}
+
+void
+TickEngine::workerLoop(unsigned shard)
+{
+    for (;;) {
+        start_.arriveAndWait();
+        if (stop_)
+            return;
+        runShard(shard);
+        finish_.arriveAndWait();
+    }
+}
+
+void
+TickEngine::forEachShard(const std::function<void(unsigned)> &fn)
+{
+    if (threads_ == 1) {
+        fn(0);
+        return;
+    }
+    task_ = &fn;
+    start_.arriveAndWait();
+    runShard(0);
+    finish_.arriveAndWait();
+    task_ = nullptr;
+    if (failure_) {
+        std::exception_ptr failure = failure_;
+        failure_ = nullptr;
+        std::rethrow_exception(failure);
+    }
+}
+
+} // namespace ultra::par

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fork-join tick engine: a fixed worker pool that executes one shard
+ * function per thread per episode, with PhaseBarrier separating the
+ * parallel compute phase from the caller's sequential commit phase.
+ *
+ * Usage per simulated cycle:
+ *
+ *     engine.forEachShard([&](unsigned shard) {
+ *         // compute phase: runs concurrently, one call per shard.
+ *         // May only touch state owned by `shard` (plus read-only
+ *         // last-cycle state); see DESIGN.md "compute/commit".
+ *     });
+ *     // commit phase: forEachShard has joined; the caller is again
+ *     // the only thread touching the machine.
+ *
+ * Workers are created once and parked on the start barrier between
+ * episodes, so the per-cycle cost is two barrier episodes rather than
+ * thread creation.  forEachShard establishes full happens-before in
+ * both directions (caller -> workers via the start barrier, workers ->
+ * caller via the finish barrier), which is what makes unsynchronized
+ * reads of last-cycle state in the compute phase race-free.
+ *
+ * With threads == 1 no pool exists and forEachShard degenerates to a
+ * plain function call — the single-thread path pays nothing.
+ */
+
+#ifndef ULTRA_PAR_TICK_ENGINE_H
+#define ULTRA_PAR_TICK_ENGINE_H
+
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "par/barrier.h"
+
+namespace ultra::par
+{
+
+class TickEngine
+{
+  public:
+    /** Resolve a --threads style request: 0 means "use all cores". */
+    static unsigned
+    resolveThreads(unsigned requested)
+    {
+        if (requested != 0)
+            return requested;
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw ? hw : 1;
+    }
+
+    explicit TickEngine(unsigned threads);
+    ~TickEngine();
+
+    TickEngine(const TickEngine &) = delete;
+    TickEngine &operator=(const TickEngine &) = delete;
+
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Run fn(shard) once for every shard in [0, threads()), shard 0 on
+     * the calling thread, and return after all shards finish.  If any
+     * shard throws, the first exception is rethrown here (after the
+     * join, so the machine is still phase-consistent).
+     */
+    void forEachShard(const std::function<void(unsigned)> &fn);
+
+  private:
+    void workerLoop(unsigned shard);
+    void runShard(unsigned shard);
+
+    const unsigned threads_;
+    PhaseBarrier start_;
+    PhaseBarrier finish_;
+    const std::function<void(unsigned)> *task_ = nullptr;
+    bool stop_ = false;
+    std::mutex failureMutex_;
+    std::exception_ptr failure_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace ultra::par
+
+#endif // ULTRA_PAR_TICK_ENGINE_H

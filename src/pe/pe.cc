@@ -218,6 +218,21 @@ Pe::onComplete(std::uint64_t ticket, Word value)
     }
 }
 
+void
+Pe::flushWaits(Cycle now)
+{
+    for (Context &ctx : contexts_) {
+        if (ctx.state == State::Ready || ctx.blockStart >= now)
+            continue;
+        stats_.idleCycles += now - ctx.blockStart;
+        if (trace_) {
+            trace_->complete(traceTrack_, id_, "wait", ctx.blockStart,
+                             now - ctx.blockStart);
+        }
+        ctx.blockStart = now;
+    }
+}
+
 // --------------------------------------------------------------------
 // Cached local memory (sections 3.2, 3.4)
 // --------------------------------------------------------------------

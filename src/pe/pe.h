@@ -231,6 +231,16 @@ class Pe
     /** PNI completion dispatched by the machine. */
     void onComplete(std::uint64_t ticket, Word value);
 
+    /**
+     * Account waiting time accrued up to @p now by still-blocked
+     * contexts: credits idleCycles and emits the pending trace "wait"
+     * spans, then restarts the wait clocks at @p now.  Called by
+     * Machine::run() when a run ends (notably on max_cycles timeout) so
+     * stats and traces cover the whole run; totals are unchanged if the
+     * run later resumes and the waits complete.
+     */
+    void flushWaits(Cycle now);
+
     const PeStats &stats() const { return stats_; }
     void resetStats() { stats_ = PeStats{}; }
 

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Golden-model regression suite: pins the paper-anchored results --
+ * Table-1-style network traffic on a scaled Table-1 configuration,
+ * Fig-7 transit times across offered loads, and end-to-end application
+ * runs (TRED2, multigrid) -- as checked-in JSON, and asserts that 1-,
+ * 2-, and 8-thread runs reproduce each golden byte-for-byte.
+ *
+ * Regenerating (after an intentional simulation-semantics change):
+ *
+ *     ULTRA_REGEN_GOLDEN=1 ./golden_test
+ *
+ * then commit the rewritten tests/golden JSON files alongside the change
+ * that moved the numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/multigrid.h"
+#include "apps/tred2.h"
+#include "core/machine.h"
+#include "mem/address_hash.h"
+#include "mem/memory_system.h"
+#include "net/network.h"
+#include "net/pni.h"
+#include "net/traffic.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "par/shard.h"
+#include "par/tick_engine.h"
+#include "pe/task.h"
+
+#ifndef ULTRA_GOLDEN_DIR
+#error "build must define ULTRA_GOLDEN_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace ultra
+{
+namespace
+{
+
+const unsigned kThreadCounts[] = {1, 2, 8};
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(ULTRA_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+bool
+regenRequested()
+{
+    const char *env = std::getenv("ULTRA_REGEN_GOLDEN");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/**
+ * Produce @p name with every thread count, assert the runs agree
+ * byte-for-byte, and compare (or regenerate) the golden file.
+ */
+void
+checkGolden(const std::string &name,
+            const std::string (*produce)(unsigned threads))
+{
+    const std::string solo = produce(1);
+    ASSERT_FALSE(solo.empty());
+    for (unsigned threads : kThreadCounts) {
+        if (threads == 1)
+            continue;
+        ASSERT_EQ(solo, produce(threads))
+            << name << ": " << threads
+            << "-thread run diverged from the 1-thread run";
+    }
+    const std::string path = goldenPath(name);
+    if (regenRequested()) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << solo;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    const std::string golden = readFile(path);
+    ASSERT_FALSE(golden.empty())
+        << "missing golden " << path
+        << "; run with ULTRA_REGEN_GOLDEN=1 to create it";
+    EXPECT_EQ(solo, golden)
+        << name << " diverged from its golden; if the simulation "
+        << "semantics changed intentionally, regenerate with "
+        << "ULTRA_REGEN_GOLDEN=1";
+}
+
+std::string
+fmt(double value)
+{
+    std::ostringstream os;
+    obs::writeJsonNumber(os, value);
+    return os.str();
+}
+
+// ------------------------------------------------------------------
+// Scaled Table-1 network traffic
+// ------------------------------------------------------------------
+
+/**
+ * The Table-1 machine scaled to 256 ports (same k=4 switches,
+ * by-content packet sizing, 3-packet data messages, 15-packet queues,
+ * 2-cycle MMs) driven open-loop at the paper's nominal intensity.
+ */
+const std::string
+netTable1Scaled(unsigned threads)
+{
+    net::NetSimConfig ncfg;
+    ncfg.numPorts = 256;
+    ncfg.k = 4;
+    ncfg.m = 2;
+    ncfg.d = 1;
+    ncfg.sizing = net::PacketSizing::ByContent;
+    ncfg.dataPackets = 3;
+    ncfg.queueCapacityPackets = 15;
+    ncfg.mmPendingCapacityPackets = 15;
+    ncfg.combinePolicy = net::CombinePolicy::Full;
+    ncfg.mmAccessTime = 2;
+
+    mem::MemoryConfig mcfg;
+    mcfg.numModules = ncfg.numPorts;
+    mcfg.wordsPerModule = 1 << 12;
+    mcfg.accessTime = ncfg.mmAccessTime;
+    mem::MemorySystem memory(mcfg);
+    net::Network network(ncfg, memory);
+    mem::AddressHash hash(log2Exact(memory.totalWords()), true);
+    net::PniConfig pcfg;
+    pcfg.maxOutstanding = 8;
+    net::PniArray pni(pcfg, network, hash);
+
+    net::TrafficConfig tcfg;
+    tcfg.activePes = ncfg.numPorts;
+    tcfg.rate = 0.12;
+    tcfg.hotFraction = 0.05;
+    tcfg.hotAddr = 13;
+    tcfg.addrSpaceWords = std::uint64_t{ncfg.numPorts} << 8;
+    tcfg.seed = 1;
+    net::TrafficGenerator traffic(tcfg, pni, network);
+
+    obs::Registry registry;
+    network.registerStats(registry, "net");
+    pni.registerStats(registry, "pni");
+    memory.registerStats(registry, "mem");
+
+    par::TickEngine engine(threads);
+    const auto plan =
+        par::ShardPlan::contiguous(tcfg.activePes, threads);
+    std::vector<unsigned> shard_of(ncfg.numPorts, 0);
+    for (std::uint32_t pe = 0; pe < tcfg.activePes; ++pe)
+        shard_of[pe] = plan.shardOf(pe);
+    pni.setShardMap(threads, std::move(shard_of));
+
+    for (Cycle c = 0; c < 2000; ++c) {
+        engine.forEachShard([&](unsigned shard) {
+            const par::ShardRange r = plan.range(shard);
+            traffic.tickRange(static_cast<PEId>(r.begin),
+                              static_cast<PEId>(r.end));
+        });
+        pni.tick();
+        network.tick();
+    }
+    return registry.jsonDump(network.now());
+}
+
+TEST(GoldenTest, NetTable1Scaled)
+{
+    checkGolden("net_table1_scaled", netTable1Scaled);
+}
+
+// ------------------------------------------------------------------
+// Fig-7 transit times across offered loads
+// ------------------------------------------------------------------
+
+/** Uniform-sizing 64-port network (the Fig-7 simulation setup) swept
+ *  over three offered loads; each load contributes its full registry
+ *  dump, keyed by rate. */
+const std::string
+fig7Transit(unsigned threads)
+{
+    std::ostringstream doc;
+    doc << "{\n";
+    const double rates[] = {0.1, 0.25, 0.4};
+    bool first = true;
+    for (double rate : rates) {
+        net::NetSimConfig ncfg;
+        ncfg.numPorts = 64;
+        ncfg.k = 2;
+        ncfg.m = 2;
+        ncfg.sizing = net::PacketSizing::Uniform;
+        ncfg.combinePolicy = net::CombinePolicy::Full;
+
+        mem::MemoryConfig mcfg;
+        mcfg.numModules = ncfg.numPorts;
+        mcfg.wordsPerModule = 1 << 10;
+        mem::MemorySystem memory(mcfg);
+        net::Network network(ncfg, memory);
+        mem::AddressHash hash(log2Exact(memory.totalWords()), true);
+        net::PniArray pni(net::PniConfig{}, network, hash);
+
+        net::TrafficConfig tcfg;
+        tcfg.activePes = ncfg.numPorts;
+        tcfg.rate = rate;
+        tcfg.addrSpaceWords = 1 << 12;
+        tcfg.seed = 42;
+        net::TrafficGenerator traffic(tcfg, pni, network);
+
+        obs::Registry registry;
+        network.registerStats(registry, "net");
+        pni.registerStats(registry, "pni");
+
+        par::TickEngine engine(threads);
+        const auto plan =
+            par::ShardPlan::contiguous(tcfg.activePes, threads);
+        std::vector<unsigned> shard_of(ncfg.numPorts, 0);
+        for (std::uint32_t pe = 0; pe < tcfg.activePes; ++pe)
+            shard_of[pe] = plan.shardOf(pe);
+        pni.setShardMap(threads, std::move(shard_of));
+
+        for (Cycle c = 0; c < 1500; ++c) {
+            engine.forEachShard([&](unsigned shard) {
+                const par::ShardRange r = plan.range(shard);
+                traffic.tickRange(static_cast<PEId>(r.begin),
+                                  static_cast<PEId>(r.end));
+            });
+            pni.tick();
+            network.tick();
+        }
+        if (!first)
+            doc << ",\n";
+        first = false;
+        doc << "\"rate=" << fmt(rate)
+            << "\": " << registry.jsonDump(network.now());
+    }
+    doc << "\n}\n";
+    return doc.str();
+}
+
+TEST(GoldenTest, Fig7TransitTimes)
+{
+    checkGolden("fig7_transit", fig7Transit);
+}
+
+// ------------------------------------------------------------------
+// End-to-end applications
+// ------------------------------------------------------------------
+
+/** TRED2 (the paper's flagship workload): pins the numerical result
+ *  (tridiagonal entries), the simulated completion time, and the full
+ *  machine stats. */
+const std::string
+appTred2(unsigned threads)
+{
+    core::MachineConfig cfg = core::MachineConfig::small(64, 2);
+    cfg.threads = threads;
+    core::Machine machine(cfg);
+    const std::size_t n = 16;
+    const auto matrix = apps::randomSymmetric(n, 1);
+    const auto result = apps::tred2Parallel(machine, 8, matrix, n);
+
+    std::ostringstream doc;
+    doc << "{\n\"cycles\": " << result.cycles << ",\n\"diag\": [";
+    for (std::size_t i = 0; i < result.tri.diag.size(); ++i)
+        doc << (i ? ", " : "") << fmt(result.tri.diag[i]);
+    doc << "],\n\"offdiag\": [";
+    for (std::size_t i = 1; i < result.tri.offdiag.size(); ++i)
+        doc << (i > 1 ? ", " : "") << fmt(result.tri.offdiag[i]);
+    doc << "],\n\"stats\": " << machine.statsJson() << "\n}\n";
+    return doc.str();
+}
+
+TEST(GoldenTest, AppTred2)
+{
+    checkGolden("app_tred2", appTred2);
+}
+
+/** Multigrid Poisson solve: pins the residual, a solution checksum,
+ *  the completion time, and the full machine stats. */
+const std::string
+appMultigrid(unsigned threads)
+{
+    core::MachineConfig cfg = core::MachineConfig::small(64, 2);
+    cfg.threads = threads;
+    core::Machine machine(cfg);
+    apps::MultigridConfig gcfg;
+    gcfg.level = 4;
+    const auto rhs = apps::multigridRhs(gcfg.level);
+    const auto result =
+        apps::multigridParallel(machine, 8, gcfg, rhs);
+
+    double checksum = 0.0;
+    for (double u : result.solution)
+        checksum += u;
+    std::ostringstream doc;
+    doc << "{\n\"cycles\": " << result.cycles
+        << ",\n\"residual\": " << fmt(result.residualNorm)
+        << ",\n\"solution_sum\": " << fmt(checksum)
+        << ",\n\"stats\": " << machine.statsJson() << "\n}\n";
+    return doc.str();
+}
+
+TEST(GoldenTest, AppMultigrid)
+{
+    checkGolden("app_multigrid", appMultigrid);
+}
+
+} // namespace
+} // namespace ultra

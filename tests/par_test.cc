@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Tests for ultra::par (PhaseBarrier, ShardPlan, TickEngine) and for
+ * the property the subsystem exists to provide: simulation results are
+ * bit-identical for every host thread count.  Includes the regression
+ * test for Machine::run() flushing observers on a max_cycles timeout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/tred2.h"
+#include "core/machine.h"
+#include "mem/address_hash.h"
+#include "mem/memory_system.h"
+#include "net/network.h"
+#include "net/pni.h"
+#include "net/traffic.h"
+#include "obs/registry.h"
+#include "par/barrier.h"
+#include "par/shard.h"
+#include "par/tick_engine.h"
+#include "pe/task.h"
+
+namespace ultra
+{
+namespace
+{
+
+// ------------------------------------------------------------------
+// PhaseBarrier
+// ------------------------------------------------------------------
+
+TEST(PhaseBarrierTest, SingleParticipantNeverBlocks)
+{
+    par::PhaseBarrier barrier(1);
+    for (int i = 0; i < 1000; ++i)
+        barrier.arriveAndWait();
+    EXPECT_EQ(barrier.parties(), 1u);
+}
+
+TEST(PhaseBarrierTest, ReuseAcrossManyEpisodes)
+{
+    // Each episode every thread increments the counter once; the
+    // barrier separates episodes, so after each arriveAndWait the
+    // counter must be an exact multiple of the thread count.  A reuse
+    // bug (stale arrival count or epoch) deadlocks or trips the
+    // assertion within a few episodes.
+    constexpr unsigned kThreads = 4;
+    constexpr int kEpisodes = 2000;
+    par::PhaseBarrier barrier(kThreads);
+    std::atomic<std::uint64_t> counter{0};
+    std::atomic<bool> mismatch{false};
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int ep = 1; ep <= kEpisodes; ++ep) {
+                counter.fetch_add(1, std::memory_order_relaxed);
+                barrier.arriveAndWait();
+                if (counter.load(std::memory_order_relaxed) !=
+                    static_cast<std::uint64_t>(ep) * kThreads) {
+                    mismatch.store(true, std::memory_order_relaxed);
+                }
+                barrier.arriveAndWait();
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_FALSE(mismatch.load());
+    EXPECT_EQ(counter.load(),
+              static_cast<std::uint64_t>(kEpisodes) * kThreads);
+}
+
+TEST(PhaseBarrierTest, PublishesWritesAcrossEpisodes)
+{
+    // Non-atomic writes made before the barrier must be visible to
+    // every thread after it (the property the compute phase relies on
+    // for reading last-cycle state without further synchronization).
+    constexpr unsigned kThreads = 3;
+    constexpr int kEpisodes = 500;
+    par::PhaseBarrier barrier(kThreads);
+    std::vector<std::uint64_t> slots(kThreads, 0);
+    std::atomic<bool> bad{false};
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int ep = 1; ep <= kEpisodes; ++ep) {
+                slots[t] = static_cast<std::uint64_t>(ep);
+                barrier.arriveAndWait();
+                for (unsigned other = 0; other < kThreads; ++other) {
+                    if (slots[other] !=
+                        static_cast<std::uint64_t>(ep)) {
+                        bad.store(true, std::memory_order_relaxed);
+                    }
+                }
+                barrier.arriveAndWait();
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_FALSE(bad.load());
+}
+
+// ------------------------------------------------------------------
+// ShardPlan
+// ------------------------------------------------------------------
+
+void
+expectExactCover(const par::ShardPlan &plan)
+{
+    std::size_t next = 0;
+    for (unsigned s = 0; s < plan.shards(); ++s) {
+        const par::ShardRange r = plan.range(s);
+        EXPECT_EQ(r.begin, next);
+        EXPECT_LE(r.begin, r.end);
+        for (std::size_t i = r.begin; i < r.end; ++i)
+            EXPECT_EQ(plan.shardOf(i), s);
+        next = r.end;
+    }
+    EXPECT_EQ(next, plan.items());
+}
+
+TEST(ShardPlanTest, EvenSplit)
+{
+    const auto plan = par::ShardPlan::contiguous(64, 4);
+    for (unsigned s = 0; s < 4; ++s)
+        EXPECT_EQ(plan.range(s).size(), 16u);
+    expectExactCover(plan);
+}
+
+TEST(ShardPlanTest, OddSizesDifferByAtMostOne)
+{
+    for (std::size_t items : {1, 7, 63, 100, 4097}) {
+        for (unsigned shards : {1u, 2u, 3u, 5u, 8u, 16u}) {
+            const auto plan = par::ShardPlan::contiguous(items, shards);
+            std::size_t lo = items, hi = 0;
+            for (unsigned s = 0; s < shards; ++s) {
+                lo = std::min(lo, plan.range(s).size());
+                hi = std::max(hi, plan.range(s).size());
+            }
+            EXPECT_LE(hi - lo, 1u)
+                << items << " items over " << shards << " shards";
+            expectExactCover(plan);
+        }
+    }
+}
+
+TEST(ShardPlanTest, MoreShardsThanItems)
+{
+    const auto plan = par::ShardPlan::contiguous(3, 8);
+    std::size_t nonempty = 0;
+    for (unsigned s = 0; s < 8; ++s) {
+        EXPECT_LE(plan.range(s).size(), 1u);
+        nonempty += plan.range(s).empty() ? 0 : 1;
+    }
+    EXPECT_EQ(nonempty, 3u);
+    expectExactCover(plan);
+}
+
+TEST(ShardPlanTest, SingleShardOwnsEverything)
+{
+    const auto plan = par::ShardPlan::contiguous(37, 1);
+    EXPECT_EQ(plan.range(0).begin, 0u);
+    EXPECT_EQ(plan.range(0).end, 37u);
+    for (std::size_t i = 0; i < 37; ++i)
+        EXPECT_EQ(plan.shardOf(i), 0u);
+}
+
+TEST(ShardPlanTest, ZeroItems)
+{
+    const auto plan = par::ShardPlan::contiguous(0, 4);
+    for (unsigned s = 0; s < 4; ++s)
+        EXPECT_TRUE(plan.range(s).empty());
+}
+
+// ------------------------------------------------------------------
+// TickEngine
+// ------------------------------------------------------------------
+
+TEST(TickEngineTest, RunsEveryShardExactlyOncePerEpisode)
+{
+    par::TickEngine engine(4);
+    std::vector<std::uint64_t> counts(4, 0);
+    for (int episode = 0; episode < 500; ++episode) {
+        engine.forEachShard([&](unsigned shard) { ++counts[shard]; });
+    }
+    for (unsigned s = 0; s < 4; ++s)
+        EXPECT_EQ(counts[s], 500u);
+}
+
+TEST(TickEngineTest, SingleThreadRunsInline)
+{
+    par::TickEngine engine(1);
+    const std::thread::id caller = std::this_thread::get_id();
+    bool inline_call = false;
+    engine.forEachShard([&](unsigned shard) {
+        EXPECT_EQ(shard, 0u);
+        inline_call = std::this_thread::get_id() == caller;
+    });
+    EXPECT_TRUE(inline_call);
+}
+
+TEST(TickEngineTest, ResolveThreads)
+{
+    EXPECT_EQ(par::TickEngine::resolveThreads(3), 3u);
+    EXPECT_GE(par::TickEngine::resolveThreads(0), 1u);
+}
+
+TEST(TickEngineTest, PropagatesShardExceptions)
+{
+    par::TickEngine engine(4);
+    EXPECT_THROW(engine.forEachShard([](unsigned shard) {
+                     if (shard == 2)
+                         throw std::runtime_error("shard failure");
+                 }),
+                 std::runtime_error);
+    // The engine must stay usable after a failed episode.
+    std::atomic<unsigned> ran{0};
+    engine.forEachShard(
+        [&](unsigned) { ran.fetch_add(1, std::memory_order_relaxed); });
+    EXPECT_EQ(ran.load(), 4u);
+}
+
+// ------------------------------------------------------------------
+// Determinism: N threads must reproduce the 1-thread run exactly
+// ------------------------------------------------------------------
+
+std::string
+trafficStatsJson(std::uint64_t seed, unsigned threads, Cycle cycles)
+{
+    net::NetSimConfig ncfg;
+    ncfg.numPorts = 16;
+    ncfg.k = 2;
+    ncfg.combinePolicy = net::CombinePolicy::Full;
+    mem::MemoryConfig mcfg;
+    mcfg.numModules = ncfg.numPorts;
+    mcfg.wordsPerModule = 1 << 10;
+    mem::MemorySystem memory(mcfg);
+    net::Network network(ncfg, memory);
+    mem::AddressHash hash(log2Exact(memory.totalWords()), true);
+    net::PniArray pni(net::PniConfig{}, network, hash);
+
+    net::TrafficConfig tcfg;
+    tcfg.activePes = ncfg.numPorts;
+    tcfg.rate = 0.3;
+    tcfg.hotFraction = 0.1;
+    tcfg.hotAddr = 5;
+    tcfg.addrSpaceWords = 1 << 10;
+    tcfg.seed = seed;
+    net::TrafficGenerator traffic(tcfg, pni, network);
+
+    obs::Registry registry;
+    network.registerStats(registry, "net");
+    pni.registerStats(registry, "pni");
+    memory.registerStats(registry, "mem");
+
+    par::TickEngine engine(threads);
+    const auto plan =
+        par::ShardPlan::contiguous(tcfg.activePes, threads);
+    std::vector<unsigned> shard_of(ncfg.numPorts, 0);
+    for (std::uint32_t pe = 0; pe < tcfg.activePes; ++pe)
+        shard_of[pe] = plan.shardOf(pe);
+    pni.setShardMap(threads, std::move(shard_of));
+
+    for (Cycle c = 0; c < cycles; ++c) {
+        engine.forEachShard([&](unsigned shard) {
+            const par::ShardRange r = plan.range(shard);
+            traffic.tickRange(static_cast<PEId>(r.begin),
+                              static_cast<PEId>(r.end));
+        });
+        pni.tick();
+        network.tick();
+    }
+    return registry.jsonDump(network.now());
+}
+
+TEST(ParDeterminismTest, TrafficSweep200Seeds1VersusMoreThreads)
+{
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        const std::string solo = trafficStatsJson(seed, 1, 150);
+        const std::string quad = trafficStatsJson(seed, 4, 150);
+        ASSERT_EQ(solo, quad) << "seed " << seed;
+    }
+}
+
+TEST(ParDeterminismTest, ThreadsExceedingPesStillMatch)
+{
+    // 16 active PEs, 32 shards: half the shards are empty every cycle.
+    const std::string solo = trafficStatsJson(7, 1, 200);
+    const std::string wide = trafficStatsJson(7, 32, 200);
+    EXPECT_EQ(solo, wide);
+}
+
+std::string
+tred2StatsJson(unsigned threads)
+{
+    core::MachineConfig cfg = core::MachineConfig::small(64, 2);
+    cfg.threads = threads;
+    core::Machine machine(cfg);
+    const auto matrix = apps::randomSymmetric(12, 3);
+    const auto result = apps::tred2Parallel(machine, 8, matrix, 12);
+    EXPECT_GT(result.cycles, 0u);
+    return machine.statsJson();
+}
+
+TEST(ParDeterminismTest, MachineAppMatchesAcrossThreadCounts)
+{
+    const std::string solo = tred2StatsJson(1);
+    EXPECT_EQ(solo, tred2StatsJson(2));
+    EXPECT_EQ(solo, tred2StatsJson(8));
+}
+
+TEST(ParDeterminismTest, AutoThreadsMatchesSerial)
+{
+    // threads = 0 resolves to the host's core count, whatever it is.
+    const std::string solo = tred2StatsJson(1);
+    EXPECT_EQ(solo, tred2StatsJson(0));
+}
+
+// ------------------------------------------------------------------
+// Machine::run() max_cycles observer flush (regression)
+// ------------------------------------------------------------------
+
+TEST(MachineTimeoutFlushTest, TimeoutStillEmitsFinalSampleRow)
+{
+    core::MachineConfig cfg = core::MachineConfig::small(16, 2);
+    core::Machine machine(cfg);
+    machine.enableSampling(1000); // period longer than the whole run
+    const Addr cell = machine.allocShared(1);
+    machine.launch(0, [cell](pe::Pe &pe) -> pe::Task {
+        for (;;) {
+            co_await pe.fetchAdd(cell, 1);
+            co_await pe.compute(8);
+        }
+    });
+    const bool finished = machine.run(64);
+    EXPECT_FALSE(finished);
+    // Without the flush no sample period elapsed, so the series would
+    // be empty and the truncated run would drop its only window.
+    ASSERT_GE(machine.sampler().numRows(), 1u);
+    const std::string csv = machine.sampler().csv();
+    EXPECT_NE(csv.find("\n" + std::to_string(machine.now()) + ","),
+              std::string::npos)
+        << "final row must be stamped with the timeout cycle:\n"
+        << csv;
+}
+
+TEST(MachineTimeoutFlushTest, BlockedWaitTimeIsCreditedAtTimeout)
+{
+    core::MachineConfig cfg = core::MachineConfig::small(16, 2);
+    cfg.net.mmAccessTime = 50; // guarantee the PE is blocked at cutoff
+    core::Machine machine(cfg);
+    const Addr cell = machine.allocShared(1);
+    machine.launch(0, [cell](pe::Pe &pe) -> pe::Task {
+        co_await pe.load(cell);
+    });
+    const bool finished = machine.run(10);
+    ASSERT_FALSE(finished);
+    const auto timeout_stats = machine.peAt(0).stats();
+    EXPECT_GT(timeout_stats.idleCycles, 0u)
+        << "waiting accrued before the timeout must be credited";
+
+    // Resuming must not double-count: total idle after completion has
+    // to equal the wait actually served, flush or no flush.
+    core::Machine reference(cfg);
+    const Addr ref_cell = reference.allocShared(1);
+    reference.launch(0, [ref_cell](pe::Pe &pe) -> pe::Task {
+        co_await pe.load(ref_cell);
+    });
+    EXPECT_TRUE(reference.run(100'000));
+    EXPECT_TRUE(machine.run(100'000));
+    EXPECT_EQ(machine.peAt(0).stats().idleCycles,
+              reference.peAt(0).stats().idleCycles);
+}
+
+} // namespace
+} // namespace ultra

@@ -32,6 +32,10 @@
  *   --sample-out FILE      write the sampled time series as CSV
  *   --trace-events FILE    Chrome trace-event JSON (load in Perfetto)
  *
+ * Host-parallelism options (`net` and `app`):
+ *   --threads N    host threads for the compute phase (0 = all cores,
+ *                  default 1); results are identical for every N
+ *
  * `net` options:
  *   --rate R       offered load, messages/PE/cycle (default 0.1)
  *   --hot F        fraction of traffic to one hot F&A cell (default 0)
@@ -80,6 +84,8 @@
 #include "obs/event_trace.h"
 #include "obs/registry.h"
 #include "obs/sampler.h"
+#include "par/shard.h"
+#include "par/tick_engine.h"
 
 namespace
 {
@@ -251,12 +257,30 @@ cmdNet(const Args &args)
         sampler.addRegistryColumn(registry, "net.mni_pending_pkts");
     }
 
+    // Host parallelism: traffic generation (the compute phase here) is
+    // sharded across threads; PNI issue + network tick stay sequential.
+    unsigned threads = par::TickEngine::resolveThreads(
+        static_cast<unsigned>(args.getInt("threads", 1)));
+    if (threads > tcfg.activePes && tcfg.activePes > 0)
+        threads = tcfg.activePes;
+    par::TickEngine engine(threads);
+    const par::ShardPlan plan =
+        par::ShardPlan::contiguous(tcfg.activePes, threads);
+    std::vector<unsigned> shard_of(ncfg.numPorts, 0);
+    for (std::uint32_t pe = 0; pe < tcfg.activePes; ++pe)
+        shard_of[pe] = plan.shardOf(pe);
+    pni.setShardMap(threads, std::move(shard_of));
+
     const Cycle cycles = args.getInt("cycles", 10000);
     // Sampling covers the warmup too, so the series shows queues
     // ramping from cold (the hot-spot tree-saturation onset).
     auto runSampled = [&](Cycle count) {
         for (Cycle c = 0; c < count; ++c) {
-            traffic.tick();
+            engine.forEachShard([&](unsigned shard) {
+                const par::ShardRange r = plan.range(shard);
+                traffic.tickRange(static_cast<PEId>(r.begin),
+                                  static_cast<PEId>(r.end));
+            });
             pni.tick();
             network.tick();
             if (obs.sampling() &&
@@ -322,6 +346,7 @@ cmdApp(const Args &args)
     core::MachineConfig mcfg = core::MachineConfig::small(
         std::max<std::uint32_t>(16, pes), 2);
     mcfg.net.combinePolicy = net::CombinePolicy::Full;
+    mcfg.threads = static_cast<unsigned>(args.getInt("threads", 1));
 
     Cycle cycles = 0;
     pe::PeStats totals;
