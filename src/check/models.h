@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Step-machine models of the ultra::rt coordination primitives for the
+ * serialization-principle verifier (see serial.h).
+ *
+ * Each model transliterates the corresponding host algorithm in
+ * `src/rt` into atomic paracomputer actions -- one shared-memory load,
+ * store or fetch-and-add per step, exactly the granularity the
+ * hardware serializes -- so the explorer's interleavings are the
+ * machine's possible executions.  The models carry *ghost* state
+ * (operation histories, arrival counts) that the verifier reads but
+ * the algorithm does not.
+ *
+ * makeBrokenCounter exists to prove the verifier has teeth: a
+ * load-then-store increment is NOT serializable, and the explorer must
+ * find the interleaving that loses an update.
+ */
+
+#ifndef ULTRA_CHECK_MODELS_H
+#define ULTRA_CHECK_MODELS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/serial.h"
+
+namespace ultra::check
+{
+
+/** History op codes shared by the models. */
+enum OpKind : int {
+    kOpFetchAdd = 0, //!< arg = increment, result = value fetched
+    kOpInsert = 1,   //!< arg = value; result 0 = ok, -1 = full
+    kOpDelete = 2,   //!< result = value taken, or -1 = empty
+};
+
+/** Result sentinel for a failed (full/empty) queue operation. */
+inline constexpr std::int64_t kQueueFail = -1;
+
+/**
+ * P processes each perform one indivisible FA(V, 1 << p); the outcome
+ * must linearize against a sequential counter (every fetched value is
+ * the sum of the increments serialized before it) and the final cell
+ * must hold the total.  This is the serialization principle for
+ * fetch-and-add verbatim.
+ */
+std::unique_ptr<Model> makeFetchAddModel(unsigned procs);
+
+/**
+ * P processes each increment a counter as a separate load then store
+ * -- the classic non-serializable "critical section bug".  The
+ * verifier must report a violation (used by tests to prove detection;
+ * ultracheck runs it only under --demo-bug).
+ */
+std::unique_ptr<Model> makeBrokenCounter(unsigned procs);
+
+/**
+ * The appendix's critical-section-free parallel queue
+ * (rt::ParallelQueue): fetch-and-add index dispensers, per-cell round
+ * counters, and the test-increment-retest / test-decrement-retest
+ * occupancy guards.  Each process performs one tryInsert (value
+ * 100 + p) or one tryDelete per the shape string.  Successful
+ * operations must linearize against a sequential bounded FIFO queue;
+ * failed (full/empty) returns are held to the bound-consistency the
+ * appendix actually guarantees — #Qu counts an insert from its first
+ * action and #Qi only from its completion, so a half-visible insert
+ * may look "full" to an inserter and "empty" to a deleter at the same
+ * moment.  That conservative behavior is real (not linearizable; see
+ * the strict-judge test in tests/serial_test.cc), so each failure is
+ * instead checked to be justified by operations that can have filled
+ * (or drained) its bound during the op's interval.
+ *
+ * @param shape     one char per process: 'i' = inserter, 'd' = deleter
+ * @param capacity  queue cells (small: 1 or 2 keeps full/empty paths hot)
+ */
+std::unique_ptr<Model> makeParallelQueueModel(const std::string &shape,
+                                              unsigned capacity);
+
+/**
+ * The completely-parallel readers-writers solution
+ * (rt::ReadersWriters).  Each process is a reader or writer per the
+ * shape string ('r' / 'w'), entering its critical section once.  The
+ * verified property is the serialization requirement itself: no state
+ * may hold a writer in the CS together with any other CS occupant.
+ */
+std::unique_ptr<Model> makeReadersWritersModel(const std::string &shape);
+
+/**
+ * The sense-reversing fetch-and-add barrier (rt::Barrier), crossed
+ * @p episodes times by each of @p procs processes.  Ghost arrival
+ * counts verify no process leaves episode e before all P processes
+ * arrived e+1 times (the reuse property the sense reversal exists
+ * for).
+ */
+std::unique_ptr<Model> makeBarrierModel(unsigned procs,
+                                        unsigned episodes);
+
+} // namespace ultra::check
+
+#endif // ULTRA_CHECK_MODELS_H

@@ -1,0 +1,194 @@
+#include "check/phase_check.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace ultra::check
+{
+
+namespace
+{
+
+/** Shard the calling thread acts for during the compute phase. */
+thread_local int tlsShard = -1;
+
+const char *
+kindName(Violation::Kind kind)
+{
+    switch (kind) {
+      case Violation::Kind::CrossShardWrite:
+        return "cross-shard write";
+      case Violation::Kind::CrossShardRead:
+        return "cross-shard read";
+      case Violation::Kind::CommitOnlyInCompute:
+        return "commit-only mutator in compute phase";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+std::string
+Violation::describe() const
+{
+    std::ostringstream os;
+    os << "ultra::check: " << kindName(kind) << ": " << component;
+    if (owner != kNoOwner)
+        os << " (owner " << owner << ", shard " << ownerShard << ")";
+    os << " from ";
+    if (actingShard < 0)
+        os << "unbound thread";
+    else
+        os << "shard " << actingShard;
+    os << " at cycle " << cycle;
+    return os.str();
+}
+
+PhaseChecker::PhaseChecker()
+{
+    const char *abort_env = std::getenv("ULTRA_CHECK_ABORT");
+    failFast_ = abort_env != nullptr && abort_env[0] != '\0' &&
+                abort_env[0] != '0';
+}
+
+PhaseChecker &
+PhaseChecker::instance()
+{
+    static PhaseChecker checker;
+    return checker;
+}
+
+void
+PhaseChecker::setOwners(unsigned shards, std::vector<unsigned> shardOfOwner)
+{
+    ULTRA_ASSERT(!inCompute_,
+                 "ownership may only change between compute phases");
+    ULTRA_ASSERT(shards >= 1);
+    shards_ = shards;
+    shardOfOwner_ = std::move(shardOfOwner);
+}
+
+void
+PhaseChecker::beginCompute(Cycle cycle)
+{
+    ULTRA_ASSERT(!inCompute_, "nested compute phases");
+    cycle_ = cycle;
+    inCompute_ = true;
+}
+
+void
+PhaseChecker::endCompute()
+{
+    inCompute_ = false;
+}
+
+void
+PhaseChecker::bindShard(unsigned shard)
+{
+    tlsShard = static_cast<int>(shard);
+}
+
+void
+PhaseChecker::unbindShard()
+{
+    tlsShard = -1;
+}
+
+int
+PhaseChecker::currentShard()
+{
+    return tlsShard;
+}
+
+int
+PhaseChecker::shardOf(std::uint64_t owner) const
+{
+    if (owner >= shardOfOwner_.size())
+        return -1; // unowned: not subject to ownership checks
+    return static_cast<int>(shardOfOwner_[owner]);
+}
+
+void
+PhaseChecker::onComputeWrite(const char *component, std::uint64_t owner)
+{
+    if (!inCompute_)
+        return; // the sequential commit phase may touch anything
+    const int owner_shard = shardOf(owner);
+    if (owner_shard < 0)
+        return;
+    if (tlsShard == owner_shard)
+        return;
+    record(Violation::Kind::CrossShardWrite, component, owner,
+           owner_shard);
+}
+
+void
+PhaseChecker::onComputeRead(const char *component, std::uint64_t owner)
+{
+    if (!inCompute_)
+        return;
+    const int owner_shard = shardOf(owner);
+    if (owner_shard < 0)
+        return;
+    if (tlsShard == owner_shard)
+        return;
+    record(Violation::Kind::CrossShardRead, component, owner,
+           owner_shard);
+}
+
+void
+PhaseChecker::onCommitOnly(const char *component)
+{
+    if (!inCompute_)
+        return;
+    record(Violation::Kind::CommitOnlyInCompute, component,
+           Violation::kNoOwner, 0);
+}
+
+void
+PhaseChecker::record(Violation::Kind kind, const char *component,
+                     std::uint64_t owner, int owner_shard)
+{
+    Violation v;
+    v.kind = kind;
+    v.component = component;
+    v.owner = owner;
+    v.ownerShard = owner_shard < 0 ? 0 : static_cast<unsigned>(owner_shard);
+    v.actingShard = tlsShard;
+    v.cycle = cycle_;
+
+    if (failFast_)
+        panic(v.describe());
+
+    const std::uint64_t n =
+        count_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (violations_.size() < recordLimit())
+        violations_.push_back(v);
+    // Warn for the first few; a broken contract inside a long run would
+    // otherwise flood the log with millions of identical lines.
+    if (n < 8)
+        warn(v.describe());
+    else if (n == 8)
+        warn("ultra::check: further violations suppressed (see "
+             "check.violations)");
+}
+
+std::vector<Violation>
+PhaseChecker::violations() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return violations_;
+}
+
+void
+PhaseChecker::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    violations_.clear();
+    count_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace ultra::check

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Phase-contract checker for the compute/commit contract (DESIGN.md).
+ *
+ * `Machine::run` executes each cycle as a parallel *compute* phase (one
+ * shard per host thread, each touching only state it owns) followed by
+ * a sequential *commit* phase.  ThreadSanitizer sees host-level data
+ * races, but not logical contract violations: a shard mutating another
+ * shard's PE state through a shared reference, a commit-only mutator
+ * (network, memory, queues) invoked during compute, or a compute-phase
+ * read of another shard's uncommitted staging.  This checker makes the
+ * contract itself executable.
+ *
+ * Annotation hooks are woven into the component code:
+ *
+ *   ULTRA_CHECK_COMPUTE_WRITE(component, owner)
+ *       -- the caller is about to mutate state owned by `owner` (a PE
+ *          id); legal during compute only from the owning shard.
+ *   ULTRA_CHECK_COMPUTE_READ(component, owner)
+ *       -- the caller reads per-owner mutable (uncommitted) state;
+ *          same ownership rule during compute.
+ *   ULTRA_CHECK_COMMIT_ONLY(component)
+ *       -- the surrounding mutator belongs to the sequential commit
+ *          phase and must never run during compute.
+ *
+ * The hooks compile to nothing unless the ULTRA_CHECK CMake option is
+ * ON (which defines ULTRA_CHECK_ENABLED), so production builds pay
+ * zero cost.  The PhaseChecker class itself is always compiled so
+ * tests and tools can drive it directly in any build.
+ *
+ * Violations are recorded with the component path, owning/acting
+ * shard, and cycle number; `Machine` exposes the running count through
+ * the ultra::obs registry as "check.violations".  Set the environment
+ * variable ULTRA_CHECK_ABORT=1 (or call setFailFast) to panic on the
+ * first violation instead.
+ */
+
+#ifndef ULTRA_CHECK_PHASE_CHECK_H
+#define ULTRA_CHECK_PHASE_CHECK_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ultra::check
+{
+
+/** One recorded contract violation. */
+struct Violation
+{
+    enum class Kind : std::uint8_t {
+        CrossShardWrite,  //!< compute-phase write to another shard's state
+        CrossShardRead,   //!< compute-phase read of uncommitted state
+        CommitOnlyInCompute, //!< commit-phase mutator ran during compute
+    };
+
+    Kind kind = Kind::CrossShardWrite;
+    std::string component; //!< annotation site, e.g. "net.pni.request"
+    std::uint64_t owner = 0;   //!< owner id (PE id); kNoOwner for none
+    unsigned ownerShard = 0;   //!< shard owning the touched state
+    int actingShard = -1;      //!< shard (or -1: unbound thread) acting
+    Cycle cycle = 0;           //!< simulated cycle of the violation
+
+    static constexpr std::uint64_t kNoOwner = ~0ULL;
+
+    /** Human-readable one-line description. */
+    std::string describe() const;
+};
+
+/**
+ * Process-wide contract checker.  All hot-path hooks are cheap when no
+ * compute phase is active (one predicted branch on a plain bool that
+ * only the sequential commit phase writes).
+ */
+class PhaseChecker
+{
+  public:
+    static PhaseChecker &instance();
+
+    PhaseChecker(const PhaseChecker &) = delete;
+    PhaseChecker &operator=(const PhaseChecker &) = delete;
+
+    /** True when the annotation macros are compiled in. */
+    static constexpr bool
+    annotationsEnabled()
+    {
+#ifdef ULTRA_CHECK_ENABLED
+        return true;
+#else
+        return false;
+#endif
+    }
+
+    // --- machine-facing configuration (sequential phase only) ---------
+
+    /**
+     * Declare the ownership map for the coming compute phases: state
+     * owned by id `o` belongs to shard `shardOfOwner[o]`.  Owner ids
+     * outside the map are treated as unowned (not checked).
+     */
+    void setOwners(unsigned shards, std::vector<unsigned> shardOfOwner);
+
+    /** Enter the parallel compute phase of cycle @p cycle. */
+    void beginCompute(Cycle cycle);
+
+    /** Leave the compute phase (the caller is again the only thread). */
+    void endCompute();
+
+    bool inCompute() const { return inCompute_; }
+
+    /** Panic on the first violation instead of recording (defaults to
+     *  the ULTRA_CHECK_ABORT environment variable). */
+    void setFailFast(bool on) { failFast_ = on; }
+
+    // --- thread binding (TickEngine) ----------------------------------
+
+    /** Bind the calling thread to @p shard for the current phase. */
+    static void bindShard(unsigned shard);
+
+    /** Unbind the calling thread (it no longer acts for any shard). */
+    static void unbindShard();
+
+    /** Shard bound to the calling thread, or -1. */
+    static int currentShard();
+
+    // --- annotation hooks (any thread) --------------------------------
+
+    void onComputeWrite(const char *component, std::uint64_t owner);
+    void onComputeRead(const char *component, std::uint64_t owner);
+    void onCommitOnly(const char *component);
+
+    // --- results ------------------------------------------------------
+
+    /** Total violations recorded since the last clear() (atomic; safe
+     *  to read from obs registry callbacks). */
+    std::uint64_t
+    violationCount() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /** Snapshot of recorded violations (at most recordLimit()). */
+    std::vector<Violation> violations() const;
+
+    /** Retained-violation cap (the count still tracks everything). */
+    static constexpr std::size_t recordLimit() { return 64; }
+
+    /** Forget recorded violations and the count. */
+    void clear();
+
+  private:
+    PhaseChecker();
+
+    /** Shard owning @p owner, or -1 when unowned / out of map. */
+    int shardOf(std::uint64_t owner) const;
+
+    void record(Violation::Kind kind, const char *component,
+                std::uint64_t owner, int owner_shard);
+
+    // Written only while no compute phase runs; the fork-join barriers
+    // of TickEngine establish happens-before with every hook call.
+    bool inCompute_ = false;
+    Cycle cycle_ = 0;
+    unsigned shards_ = 1;
+    std::vector<unsigned> shardOfOwner_;
+    bool failFast_ = false;
+
+    std::atomic<std::uint64_t> count_{0};
+    mutable std::mutex mutex_; //!< guards violations_ (cold path)
+    std::vector<Violation> violations_;
+};
+
+} // namespace ultra::check
+
+/*
+ * Annotation macros.  With ULTRA_CHECK off every site compiles to
+ * nothing -- not even an argument evaluation.
+ */
+#ifdef ULTRA_CHECK_ENABLED
+
+#define ULTRA_CHECK_COMPUTE_WRITE(component, owner)                         \
+    ::ultra::check::PhaseChecker::instance().onComputeWrite(                \
+        (component), static_cast<std::uint64_t>(owner))
+#define ULTRA_CHECK_COMPUTE_READ(component, owner)                          \
+    ::ultra::check::PhaseChecker::instance().onComputeRead(                 \
+        (component), static_cast<std::uint64_t>(owner))
+#define ULTRA_CHECK_COMMIT_ONLY(component)                                  \
+    ::ultra::check::PhaseChecker::instance().onCommitOnly((component))
+#define ULTRA_CHECK_SET_OWNERS(shards, shardOfOwner)                        \
+    ::ultra::check::PhaseChecker::instance().setOwners((shards),            \
+                                                       (shardOfOwner))
+#define ULTRA_CHECK_COMPUTE_BEGIN(cycle)                                    \
+    ::ultra::check::PhaseChecker::instance().beginCompute((cycle))
+#define ULTRA_CHECK_COMPUTE_END()                                           \
+    ::ultra::check::PhaseChecker::instance().endCompute()
+#define ULTRA_CHECK_BIND_SHARD(shard)                                       \
+    ::ultra::check::PhaseChecker::bindShard((shard))
+#define ULTRA_CHECK_UNBIND_SHARD()                                          \
+    ::ultra::check::PhaseChecker::unbindShard()
+
+#else
+
+#define ULTRA_CHECK_COMPUTE_WRITE(component, owner) ((void)0)
+#define ULTRA_CHECK_COMPUTE_READ(component, owner) ((void)0)
+#define ULTRA_CHECK_COMMIT_ONLY(component) ((void)0)
+#define ULTRA_CHECK_SET_OWNERS(shards, shardOfOwner) ((void)0)
+#define ULTRA_CHECK_COMPUTE_BEGIN(cycle) ((void)0)
+#define ULTRA_CHECK_COMPUTE_END() ((void)0)
+#define ULTRA_CHECK_BIND_SHARD(shard) ((void)0)
+#define ULTRA_CHECK_UNBIND_SHARD() ((void)0)
+
+#endif // ULTRA_CHECK_ENABLED
+
+#endif // ULTRA_CHECK_PHASE_CHECK_H

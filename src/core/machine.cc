@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "check/phase_check.h"
 #include "common/log.h"
 #include "common/table.h"
 #include "obs/event_trace.h"
@@ -113,6 +114,13 @@ Machine::registerMachineStats()
     registry_.addScalar("pe.idle_cycles",
                         peTotal(&pe::PeStats::idleCycles),
                         "per-context cycles waiting on memory");
+    registry_.addScalar("check.violations",
+                        [] {
+                            return static_cast<double>(
+                                check::PhaseChecker::instance()
+                                    .violationCount());
+                        },
+                        "phase-contract violations recorded");
 }
 
 void
@@ -188,6 +196,7 @@ Machine::prepareShards()
     std::vector<unsigned> shard_of(numPes(), 0);
     for (std::size_t i = 0; i < shardPes_.size(); ++i)
         shard_of[shardPes_[i]] = shardPlan_.shardOf(i);
+    ULTRA_CHECK_SET_OWNERS(threads, shard_of);
     pni_.setShardMap(threads, std::move(shard_of));
 }
 
@@ -229,9 +238,16 @@ Machine::run(Cycle max_cycles)
         // staging its shard owns; everything else this phase reads
         // (now(), memory peeked before the run) is frozen.
         const Cycle cycle = now();
-        engine_->forEachShard([this, cycle](unsigned shard) {
-            shardDone_[shard] = stepShard(shard, cycle) ? 1 : 0;
-        });
+        ULTRA_CHECK_COMPUTE_BEGIN(cycle);
+        try {
+            engine_->forEachShard([this, cycle](unsigned shard) {
+                shardDone_[shard] = stepShard(shard, cycle) ? 1 : 0;
+            });
+        } catch (...) {
+            ULTRA_CHECK_COMPUTE_END();
+            throw;
+        }
+        ULTRA_CHECK_COMPUTE_END();
         finished_all = true;
         for (unsigned char done : shardDone_)
             finished_all = finished_all && done != 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "check/phase_check.h"
 #include "common/log.h"
 #include "net/combining.h"
 #include "obs/event_trace.h"
@@ -120,6 +121,9 @@ bool
 Network::tryInject(PEId pe, Op op, Addr paddr, Word data,
                    std::uint64_t tag)
 {
+    // Injection mutates switch queues: commit-phase only (issued by
+    // PniArray::tick, never by a compute-phase shard).
+    ULTRA_CHECK_COMMIT_ONLY("net.network.inject");
     ULTRA_ASSERT(pe < cfg_.numPorts);
     const MMId dest = memory_.moduleOf(paddr);
     const std::uint32_t packets = cfg_.packetsFor(op, false);
@@ -679,6 +683,7 @@ Network::computePhase()
 void
 Network::tick()
 {
+    ULTRA_CHECK_COMMIT_ONLY("net.network.tick");
     commitPhase();
     computePhase();
     ++now_;

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "check/phase_check.h"
 #include "common/log.h"
 #include "net/message.h"
 
@@ -62,6 +63,7 @@ class OutQueue
     bool
     tryReserve(std::uint32_t pkts)
     {
+        ULTRA_CHECK_COMMIT_ONLY("net.out_queue.reserve");
         if (unbounded()) {
             reserved_ += pkts;
             return true;
@@ -79,6 +81,7 @@ class OutQueue
     std::uint64_t
     openClaim(std::uint32_t pkts)
     {
+        ULTRA_CHECK_COMMIT_ONLY("net.out_queue.claim");
         ULTRA_ASSERT(!unbounded(), "claims are for bounded queues");
         claims_.push_back({nextClaimId_, pkts, 0});
         pump();
@@ -142,6 +145,7 @@ class OutQueue
     void
     enqueue(Message *msg)
     {
+        ULTRA_CHECK_COMMIT_ONLY("net.out_queue.enqueue");
         ULTRA_ASSERT(reserved_ >= msg->packets,
                      "enqueue without prior reservation");
         reserved_ -= msg->packets;
@@ -153,6 +157,7 @@ class OutQueue
     void
     enqueueUnreserved(Message *msg)
     {
+        ULTRA_CHECK_COMMIT_ONLY("net.out_queue.enqueue");
         used_ += msg->packets;
         entries_.push_back(msg);
     }
@@ -165,6 +170,7 @@ class OutQueue
     bool
     grow(Message *msg, std::uint32_t extra)
     {
+        ULTRA_CHECK_COMMIT_ONLY("net.out_queue.grow");
         if (extra == 0)
             return true;
         if (!unbounded() &&
@@ -188,6 +194,7 @@ class OutQueue
     Message *
     dequeue()
     {
+        ULTRA_CHECK_COMMIT_ONLY("net.out_queue.dequeue");
         Message *msg = entries_.front();
         entries_.pop_front();
         ULTRA_ASSERT(used_ >= msg->packets);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/phase_check.h"
 #include "common/log.h"
 #include "obs/registry.h"
 
@@ -58,6 +59,8 @@ std::uint64_t
 PniArray::request(PEId pe, Op op, Addr vaddr, Word data)
 {
     ULTRA_ASSERT(pe < pes_.size());
+    // Contract: everything below is owned by pe's shard (DESIGN.md).
+    ULTRA_CHECK_COMPUTE_WRITE("net.pni.request", pe);
     PeState &state = pes_[pe];
     QueuedReq req;
     req.ticket = state.nextTicket++;
@@ -77,6 +80,7 @@ PniArray::request(PEId pe, Op op, Addr vaddr, Word data)
 void
 PniArray::tick()
 {
+    ULTRA_CHECK_COMMIT_ONLY("net.pni.tick");
     // Merge activations staged by the compute phase, then sort so the
     // network sees injection attempts in PE-id order regardless of how
     // many shards staged them -- the keystone of N-thread determinism.
@@ -148,6 +152,9 @@ PniArray::requestedCount() const
 std::size_t
 PniArray::pendingCount(PEId pe) const
 {
+    // Uncommitted per-PE state: only pe's own shard may poll it
+    // during the compute phase.
+    ULTRA_CHECK_COMPUTE_READ("net.pni.pending", pe);
     const PeState &state = pes_[pe];
     return state.issueQueue.size() + state.outstanding.size();
 }
@@ -210,6 +217,7 @@ PniArray::registerStats(obs::Registry &registry,
 void
 PniArray::onDeliver(PEId pe, std::uint64_t ticket, Word value)
 {
+    ULTRA_CHECK_COMMIT_ONLY("net.pni.deliver");
     PeState &state = pes_[pe];
     auto it = state.outstanding.find(ticket);
     ULTRA_ASSERT(it != state.outstanding.end(),
@@ -230,6 +238,7 @@ PniArray::onDeliver(PEId pe, std::uint64_t ticket, Word value)
 void
 PniArray::onKill(PEId pe, std::uint64_t ticket)
 {
+    ULTRA_CHECK_COMMIT_ONLY("net.pni.kill");
     PeState &state = pes_[pe];
     auto it = state.outstanding.find(ticket);
     ULTRA_ASSERT(it != state.outstanding.end(),

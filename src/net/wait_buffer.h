@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/phase_check.h"
 #include "common/types.h"
 #include "mem/fetch_phi.h"
 
@@ -69,6 +70,7 @@ class WaitBuffer
     void
     insert(const WaitEntry &entry)
     {
+        ULTRA_CHECK_COMMIT_ONLY("net.wait_buffer.insert");
         entries_.push_back(entry);
     }
 
@@ -80,6 +82,7 @@ class WaitBuffer
     std::size_t
     takeMatches(std::uint64_t key, std::vector<WaitEntry> &out)
     {
+        ULTRA_CHECK_COMMIT_ONLY("net.wait_buffer.take");
         std::size_t found = 0;
         for (std::size_t i = 0; i < entries_.size();) {
             if (entries_[i].waitKey == key) {

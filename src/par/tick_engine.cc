@@ -1,5 +1,10 @@
 #include "par/tick_engine.h"
 
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "check/phase_check.h"
 #include "common/log.h"
 
 namespace ultra::par
@@ -28,13 +33,14 @@ TickEngine::~TickEngine()
 void
 TickEngine::runShard(unsigned shard)
 {
+    ULTRA_CHECK_BIND_SHARD(shard);
     try {
         (*task_)(shard);
     } catch (...) {
         std::lock_guard<std::mutex> lock(failureMutex_);
-        if (!failure_)
-            failure_ = std::current_exception();
+        failures_.emplace_back(shard, std::current_exception());
     }
+    ULTRA_CHECK_UNBIND_SHARD();
 }
 
 void
@@ -49,11 +55,57 @@ TickEngine::workerLoop(unsigned shard)
     }
 }
 
+namespace
+{
+
+std::string
+exceptionText(const std::exception_ptr &eptr)
+{
+    try {
+        std::rethrow_exception(eptr);
+    } catch (const std::exception &e) {
+        return e.what();
+    } catch (...) {
+        return "unknown exception";
+    }
+}
+
+} // namespace
+
+void
+TickEngine::rethrowFailures()
+{
+    // The finish barrier has joined: no worker touches failures_ now.
+    if (failures_.empty())
+        return;
+    std::vector<std::pair<unsigned, std::exception_ptr>> failures;
+    failures.swap(failures_);
+    if (failures.size() == 1)
+        std::rethrow_exception(failures.front().second);
+    // Several shards failed in the same episode: losing all but an
+    // arbitrary one hides the real fault (e.g. a cascade where shard 0
+    // reports a symptom of shard 2's bug).  Report every one.
+    std::sort(failures.begin(), failures.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    std::ostringstream os;
+    os << failures.size() << " shards failed:";
+    for (const auto &[shard, eptr] : failures)
+        os << " [shard " << shard << "] " << exceptionText(eptr) << ";";
+    throw std::runtime_error(os.str());
+}
+
 void
 TickEngine::forEachShard(const std::function<void(unsigned)> &fn)
 {
     if (threads_ == 1) {
-        fn(0);
+        ULTRA_CHECK_BIND_SHARD(0);
+        try {
+            fn(0);
+        } catch (...) {
+            ULTRA_CHECK_UNBIND_SHARD();
+            throw;
+        }
+        ULTRA_CHECK_UNBIND_SHARD();
         return;
     }
     task_ = &fn;
@@ -61,11 +113,7 @@ TickEngine::forEachShard(const std::function<void(unsigned)> &fn)
     runShard(0);
     finish_.arriveAndWait();
     task_ = nullptr;
-    if (failure_) {
-        std::exception_ptr failure = failure_;
-        failure_ = nullptr;
-        std::rethrow_exception(failure);
-    }
+    rethrowFailures();
 }
 
 } // namespace ultra::par

@@ -32,6 +32,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "par/barrier.h"
@@ -62,15 +63,19 @@ class TickEngine
 
     /**
      * Run fn(shard) once for every shard in [0, threads()), shard 0 on
-     * the calling thread, and return after all shards finish.  If any
-     * shard throws, the first exception is rethrown here (after the
-     * join, so the machine is still phase-consistent).
+     * the calling thread, and return after all shards finish.  Shard
+     * exceptions are rethrown here (after the join, so the machine is
+     * still phase-consistent): a lone failure rethrows the original
+     * exception; when several shards fail in the same episode a
+     * std::runtime_error carrying every shard's message (in shard
+     * order) is thrown instead, so no fault is silently dropped.
      */
     void forEachShard(const std::function<void(unsigned)> &fn);
 
   private:
     void workerLoop(unsigned shard);
     void runShard(unsigned shard);
+    void rethrowFailures();
 
     const unsigned threads_;
     PhaseBarrier start_;
@@ -78,7 +83,7 @@ class TickEngine
     const std::function<void(unsigned)> *task_ = nullptr;
     bool stop_ = false;
     std::mutex failureMutex_;
-    std::exception_ptr failure_;
+    std::vector<std::pair<unsigned, std::exception_ptr>> failures_;
     std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for the ultra::check phase-contract checker: the PhaseChecker
+ * recording machinery (always compiled), and -- when the build has
+ * ULTRA_CHECK=ON -- the annotations woven into the real components,
+ * including an injected cross-shard violation that must be reported
+ * with its component path and cycle number.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/phase_check.h"
+#include "core/machine.h"
+#include "mem/address_hash.h"
+#include "mem/memory_system.h"
+#include "net/network.h"
+#include "net/pni.h"
+#include "pe/task.h"
+
+namespace ultra
+{
+namespace
+{
+
+using check::PhaseChecker;
+using check::Violation;
+using core::Machine;
+using core::MachineConfig;
+using pe::Pe;
+using pe::Task;
+
+/** RAII reset so tests cannot leak checker state into each other. */
+struct CheckerGuard
+{
+    CheckerGuard()
+    {
+        PhaseChecker::instance().clear();
+        PhaseChecker::instance().setFailFast(false);
+    }
+    ~CheckerGuard()
+    {
+        PhaseChecker::instance().endCompute();
+        PhaseChecker::unbindShard();
+        PhaseChecker::instance().clear();
+        PhaseChecker::instance().setOwners(1, {});
+    }
+};
+
+// ------------------------------------------------------------------
+// PhaseChecker core (runs in every build)
+// ------------------------------------------------------------------
+
+TEST(PhaseCheckerTest, CleanComputePhaseRecordsNothing)
+{
+    CheckerGuard guard;
+    PhaseChecker &checker = PhaseChecker::instance();
+    checker.setOwners(2, {0, 0, 1, 1});
+
+    checker.beginCompute(7);
+    PhaseChecker::bindShard(0);
+    checker.onComputeWrite("test.site", 1); // PE 1 belongs to shard 0
+    checker.onComputeRead("test.site", 0);
+    PhaseChecker::unbindShard();
+    checker.endCompute();
+    checker.onCommitOnly("test.commit"); // legal outside compute
+
+    EXPECT_EQ(checker.violationCount(), 0u);
+    EXPECT_TRUE(checker.violations().empty());
+}
+
+TEST(PhaseCheckerTest, CrossShardWriteIsRecordedWithContext)
+{
+    CheckerGuard guard;
+    PhaseChecker &checker = PhaseChecker::instance();
+    checker.setOwners(2, {0, 0, 1, 1});
+
+    checker.beginCompute(42);
+    PhaseChecker::bindShard(0);
+    checker.onComputeWrite("net.pni.request", 3); // PE 3 is shard 1's
+    PhaseChecker::unbindShard();
+    checker.endCompute();
+
+    ASSERT_EQ(checker.violationCount(), 1u);
+    const std::vector<Violation> violations = checker.violations();
+    ASSERT_EQ(violations.size(), 1u);
+    const Violation &v = violations.front();
+    EXPECT_EQ(v.kind, Violation::Kind::CrossShardWrite);
+    EXPECT_EQ(v.component, "net.pni.request");
+    EXPECT_EQ(v.owner, 3u);
+    EXPECT_EQ(v.ownerShard, 1u);
+    EXPECT_EQ(v.actingShard, 0);
+    EXPECT_EQ(v.cycle, 42u);
+    // The report names the component and the cycle.
+    EXPECT_NE(v.describe().find("net.pni.request"), std::string::npos);
+    EXPECT_NE(v.describe().find("42"), std::string::npos);
+}
+
+TEST(PhaseCheckerTest, CommitOnlyDuringComputeIsAViolation)
+{
+    CheckerGuard guard;
+    PhaseChecker &checker = PhaseChecker::instance();
+    checker.setOwners(2, {0, 1});
+
+    checker.onCommitOnly("net.network.tick"); // fine: not in compute
+    EXPECT_EQ(checker.violationCount(), 0u);
+
+    checker.beginCompute(9);
+    PhaseChecker::bindShard(1);
+    checker.onCommitOnly("net.network.tick");
+    PhaseChecker::unbindShard();
+    checker.endCompute();
+
+    ASSERT_EQ(checker.violationCount(), 1u);
+    const Violation v = checker.violations().front();
+    EXPECT_EQ(v.kind, Violation::Kind::CommitOnlyInCompute);
+    EXPECT_EQ(v.component, "net.network.tick");
+    EXPECT_EQ(v.cycle, 9u);
+    EXPECT_EQ(v.actingShard, 1);
+}
+
+TEST(PhaseCheckerTest, CrossShardReadIsAViolation)
+{
+    CheckerGuard guard;
+    PhaseChecker &checker = PhaseChecker::instance();
+    checker.setOwners(2, {0, 1});
+
+    checker.beginCompute(3);
+    PhaseChecker::bindShard(0);
+    checker.onComputeRead("net.pni.pending", 1);
+    PhaseChecker::unbindShard();
+    checker.endCompute();
+
+    ASSERT_EQ(checker.violationCount(), 1u);
+    EXPECT_EQ(checker.violations().front().kind,
+              Violation::Kind::CrossShardRead);
+}
+
+TEST(PhaseCheckerTest, UnmappedOwnerIsNotChecked)
+{
+    CheckerGuard guard;
+    PhaseChecker &checker = PhaseChecker::instance();
+    checker.setOwners(2, {0, 1});
+
+    checker.beginCompute(1);
+    PhaseChecker::bindShard(0);
+    checker.onComputeWrite("test.site", 77); // beyond the owner map
+    checker.onComputeWrite("test.site", Violation::kNoOwner);
+    PhaseChecker::unbindShard();
+    checker.endCompute();
+
+    EXPECT_EQ(checker.violationCount(), 0u);
+}
+
+TEST(PhaseCheckerTest, RecordCapKeepsCounting)
+{
+    CheckerGuard guard;
+    PhaseChecker &checker = PhaseChecker::instance();
+    checker.setOwners(2, {0, 1});
+
+    checker.beginCompute(1);
+    PhaseChecker::bindShard(0);
+    const std::size_t total = PhaseChecker::recordLimit() + 10;
+    for (std::size_t i = 0; i < total; ++i)
+        checker.onComputeWrite("test.flood", 1);
+    PhaseChecker::unbindShard();
+    checker.endCompute();
+
+    EXPECT_EQ(checker.violationCount(), total);
+    EXPECT_EQ(checker.violations().size(), PhaseChecker::recordLimit());
+
+    checker.clear();
+    EXPECT_EQ(checker.violationCount(), 0u);
+}
+
+// ------------------------------------------------------------------
+// Woven annotations (need ULTRA_CHECK=ON)
+// ------------------------------------------------------------------
+
+/**
+ * Injected contract violation through the real annotation in
+ * PniArray::request: a thread bound to shard 0 issues a request for a
+ * PE owned by shard 1 during a compute phase.  The checker must report
+ * it with the component path and the cycle (acceptance criterion).
+ */
+TEST(PhaseCheckAnnotationTest, InjectedCrossShardRequestIsDetected)
+{
+    if (!PhaseChecker::annotationsEnabled())
+        GTEST_SKIP() << "build with -DULTRA_CHECK=ON";
+    CheckerGuard guard;
+
+    net::NetSimConfig ncfg;
+    ncfg.numPorts = 4;
+    mem::MemoryConfig mcfg;
+    mcfg.numModules = ncfg.numPorts;
+    mcfg.wordsPerModule = 1 << 8;
+    mem::MemorySystem memory(mcfg);
+    net::Network network(ncfg, memory);
+    mem::AddressHash hash(log2Exact(memory.totalWords()), false);
+    net::PniArray pni(net::PniConfig{}, network, hash);
+
+    // PEs 0-1 on shard 0, PEs 2-3 on shard 1.
+    pni.setShardMap(2, {0, 0, 1, 1});
+    PhaseChecker &checker = PhaseChecker::instance();
+    checker.setOwners(2, {0, 0, 1, 1});
+
+    checker.beginCompute(17);
+    PhaseChecker::bindShard(0);
+    pni.request(2, net::Op::Load, 0, 0); // PE 2: owned by shard 1!
+    PhaseChecker::unbindShard();
+    checker.endCompute();
+
+    ASSERT_GE(checker.violationCount(), 1u);
+    const Violation v = checker.violations().front();
+    EXPECT_EQ(v.kind, Violation::Kind::CrossShardWrite);
+    EXPECT_EQ(v.component, "net.pni.request");
+    EXPECT_EQ(v.owner, 2u);
+    EXPECT_EQ(v.ownerShard, 1u);
+    EXPECT_EQ(v.actingShard, 0);
+    EXPECT_EQ(v.cycle, 17u);
+}
+
+/** Commit-only components called during compute must be flagged too. */
+TEST(PhaseCheckAnnotationTest, NetworkTickDuringComputeIsDetected)
+{
+    if (!PhaseChecker::annotationsEnabled())
+        GTEST_SKIP() << "build with -DULTRA_CHECK=ON";
+    CheckerGuard guard;
+
+    net::NetSimConfig ncfg;
+    ncfg.numPorts = 4;
+    mem::MemoryConfig mcfg;
+    mcfg.numModules = ncfg.numPorts;
+    mcfg.wordsPerModule = 1 << 8;
+    mem::MemorySystem memory(mcfg);
+    net::Network network(ncfg, memory);
+
+    PhaseChecker &checker = PhaseChecker::instance();
+    checker.setOwners(2, {0, 0, 1, 1});
+    checker.beginCompute(5);
+    PhaseChecker::bindShard(0);
+    network.tick();
+    PhaseChecker::unbindShard();
+    checker.endCompute();
+
+    ASSERT_GE(checker.violationCount(), 1u);
+    EXPECT_EQ(checker.violations().front().component, "net.network.tick");
+    EXPECT_EQ(checker.violations().front().cycle, 5u);
+}
+
+/**
+ * A real multi-threaded machine run must be violation-free: the
+ * compute/commit contract the whole simulator is built on holds on the
+ * components as actually woven.
+ */
+TEST(PhaseCheckAnnotationTest, ParallelMachineRunIsClean)
+{
+    if (!PhaseChecker::annotationsEnabled())
+        GTEST_SKIP() << "build with -DULTRA_CHECK=ON";
+    CheckerGuard guard;
+
+    MachineConfig cfg = MachineConfig::small(16, 2);
+    cfg.threads = 2;
+    Machine machine(cfg);
+    const Addr counter = machine.allocShared(1);
+    machine.launchAll(8, [&](Pe &pe) -> Task {
+        for (int i = 0; i < 4; ++i) {
+            (void)co_await pe.fetchAdd(counter, 1);
+            co_await pe.compute(5);
+        }
+    });
+    ASSERT_TRUE(machine.run());
+    EXPECT_EQ(machine.peek(counter), 32);
+
+    EXPECT_EQ(PhaseChecker::instance().violationCount(), 0u);
+    // The count is exported through the obs registry.
+    const std::string json = machine.statsJson();
+    EXPECT_NE(json.find("check.violations"), std::string::npos);
+}
+
+} // namespace
+} // namespace ultra

@@ -13,6 +13,7 @@
 #include "net/message.h"
 #include "net/network.h"
 #include "net/out_queue.h"
+#include "net/wait_buffer.h"
 
 namespace ultra::net
 {
@@ -195,6 +196,156 @@ TEST(OutQueueTest, SecondClaimWaitsForFirst)
     queue.cancelReservation(2); // pretend the first message passed
     EXPECT_TRUE(queue.claimReady(second));
     queue.consumeClaim(second);
+}
+
+TEST(OutQueueTest, BackpressureAtExactCapacity)
+{
+    MessagePool pool;
+    OutQueue queue(4);
+    ASSERT_TRUE(queue.tryReserve(4));
+    // Exactly full: nothing more fits, not even one packet.
+    EXPECT_FALSE(queue.canAccept(1));
+    EXPECT_FALSE(queue.tryReserve(1));
+    Message *msg = makeMsg(pool, 4);
+    queue.enqueue(msg);
+    EXPECT_FALSE(queue.tryReserve(1));
+    // Draining the single message frees the whole capacity at once.
+    queue.dequeue();
+    EXPECT_TRUE(queue.canAccept(4));
+    EXPECT_TRUE(queue.tryReserve(4));
+    pool.free(msg);
+}
+
+TEST(OutQueueTest, GrowOnFullQueueFailsWithoutSideEffects)
+{
+    // Combine-on-full: upgrading a queued 1-packet load into a
+    // data-carrying request must fail cleanly when the extra packets
+    // do not fit, leaving the message and the accounting untouched.
+    MessagePool pool;
+    OutQueue queue(3);
+    queue.reserve(3);
+    Message *a = makeMsg(pool, 1);
+    Message *b = makeMsg(pool, 2);
+    queue.enqueue(a);
+    queue.enqueue(b);
+    EXPECT_FALSE(queue.grow(a, 2));
+    EXPECT_EQ(a->packets, 1u);
+    EXPECT_EQ(queue.usedPackets(), 3u);
+    // Freeing b's packets makes the same grow succeed.
+    queue.dequeue(); // a leaves (head)
+    ASSERT_TRUE(queue.tryReserve(1));
+    queue.enqueue(a); // re-admit behind b
+    queue.dequeue(); // b leaves
+    EXPECT_TRUE(queue.grow(a, 2));
+    EXPECT_EQ(a->packets, 3u);
+    EXPECT_EQ(queue.usedPackets(), 3u);
+    pool.free(a);
+    pool.free(b);
+}
+
+TEST(OutQueueTest, DrainPreservesEnqueueOrderUnderClaims)
+{
+    // Messages admitted through the claim path must still drain in
+    // arrival order relative to messages admitted by tryReserve.
+    MessagePool pool;
+    OutQueue queue(4);
+    ASSERT_TRUE(queue.tryReserve(4));
+    Message *first = makeMsg(pool, 4);
+    queue.enqueue(first);
+
+    const auto claim = queue.openClaim(3);
+    queue.dequeue(); // first leaves; the claim absorbs the space
+    ASSERT_TRUE(queue.claimReady(claim));
+    queue.consumeClaim(claim);
+    Message *second = makeMsg(pool, 3);
+    queue.enqueue(second);
+    ASSERT_TRUE(queue.tryReserve(1));
+    Message *third = makeMsg(pool, 1);
+    queue.enqueue(third);
+
+    EXPECT_EQ(queue.dequeue(), second);
+    EXPECT_EQ(queue.dequeue(), third);
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.usedPackets(), 0u);
+    pool.free(first);
+    pool.free(second);
+    pool.free(third);
+}
+
+// ------------------------------------------------------------------
+// WaitBuffer
+// ------------------------------------------------------------------
+
+WaitEntry
+makeEntry(std::uint64_t wait_key, std::uint64_t satisfied_id)
+{
+    WaitEntry entry;
+    entry.waitKey = wait_key;
+    entry.satisfiedId = satisfied_id;
+    return entry;
+}
+
+TEST(WaitBufferTest, CapacityGatesFullNotInsert)
+{
+    WaitBuffer buffer(2);
+    EXPECT_FALSE(buffer.full());
+    buffer.insert(makeEntry(1, 10));
+    EXPECT_FALSE(buffer.full());
+    buffer.insert(makeEntry(2, 20));
+    // The switch checks full() before combining; at capacity no new
+    // combine may be recorded.
+    EXPECT_TRUE(buffer.full());
+    EXPECT_EQ(buffer.size(), 2u);
+
+    std::vector<WaitEntry> out;
+    EXPECT_EQ(buffer.takeMatches(1, out), 1u);
+    EXPECT_FALSE(buffer.full());
+}
+
+TEST(WaitBufferTest, UnboundedNeverFull)
+{
+    WaitBuffer buffer(0);
+    for (int i = 0; i < 100; ++i)
+        buffer.insert(makeEntry(static_cast<std::uint64_t>(i), 0));
+    EXPECT_FALSE(buffer.full());
+    EXPECT_EQ(buffer.size(), 100u);
+}
+
+TEST(WaitBufferTest, TakeMatchesDrainsInInsertionOrder)
+{
+    // Multi-way combining (the ablation knob) relies on matched
+    // entries firing in their serialization (insertion) order.
+    WaitBuffer buffer;
+    buffer.insert(makeEntry(7, 1));
+    buffer.insert(makeEntry(5, 2));
+    buffer.insert(makeEntry(7, 3));
+    buffer.insert(makeEntry(7, 4));
+
+    std::vector<WaitEntry> out;
+    EXPECT_EQ(buffer.takeMatches(7, out), 3u);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].satisfiedId, 1u);
+    EXPECT_EQ(out[1].satisfiedId, 3u);
+    EXPECT_EQ(out[2].satisfiedId, 4u);
+    // Non-matching entries stay behind.
+    EXPECT_EQ(buffer.size(), 1u);
+    EXPECT_EQ(buffer.entries().front().waitKey, 5u);
+
+    // A second search for the same key finds nothing.
+    out.clear();
+    EXPECT_EQ(buffer.takeMatches(7, out), 0u);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(WaitBufferTest, TakeMatchesAppendsToExistingOutput)
+{
+    WaitBuffer buffer;
+    buffer.insert(makeEntry(3, 30));
+    std::vector<WaitEntry> out;
+    out.push_back(makeEntry(9, 90)); // pre-existing content
+    EXPECT_EQ(buffer.takeMatches(3, out), 1u);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[1].satisfiedId, 30u);
 }
 
 TEST(MessagePoolTest, IdsAreUniqueAcrossRecycling)

@@ -231,6 +231,52 @@ TEST(TickEngineTest, PropagatesShardExceptions)
     EXPECT_EQ(ran.load(), 4u);
 }
 
+TEST(TickEngineTest, SingleFailureRethrowsOriginalException)
+{
+    par::TickEngine engine(4);
+    try {
+        engine.forEachShard([](unsigned shard) {
+            if (shard == 1)
+                throw std::out_of_range("only shard 1");
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::out_of_range &e) {
+        // The original type survives when exactly one shard fails.
+        EXPECT_STREQ(e.what(), "only shard 1");
+    }
+}
+
+TEST(TickEngineTest, AggregatesAllShardFailures)
+{
+    par::TickEngine engine(4);
+    try {
+        engine.forEachShard([](unsigned shard) {
+            if (shard != 0) {
+                throw std::runtime_error("boom from shard " +
+                                         std::to_string(shard));
+            }
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("3 shards failed"), std::string::npos) << what;
+        // Every shard's message must survive, in shard order.
+        const auto p1 = what.find("[shard 1] boom from shard 1");
+        const auto p2 = what.find("[shard 2] boom from shard 2");
+        const auto p3 = what.find("[shard 3] boom from shard 3");
+        EXPECT_NE(p1, std::string::npos) << what;
+        EXPECT_NE(p2, std::string::npos) << what;
+        EXPECT_NE(p3, std::string::npos) << what;
+        EXPECT_LT(p1, p2);
+        EXPECT_LT(p2, p3);
+    }
+    // Failures must not leak into the next episode.
+    std::atomic<unsigned> ran{0};
+    engine.forEachShard(
+        [&](unsigned) { ran.fetch_add(1, std::memory_order_relaxed); });
+    EXPECT_EQ(ran.load(), 4u);
+}
+
 // ------------------------------------------------------------------
 // Determinism: N threads must reproduce the 1-thread run exactly
 // ------------------------------------------------------------------

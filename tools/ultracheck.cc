@@ -1,0 +1,247 @@
+/**
+ * @file
+ * ultracheck -- serialization-principle verifier for the ultra::rt
+ * coordination primitives (see src/check/serial.h and DESIGN.md
+ * "Verifying correctness").
+ *
+ * Exhaustively enumerates every interleaving of the paracomputer-step
+ * models of fetch-and-add, the appendix's TIR/TDR parallel queue, the
+ * readers-writers solution and the sense-reversing barrier on a 2-4 PE
+ * paracomputer, checking that each outcome linearizes to some serial
+ * order (the section-2.2 serialization principle) and that every
+ * reachable state satisfies the algorithm's invariants.
+ *
+ * Usage:
+ *   ultracheck [--suite fa|queue|rw|barrier|all] [--pes N]
+ *              [--max-states N] [--no-reduction]
+ *              [--random-walks K] [--seed S]
+ *              [--demo-bug]
+ *
+ *   --suite S        which primitive(s) to verify (default all)
+ *   --pes N          max processes per configuration, 2..4 (default 3)
+ *   --max-states N   exhaustive exploration budget (default 2e8)
+ *   --no-reduction   disable sleep-set partial-order reduction
+ *   --random-walks K after each exhaustive run, also sample K random
+ *                    schedules (coverage cross-check; default 0)
+ *   --seed S         random-walk seed (default 1)
+ *   --demo-bug       run the intentionally broken load-then-store
+ *                    counter and show the verifier catching it
+ *
+ * Exit status: 0 when every configuration verifies, 1 otherwise.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/models.h"
+#include "check/serial.h"
+
+namespace
+{
+
+using namespace ultra::check;
+
+/** Minimal flag parser: --name value and boolean --name. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0) {
+                std::fprintf(stderr, "unexpected argument '%s'\n",
+                             argv[i]);
+                std::exit(2);
+            }
+            key = key.substr(2);
+            if (i + 1 < argc && argv[i + 1][0] != '-') {
+                values_[key] = argv[++i];
+            } else {
+                values_[key] = "";
+            }
+        }
+    }
+
+    bool has(const std::string &key) const { return values_.count(key); }
+
+    std::uint64_t
+    getInt(const std::string &key, std::uint64_t fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end()
+                   ? fallback
+                   : std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+
+    std::string
+    getString(const std::string &key, const std::string &fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+struct RunConfig
+{
+    ExploreOptions opts;
+    std::uint64_t randomWalkCount = 0;
+    std::uint64_t seed = 1;
+};
+
+/** Verify one model; prints a PASS/FAIL line.  @return pass? */
+bool
+runModel(const Model &model, const RunConfig &cfg, bool expect_violation)
+{
+    ExploreResult res = explore(model, cfg.opts);
+    bool sampled_ok = true;
+    if (cfg.randomWalkCount != 0) {
+        const ExploreResult walk =
+            randomWalks(model, cfg.randomWalkCount, cfg.seed, cfg.opts);
+        sampled_ok = walk.violations.empty();
+        res.statesExplored += walk.statesExplored;
+        for (const std::string &v : walk.violations)
+            res.violations.push_back("(random walk) " + v);
+    }
+
+    const bool found = !res.violations.empty() || !sampled_ok;
+    const bool pass = expect_violation ? found : (found ? false : true);
+    std::printf("%-34s %s  states=%llu schedules=%llu pruned=%llu%s\n",
+                model.name().c_str(),
+                pass ? (expect_violation ? "CAUGHT" : "PASS") : "FAIL",
+                static_cast<unsigned long long>(res.statesExplored),
+                static_cast<unsigned long long>(res.schedules),
+                static_cast<unsigned long long>(res.sleepPruned),
+                res.truncated ? "  (TRUNCATED: raise --max-states)" : "");
+    if (res.truncated)
+        return false;
+    const std::size_t show = expect_violation ? 1 : res.violations.size();
+    for (std::size_t i = 0; i < show && i < res.violations.size(); ++i)
+        std::printf("    %s %s\n", expect_violation ? "found:" : "VIOLATION:",
+                    res.violations[i].c_str());
+    return pass;
+}
+
+/** Every length-`procs` composition of the two role characters. */
+std::vector<std::string>
+roleShapes(unsigned procs, char a, char b)
+{
+    std::vector<std::string> shapes;
+    for (unsigned bits = 0; bits < (1u << procs); ++bits) {
+        std::string shape;
+        for (unsigned p = 0; p < procs; ++p)
+            shape.push_back((bits >> p) & 1 ? b : a);
+        shapes.push_back(shape);
+    }
+    return shapes;
+}
+
+bool
+runFetchAdd(unsigned max_pes, const RunConfig &cfg)
+{
+    bool ok = true;
+    for (unsigned p = 2; p <= max_pes; ++p)
+        ok = runModel(*makeFetchAddModel(p), cfg, false) && ok;
+    return ok;
+}
+
+bool
+runQueue(unsigned max_pes, const RunConfig &cfg)
+{
+    bool ok = true;
+    for (unsigned p = 2; p <= max_pes; ++p) {
+        for (const std::string &shape : roleShapes(p, 'i', 'd')) {
+            for (unsigned capacity : {1u, 2u}) {
+                ok = runModel(*makeParallelQueueModel(shape, capacity),
+                              cfg, false) &&
+                     ok;
+            }
+        }
+    }
+    return ok;
+}
+
+bool
+runReadersWriters(unsigned max_pes, const RunConfig &cfg)
+{
+    bool ok = true;
+    for (unsigned p = 2; p <= max_pes; ++p)
+        for (const std::string &shape : roleShapes(p, 'r', 'w'))
+            ok = runModel(*makeReadersWritersModel(shape), cfg, false) && ok;
+    return ok;
+}
+
+bool
+runBarrier(unsigned max_pes, const RunConfig &cfg)
+{
+    bool ok = true;
+    for (unsigned p = 2; p <= max_pes; ++p)
+        for (unsigned episodes : {1u, 2u})
+            ok = runModel(*makeBarrierModel(p, episodes), cfg, false) && ok;
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv, 1);
+    if (args.has("help")) {
+        std::printf("usage: ultracheck [--suite fa|queue|rw|barrier|all]\n"
+                    "                  [--pes N] [--max-states N]\n"
+                    "                  [--no-reduction] [--random-walks K]\n"
+                    "                  [--seed S] [--demo-bug]\n");
+        return 0;
+    }
+
+    const std::string suite = args.getString("suite", "all");
+    if (suite != "fa" && suite != "queue" && suite != "rw" &&
+        suite != "barrier" && suite != "all") {
+        std::fprintf(stderr, "unknown --suite '%s'\n", suite.c_str());
+        return 2;
+    }
+
+    const unsigned max_pes =
+        static_cast<unsigned>(args.getInt("pes", 3));
+    if (max_pes < 2 || max_pes > 4) {
+        std::fprintf(stderr, "--pes must be 2..4 (got %u)\n", max_pes);
+        return 2;
+    }
+
+    RunConfig cfg;
+    cfg.opts.maxStates = args.getInt("max-states", cfg.opts.maxStates);
+    cfg.opts.sleepSets = !args.has("no-reduction");
+    cfg.randomWalkCount = args.getInt("random-walks", 0);
+    cfg.seed = args.getInt("seed", 1);
+
+    if (args.has("demo-bug")) {
+        std::printf("demonstration: load-then-store counter "
+                    "(NOT serializable)\n");
+        const bool caught =
+            runModel(*makeBrokenCounter(2), cfg, /*expect_violation=*/true);
+        return caught ? 0 : 1;
+    }
+
+    bool ok = true;
+    if (suite == "fa" || suite == "all")
+        ok = runFetchAdd(max_pes, cfg) && ok;
+    if (suite == "queue" || suite == "all")
+        ok = runQueue(max_pes, cfg) && ok;
+    if (suite == "rw" || suite == "all")
+        ok = runReadersWriters(max_pes, cfg) && ok;
+    if (suite == "barrier" || suite == "all")
+        ok = runBarrier(max_pes, cfg) && ok;
+
+    std::printf("%s\n", ok ? "ultracheck: all configurations verified"
+                           : "ultracheck: VIOLATIONS FOUND");
+    return ok ? 0 : 1;
+}
