@@ -23,11 +23,19 @@
  * cycle and access latency is queueing-dominated (completions are also
  * unfair under saturation -- requests deep in the congested tree wait
  * far longer than the mean).  Combined fraction approaches (N-1)/N.
+ *
+ * Each combining run carries a latency observatory; its combining
+ * analytics (fan-in distribution, MM cycles saved, decomposition
+ * violations) land in BENCH_hotspot.json (or argv[1]) for CI trending.
  */
 
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "obs/latency.h"
 
 namespace
 {
@@ -41,6 +49,14 @@ struct HotResult
     double opsPerCycle;
     double combinedFraction;
     std::uint64_t mmServed;
+
+    // Latency-observatory combining analytics (combining runs only).
+    std::uint64_t delivered = 0;
+    std::uint64_t combinedDelivered = 0;
+    std::uint64_t mmCyclesSaved = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t fanInP50 = 1;
+    std::uint64_t fanInMax = 1;
 };
 
 HotResult
@@ -71,6 +87,15 @@ runHot(std::uint32_t ports, net::CombinePolicy policy, bool burroughs)
     pcfg.maxOutstanding = 1;
 
     bench::TrafficRig rig(ncfg, tcfg, true, pcfg);
+    // Attach before any traffic (the network must be quiescent); the
+    // observatory therefore covers the warmup as well, unlike the
+    // registry stats, which measure() resets.
+    obs::LatencyShape shape;
+    shape.stages = rig.network.topology().stages();
+    shape.switchesPerStage = rig.network.topology().switchesPerStage();
+    shape.mmAccessTime = ncfg.mmAccessTime;
+    obs::LatencyObservatory latency(shape);
+    rig.network.setLatencyObservatory(&latency);
     const Cycle cycles = 8000;
     rig.measure(2000, cycles);
 
@@ -86,16 +111,61 @@ runHot(std::uint32_t ports, net::CombinePolicy policy, bool burroughs)
                   static_cast<double>(stats.injected)
             : 0.0;
     out.mmServed = stats.mmServed;
+    out.delivered = latency.delivered();
+    out.combinedDelivered = latency.combinedDelivered();
+    out.mmCyclesSaved = latency.mmCyclesSaved();
+    out.violations = latency.violations();
+    if (latency.fanInHist().count() > 0) {
+        out.fanInP50 = latency.fanInHist().percentile(0.5);
+        const Histogram &h = latency.fanInHist();
+        for (std::size_t b = h.numBins(); b-- > 0;) {
+            if (h.binCount(b) > 0) {
+                out.fanInMax = b * h.binWidth();
+                break;
+            }
+        }
+    }
     return out;
+}
+
+bool
+writeJson(const std::string &path,
+          const std::vector<std::pair<std::uint32_t, HotResult>> &runs)
+{
+    std::ofstream out(path);
+    if (!out.good()) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    out << "{\n  \"bench\": \"hotspot_combining\",\n"
+        << "  \"design\": \"combining\",\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const auto &[ports, r] = runs[i];
+        out << "    {\"ports\": " << ports << ", \"ops_per_cycle\": "
+            << r.opsPerCycle << ", \"access_time\": " << r.meanAccess
+            << ", \"combined_fraction\": " << r.combinedFraction
+            << ", \"delivered\": " << r.delivered
+            << ", \"combined_delivered\": " << r.combinedDelivered
+            << ", \"mm_cycles_saved\": " << r.mmCyclesSaved
+            << ", \"fanin_p50\": " << r.fanInP50
+            << ", \"fanin_max\": " << r.fanInMax
+            << ", \"violations\": " << r.violations << "}"
+            << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.good();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_hotspot.json";
     std::printf("Claim 5: hot-spot fetch-and-add (every PE hammers one "
                 "variable, window 1)\n\n");
+    std::vector<std::pair<std::uint32_t, HotResult>> combining_runs;
     TextTable table;
     table.setHeader({"N", "design", "access time (cycles)",
                      "net RTT", "F&A/cycle", "combined %",
@@ -103,6 +173,7 @@ main()
     for (std::uint32_t ports : {16u, 64u, 256u, 1024u}) {
         const auto full =
             runHot(ports, net::CombinePolicy::Full, false);
+        combining_runs.emplace_back(ports, full);
         const auto none =
             runHot(ports, net::CombinePolicy::None, false);
         const auto kill =
@@ -134,5 +205,18 @@ main()
                 "access\"); without,\nthe hot module serializes: "
                 "throughput is pinned at 1/access-time and the access\n"
                 "time a PE sees grows linearly with N.\n");
+    std::uint64_t violations = 0;
+    for (const auto &[ports, r] : combining_runs)
+        violations += r.violations;
+    if (!writeJson(out_path, combining_runs))
+        return 1;
+    std::printf("\ncombining analytics written to %s\n",
+                out_path.c_str());
+    if (violations != 0) {
+        std::fprintf(stderr,
+                     "latency decomposition violations: %llu\n",
+                     static_cast<unsigned long long>(violations));
+        return 1;
+    }
     return 0;
 }

@@ -1,0 +1,26 @@
+#include "drift.h"
+
+#include <cmath>
+#include <limits>
+
+#include "analytic/queueing.h"
+
+namespace ultra::analytic
+{
+
+double
+predictedSimTransit(const NetworkConfig &cfg, double p)
+{
+    return transitTime(cfg, p) + 1.0;
+}
+
+double
+transitDrift(const NetworkConfig &cfg, double p, double measured_transit)
+{
+    const double predicted = predictedSimTransit(cfg, p);
+    if (!std::isfinite(predicted) || predicted <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return (measured_transit - predicted) / predicted;
+}
+
+} // namespace ultra::analytic

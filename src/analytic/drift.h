@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Sim-vs-model drift for the Kruskal-Snir transit-time prediction.
+ *
+ * The section-4.1 model predicts the average one-way network transit
+ * T(p) from (n, k, m, d) and the offered load p, under infinite queues,
+ * uniform message length m and independent uniform traffic.  The
+ * simulator's net.one_way_transit statistic measures inject -> full
+ * receipt at the MNI, which includes the PE-to-stage-0 injection hop
+ * the model does not count, so the comparable prediction is T(p) + 1.
+ *
+ * Drift is the signed relative error (measured - predicted) /
+ * predicted.  The default tolerance of 15% reflects what the Fig-7
+ * bench observes for the model-matched configurations (uniform sizing,
+ * no combining, unbounded queues, open-loop uniform traffic) at loads
+ * comfortably below capacity; see bench/fig7_transit_time.
+ */
+
+#ifndef ULTRA_ANALYTIC_DRIFT_H
+#define ULTRA_ANALYTIC_DRIFT_H
+
+#include "analytic/config.h"
+
+namespace ultra::analytic
+{
+
+/** Documented |drift| tolerance for model-matched configurations. */
+inline constexpr double kDefaultDriftTolerance = 0.15;
+
+/**
+ * The Kruskal-Snir transit-time prediction made comparable to the
+ * simulator's one-way-transit statistic: T(p) plus the injection hop.
+ * +infinity at or beyond capacity.
+ */
+double predictedSimTransit(const NetworkConfig &cfg, double p);
+
+/**
+ * Signed relative drift of @p measured_transit (the simulator's mean
+ * one-way transit) from the model's prediction at load @p p.  Returns
+ * +infinity when the prediction is not finite or not positive (at or
+ * beyond capacity), where no meaningful comparison exists.
+ */
+double transitDrift(const NetworkConfig &cfg, double p,
+                    double measured_transit);
+
+} // namespace ultra::analytic
+
+#endif // ULTRA_ANALYTIC_DRIFT_H

@@ -1,6 +1,7 @@
 /**
  * @file
- * Minimal recursive-descent JSON parser for schema checks in tests.
+ * Minimal recursive-descent JSON parser for schema checks in tests and
+ * offline analysis tools (tools/ultrascope).
  *
  * Parses the full JSON grammar into a tree of JsonValue nodes; any
  * syntax error throws std::runtime_error with the offending offset, so
@@ -9,8 +10,8 @@
  * are kept verbatim past the basic ones).
  */
 
-#ifndef ULTRA_TESTS_JSON_LITE_H
-#define ULTRA_TESTS_JSON_LITE_H
+#ifndef ULTRA_COMMON_JSON_LITE_H
+#define ULTRA_COMMON_JSON_LITE_H
 
 #include <cctype>
 #include <map>
@@ -274,4 +275,4 @@ parse(const std::string &text)
 
 } // namespace jsonlite
 
-#endif // ULTRA_TESTS_JSON_LITE_H
+#endif // ULTRA_COMMON_JSON_LITE_H

@@ -87,6 +87,19 @@ Histogram::add(std::uint64_t x)
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    ULTRA_ASSERT(binWidth_ == other.binWidth_ &&
+                     bins_.size() == other.bins_.size(),
+                 "merging histograms of different shape");
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        bins_[i] += other.bins_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+    maxSample_ = std::max(maxSample_, other.maxSample_);
+}
+
+void
 Histogram::reset()
 {
     std::fill(bins_.begin(), bins_.end(), 0);

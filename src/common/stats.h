@@ -62,6 +62,10 @@ class Histogram
                        std::size_t num_bins = 64);
 
     void add(std::uint64_t x);
+
+    /** Merge another histogram's samples; shapes must match. */
+    void merge(const Histogram &other);
+
     void reset();
 
     std::uint64_t count() const { return total_; }

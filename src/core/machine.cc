@@ -7,6 +7,7 @@
 #include "common/log.h"
 #include "common/table.h"
 #include "obs/event_trace.h"
+#include "obs/json.h"
 
 namespace ultra::core
 {
@@ -286,6 +287,43 @@ std::string
 Machine::statsJson() const
 {
     return registry_.jsonDump(now());
+}
+
+std::string
+Machine::statsJson(const obs::DumpOptions &opts) const
+{
+    return registry_.jsonDump(now(), opts);
+}
+
+void
+Machine::enableLatency()
+{
+    if (latency_)
+        return;
+    obs::LatencyShape shape;
+    shape.stages = network_.topology().stages();
+    shape.switchesPerStage = network_.topology().switchesPerStage();
+    shape.mmAccessTime = cfg_.net.mmAccessTime;
+    latency_ = std::make_unique<obs::LatencyObservatory>(shape);
+    network_.setLatencyObservatory(latency_.get());
+    latency_->registerStats(registry_, "lat");
+}
+
+std::string
+Machine::latencyJson() const
+{
+    if (!latency_)
+        return "{}";
+    Histogram pe_wait{2, 128};
+    for (const auto &pe : pes_)
+        pe_wait.merge(pe->waitHist());
+    std::ostringstream os;
+    const std::string summary = latency_->summaryJson();
+    // Splice the merged PE-wait distribution into the summary object.
+    os << summary.substr(0, summary.rfind('}')) << ", \"pe_wait\": ";
+    obs::writeJsonHistogram(os, pe_wait);
+    os << "}";
+    return os.str();
 }
 
 void

@@ -28,6 +28,7 @@
 #include "mem/memory_system.h"
 #include "net/network.h"
 #include "net/pni.h"
+#include "obs/latency.h"
 #include "obs/registry.h"
 #include "obs/sampler.h"
 #include "par/shard.h"
@@ -166,6 +167,33 @@ class Machine
     /** Machine-readable JSON dump of every registered statistic. */
     std::string statsJson() const;
 
+    /** As statsJson(), with explicit key-order / layout control. */
+    std::string statsJson(const obs::DumpOptions &opts) const;
+
+    /**
+     * Attach a packet-lifecycle latency observatory to the network and
+     * register its statistics under "lat.".  Call while the network is
+     * quiescent (before run(), or after a completed one plus
+     * resetStats); idempotent.  Opt-in: an unenabled machine's stats
+     * output is byte-identical to pre-observatory builds.
+     */
+    void enableLatency();
+    bool latencyEnabled() const { return latency_ != nullptr; }
+
+    /** The observatory, or nullptr until enableLatency(). */
+    obs::LatencyObservatory *latency() { return latency_.get(); }
+    const obs::LatencyObservatory *latency() const
+    {
+        return latency_.get();
+    }
+
+    /**
+     * The full latency report as JSON (see --latency-json): the
+     * observatory summary plus the merged distribution of per-context
+     * PE memory-wait spans.  "{}" until enableLatency().
+     */
+    std::string latencyJson() const;
+
     /**
      * Attach (or detach, with nullptr) a Chrome-trace-event recorder to
      * the network and every PE: message injects, per-stage hops,
@@ -189,6 +217,9 @@ class Machine
     net::PniArray pni_;
     obs::Registry registry_;
     obs::Sampler sampler_;
+    /** Destroyed before network_ (declared later); safe because the
+     *  network emits no stamps during destruction. */
+    std::unique_ptr<obs::LatencyObservatory> latency_;
     Cycle samplePeriod_ = 0;
     Cycle lastSampleAt_ = static_cast<Cycle>(-1);
 

@@ -26,6 +26,11 @@
 #include "common/types.h"
 #include "mem/fetch_phi.h"
 
+namespace ultra::obs
+{
+struct LatencyRecord;
+} // namespace ultra::obs
+
 namespace ultra::net
 {
 
@@ -64,6 +69,11 @@ struct Message
 
     /** Pairs absorbed while in the current ToMM queue (pairwise cap). */
     std::uint32_t combinedAtThisQueue = 0;
+
+    /** Lifecycle stamps, owned by the LatencyObservatory; null unless
+     *  one is attached (see obs/latency.h).  Travels with the message
+     *  and parks in a WaitEntry while combined away. */
+    obs::LatencyRecord *lat = nullptr;
 };
 
 /**

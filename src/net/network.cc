@@ -7,6 +7,7 @@
 #include "common/log.h"
 #include "net/combining.h"
 #include "obs/event_trace.h"
+#include "obs/latency.h"
 #include "obs/registry.h"
 
 namespace ultra::net
@@ -119,7 +120,7 @@ Network::activateMni(Copy &copy, MMId mm)
 
 bool
 Network::tryInject(PEId pe, Op op, Addr paddr, Word data,
-                   std::uint64_t tag)
+                   std::uint64_t tag, Cycle queued_at)
 {
     // Injection mutates switch queues: commit-phase only (issued by
     // PniArray::tick, never by a compute-phase shard).
@@ -143,10 +144,12 @@ Network::tryInject(PEId pe, Op op, Addr paddr, Word data,
         msg->packets = packets;
         msg->tag = tag;
         msg->injectedAt = now_;
+        // Ideal mode bypasses every stage the observatory describes;
+        // leave such messages unobserved.
         idealPending_.push_back({msg, now_ + 1});
         ++stats_.injected;
         if (trace_)
-            trace_->instant(peTrack_, pe, "inject", now_);
+            trace_->instant(peTrack_, pe, "inject", now_, msg->id);
         return true;
     }
 
@@ -180,13 +183,15 @@ Network::tryInject(PEId pe, Op op, Addr paddr, Word data,
         msg->packets = packets;
         msg->tag = tag;
         msg->injectedAt = now_;
+        if (lat_)
+            msg->lat = lat_->open(msg->id, queued_at, now_);
         copy.peLinkFreeAt[pe] = now_ + packets;
         node.fwdInbox.push_back({msg, now_ + 1});
         activateNode(copy, 0, entry.sw);
         nextCopy_[pe] = (c + 1) % cfg_.d;
         ++stats_.injected;
         if (trace_)
-            trace_->instant(peTrack_, pe, "inject", now_);
+            trace_->instant(peTrack_, pe, "inject", now_, msg->id);
         return true;
     }
     return false;
@@ -220,10 +225,9 @@ Network::acquireSpace(std::uint64_t &claim_id, std::uint32_t &claim_pkts,
 }
 
 bool
-Network::tryCombine(Copy &copy, unsigned s, Node &node, unsigned port,
-                    Message *msg)
+Network::tryCombine(Copy &copy, unsigned s, std::uint32_t idx,
+                    Node &node, unsigned port, Message *msg)
 {
-    (void)copy;
     if (cfg_.burroughsKill || cfg_.combinePolicy == CombinePolicy::None)
         return false;
     OutQueue &queue = node.fwd[port].queue;
@@ -250,6 +254,18 @@ Network::tryCombine(Copy &copy, unsigned s, Node &node, unsigned port,
         ++cand->timesCombined;
         plan->entry.waitKey = cand->id;
         plan->entry.createdAt = now_;
+        if (msg->lat) {
+            // The absorbed request's record parks in the wait buffer
+            // until the reply fissions it back out.
+            lat_->noteCombined(msg->lat, s, idx, now_);
+            plan->entry.lat = msg->lat;
+            msg->lat = nullptr;
+        }
+        if (trace_) {
+            trace_->instant(fwdTrack_[copy.index][s],
+                            traceLane(idx, port), "combine", now_,
+                            msg->id, cand->id);
+        }
         node.wb.insert(plan->entry);
         queue.cancelReservation(msg->packets);
         pool_.free(msg);
@@ -267,13 +283,21 @@ Network::arriveForward(Copy &copy, unsigned s, std::uint32_t idx,
     Node &node = copy.stage[s][idx];
     const unsigned port = topo_.routeDigit(msg->dest, s);
     OutPort &out = node.fwd[port];
+    if (msg->lat)
+        lat_->noteFwdArrive(msg->lat, s, now_);
 
     if (cfg_.burroughsKill) {
         // Kill-on-conflict: the output must be idle or the request dies.
         if (out.linkFreeAt > now_ || !out.queue.empty()) {
             ++stats_.killed;
-            if (trace_)
-                trace_->instant(peTrack_, msg->origin, "kill", now_);
+            if (msg->lat) {
+                lat_->closeKilled(msg->lat);
+                msg->lat = nullptr;
+            }
+            if (trace_) {
+                trace_->instant(peTrack_, msg->origin, "kill", now_,
+                                msg->id);
+            }
             if (killFn_)
                 killFn_(msg->origin, msg->tag);
             pool_.free(msg);
@@ -283,13 +307,8 @@ Network::arriveForward(Copy &copy, unsigned s, std::uint32_t idx,
         return;
     }
 
-    if (tryCombine(copy, s, node, port, msg)) {
-        if (trace_) {
-            trace_->instant(fwdTrack_[copy.index][s],
-                            traceLane(idx, port), "combine", now_);
-        }
+    if (tryCombine(copy, s, idx, node, port, msg))
         return;
-    }
     stats_.queueLenAtEnqueue.add(
         static_cast<double>(out.queue.usedPackets()));
     out.queue.enqueue(msg);
@@ -300,6 +319,8 @@ Network::arriveReverse(Copy &copy, unsigned s, std::uint32_t idx,
                        Message *msg)
 {
     Node &node = copy.stage[s][idx];
+    if (msg->lat)
+        lat_->noteRevArrive(msg->lat, s, now_);
 
     // Fission: synthesize one reply per wait-buffer record.  Entries are
     // applied newest-first while threading the "current value": each
@@ -327,6 +348,10 @@ Network::arriveReverse(Copy &copy, unsigned s, std::uint32_t idx,
             spawn->requestId = entry.satisfiedId;
             spawn->tag = entry.satisfiedTag;
             spawn->injectedAt = entry.satisfiedInjectedAt;
+            if (entry.lat) {
+                spawn->lat = entry.lat;
+                lat_->noteDecombine(spawn->lat, s, now_);
+            }
             if (entry.rewriteReturning) {
                 current = entry.rewriteDatum;
                 // The returning "acknowledgement" now carries a value.
@@ -339,7 +364,7 @@ Network::arriveReverse(Copy &copy, unsigned s, std::uint32_t idx,
             if (trace_) {
                 trace_->instant(revTrack_[copy.index][s],
                                 traceLane(idx, sp_port), "decombine",
-                                now_);
+                                now_, spawn->id, entry.satisfiedId);
             }
             OutQueue &sp_queue = node.rev[sp_port].queue;
             if (!sp_queue.canAccept(spawn->packets))
@@ -389,8 +414,14 @@ Network::departForward(Copy &copy, unsigned s, std::uint32_t idx,
                 !mni.pending.unbounded()) {
                 out.queue.dequeue();
                 ++stats_.killed;
-                if (trace_)
-                    trace_->instant(peTrack_, msg->origin, "kill", now_);
+                if (msg->lat) {
+                    lat_->closeKilled(msg->lat);
+                    msg->lat = nullptr;
+                }
+                if (trace_) {
+                    trace_->instant(peTrack_, msg->origin, "kill",
+                                    now_, msg->id);
+                }
                 if (killFn_)
                     killFn_(msg->origin, msg->tag);
                 pool_.free(msg);
@@ -406,10 +437,14 @@ Network::departForward(Copy &copy, unsigned s, std::uint32_t idx,
         }
         out.queue.dequeue();
         out.linkFreeAt = now_ + msg->packets;
+        if (msg->lat) {
+            lat_->noteFwdDepart(msg->lat, s, idx, now_, msg->packets,
+                                true);
+        }
         if (trace_) {
             trace_->complete(fwdTrack_[copy.index][s],
                              traceLane(idx, port), mem::opName(msg->op),
-                             now_, msg->packets);
+                             now_, msg->packets, msg->id);
         }
         // The MNI may begin service only once the tail has arrived.
         mni.inbox.push_back({msg, now_ + msg->packets});
@@ -430,9 +465,12 @@ Network::departForward(Copy &copy, unsigned s, std::uint32_t idx,
     }
     out.queue.dequeue();
     out.linkFreeAt = now_ + msg->packets;
+    if (msg->lat)
+        lat_->noteFwdDepart(msg->lat, s, idx, now_, msg->packets, false);
     if (trace_) {
         trace_->complete(fwdTrack_[copy.index][s], traceLane(idx, port),
-                         mem::opName(msg->op), now_, msg->packets);
+                         mem::opName(msg->op), now_, msg->packets,
+                         msg->id);
     }
     next_node.fwdInbox.push_back({msg, now_ + 1});
     activateNode(copy, s + 1, next.sw);
@@ -456,10 +494,14 @@ Network::departReverse(Copy &copy, unsigned s, std::uint32_t idx,
                      " but belongs to PE ", msg->origin);
         out.queue.dequeue();
         out.linkFreeAt = now_ + msg->packets;
+        if (msg->lat) {
+            lat_->noteRevDepart(msg->lat, s, idx, now_, msg->packets,
+                                true);
+        }
         if (trace_) {
             trace_->complete(revTrack_[copy.index][s],
                              traceLane(idx, port), mem::opName(msg->op),
-                             now_, msg->packets);
+                             now_, msg->packets, msg->id);
         }
         deliveries_.push_back({msg, now_ + msg->packets});
         return;
@@ -478,9 +520,12 @@ Network::departReverse(Copy &copy, unsigned s, std::uint32_t idx,
     }
     out.queue.dequeue();
     out.linkFreeAt = now_ + msg->packets;
+    if (msg->lat)
+        lat_->noteRevDepart(msg->lat, s, idx, now_, msg->packets, false);
     if (trace_) {
         trace_->complete(revTrack_[copy.index][s], traceLane(idx, port),
-                         mem::opName(msg->op), now_, msg->packets);
+                         mem::opName(msg->op), now_, msg->packets,
+                         msg->id);
     }
     prev_node.revInbox.push_back({msg, now_ + 1});
     activateNode(copy, s - 1, prev_idx);
@@ -534,6 +579,8 @@ Network::processMnis(Copy &copy)
             Arrival &arr = mni.inbox[j];
             if (arr.at <= now_) {
                 arr.msg->mniArriveAt = arr.at;
+                if (arr.msg->lat)
+                    lat_->noteMniArrive(arr.msg->lat, arr.at);
                 stats_.oneWayTransit.add(static_cast<double>(
                     arr.at - arr.msg->injectedAt));
                 if (cfg_.burroughsKill)
@@ -573,9 +620,15 @@ Network::processMnis(Copy &copy)
                 mni.pending.dequeue();
                 stats_.mmQueueWait.add(
                     static_cast<double>(now_ - msg->mniArriveAt));
+                if (msg->lat) {
+                    lat_->noteServiceStart(
+                        msg->lat, now_, 1 + msg->timesCombined,
+                        std::max<Cycle>(cfg_.mmAccessTime,
+                                        reply_packets));
+                }
                 if (trace_) {
                     trace_->complete(mmTrack_, mm, mem::opName(msg->op),
-                                     now_, cfg_.mmAccessTime);
+                                     now_, cfg_.mmAccessTime, msg->id);
                 }
                 msg->data =
                     memory_.execute(msg->op, msg->paddr, msg->data);
@@ -661,8 +714,14 @@ Network::commitPhase()
                 static_cast<double>(arr.at - msg->injectedAt));
             stats_.roundTripHist.add(arr.at - msg->injectedAt);
             ++stats_.delivered;
-            if (trace_)
-                trace_->instant(peTrack_, msg->origin, "reply", now_);
+            if (msg->lat) {
+                lat_->closeDelivered(msg->lat, arr.at);
+                msg->lat = nullptr;
+            }
+            if (trace_) {
+                trace_->instant(peTrack_, msg->origin, "reply", now_,
+                                msg->requestId);
+            }
             if (deliverFn_)
                 deliverFn_(msg->origin, msg->tag, msg->data);
             pool_.free(msg);
@@ -905,6 +964,19 @@ Network::setEventTrace(obs::EventTrace *trace)
             revTrack_[c].push_back(trace_->track(base + ".tope"));
         }
     }
+}
+
+void
+Network::setLatencyObservatory(obs::LatencyObservatory *lat)
+{
+    // Only whole-lifecycle records make sense: attach while messages are
+    // in flight and the partial stamps would fail the decomposition
+    // check the moment those messages complete.
+    ULTRA_ASSERT(pool_.liveCount() == 0,
+                 "attach the latency observatory while the network is "
+                 "quiescent, not with ", pool_.liveCount(),
+                 " messages in flight");
+    lat_ = lat;
 }
 
 } // namespace ultra::net

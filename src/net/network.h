@@ -38,6 +38,7 @@
 namespace ultra::obs
 {
 class EventTrace;
+class LatencyObservatory;
 class Registry;
 } // namespace ultra::obs
 
@@ -134,10 +135,12 @@ class Network
      * Attempt to inject a request from PE @p pe for physical address
      * @p paddr.  Fails (returns false) when every copy's injection link
      * is busy or the first-stage queue is full.  @p tag is returned
-     * verbatim with the reply.
+     * verbatim with the reply.  @p queued_at is when the request was
+     * queued at its PNI (for latency attribution; kNeverCycle =
+     * unknown, e.g. direct test injections).
      */
     bool tryInject(PEId pe, Op op, Addr paddr, Word data,
-                   std::uint64_t tag);
+                   std::uint64_t tag, Cycle queued_at = kNeverCycle);
 
     /**
      * Advance one cycle: commitPhase() then computePhase() then the
@@ -184,6 +187,18 @@ class Network
      * one branch.
      */
     void setEventTrace(obs::EventTrace *trace);
+
+    /**
+     * Attach (or detach, with nullptr) a packet-lifecycle latency
+     * observatory (obs/latency.h).  Every subsequently injected
+     * request gets a pooled record stamped at injection, per-stage
+     * queue entry/exit, combine/decombine, MNI receipt, service start
+     * and delivery; messages already in flight stay unobserved.
+     * Detached, each hook is one null test.  All stamping happens in
+     * the network's (sequential) commit phase, so the observatory's
+     * aggregates are bit-identical for any host thread count.
+     */
+    void setLatencyObservatory(obs::LatencyObservatory *lat);
 
     /** Packets queued right now across one stage's ToMM (or ToPE)
      *  output queues, summed over copies and switches. */
@@ -297,8 +312,8 @@ class Network
                        unsigned port);
 
     /** Attempt combining; true when @p msg was absorbed. */
-    bool tryCombine(Copy &copy, unsigned s, Node &node, unsigned port,
-                    Message *msg);
+    bool tryCombine(Copy &copy, unsigned s, std::uint32_t idx,
+                    Node &node, unsigned port, Message *msg);
 
     /**
      * Age-fair space acquisition on @p target for the head message of
@@ -334,6 +349,7 @@ class Network
     }
 
     obs::EventTrace *trace_ = nullptr;
+    obs::LatencyObservatory *lat_ = nullptr;
     /** Interned track ids, valid while trace_ != nullptr. */
     std::vector<std::vector<std::uint32_t>> fwdTrack_; //!< [copy][stage]
     std::vector<std::vector<std::uint32_t>> revTrack_; //!< [copy][stage]

@@ -113,7 +113,7 @@ PniArray::tick()
                 break;
             }
             if (!network_.tryInject(pe, head.op, head.paddr, head.data,
-                                    head.ticket)) {
+                                    head.ticket, head.queuedAt)) {
                 break;
             }
             stats_.issueWait.add(

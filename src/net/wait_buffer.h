@@ -22,6 +22,11 @@
 #include "common/types.h"
 #include "mem/fetch_phi.h"
 
+namespace ultra::obs
+{
+struct LatencyRecord;
+} // namespace ultra::obs
+
 namespace ultra::net
 {
 
@@ -49,6 +54,10 @@ struct WaitEntry
 
     Addr paddr = kBadAddr; //!< diagnostics only
     Cycle createdAt = 0;   //!< diagnostics only
+
+    /** The combined-away request's lifecycle record, parked here until
+     *  the reply fissions (null when no observatory is attached). */
+    obs::LatencyRecord *lat = nullptr;
 };
 
 /** Associative store of WaitEntry records at one switch. */

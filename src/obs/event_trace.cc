@@ -39,20 +39,22 @@ EventTrace::admit()
 
 void
 EventTrace::complete(TrackId track, std::uint32_t tid, const char *name,
-                     Cycle start, Cycle duration)
+                     Cycle start, Cycle duration, std::uint64_t id,
+                     std::uint64_t link)
 {
     if (!admit())
         return;
-    events_.push_back({name, track, tid, start, duration, 0.0, 'X'});
+    events_.push_back(
+        {name, track, tid, start, duration, 0.0, id, link, 'X'});
 }
 
 void
 EventTrace::instant(TrackId track, std::uint32_t tid, const char *name,
-                    Cycle at)
+                    Cycle at, std::uint64_t id, std::uint64_t link)
 {
     if (!admit())
         return;
-    events_.push_back({name, track, tid, at, 0, 0.0, 'i'});
+    events_.push_back({name, track, tid, at, 0, 0.0, id, link, 'i'});
 }
 
 void
@@ -61,7 +63,7 @@ EventTrace::counter(TrackId track, const char *name, Cycle at,
 {
     if (!admit())
         return;
-    events_.push_back({name, track, 0, at, 0, value, 'C'});
+    events_.push_back({name, track, 0, at, 0, value, 0, 0, 'C'});
 }
 
 void
@@ -103,6 +105,15 @@ EventTrace::writeJson(std::ostream &os) const
             writeJsonNumber(os, ev.value);
             os << "}";
             break;
+        }
+        if (ev.ph != 'C' && (ev.id != 0 || ev.link != 0)) {
+            os << ", \"args\": {";
+            if (ev.id != 0)
+                os << "\"id\": " << ev.id;
+            if (ev.link != 0)
+                os << (ev.id != 0 ? ", " : "") << "\"link\": "
+                   << ev.link;
+            os << "}";
         }
         os << "}";
     }

@@ -50,13 +50,20 @@ class EventTrace
     /** Intern @p name as a track; idempotent per name. */
     TrackId track(const std::string &name);
 
-    /** An interval [start, start + duration) on @p track / @p tid. */
+    /**
+     * An interval [start, start + duration) on @p track / @p tid.
+     * Nonzero @p id / @p link land in the event's args ("id"/"link"):
+     * the network uses them to tie hop intervals to message ids so an
+     * offline analyzer (tools/ultrascope) can reconstruct per-message
+     * paths and combine trees.
+     */
     void complete(TrackId track, std::uint32_t tid, const char *name,
-                  Cycle start, Cycle duration);
+                  Cycle start, Cycle duration, std::uint64_t id = 0,
+                  std::uint64_t link = 0);
 
-    /** A point event at @p at. */
+    /** A point event at @p at (see complete() for @p id / @p link). */
     void instant(TrackId track, std::uint32_t tid, const char *name,
-                 Cycle at);
+                 Cycle at, std::uint64_t id = 0, std::uint64_t link = 0);
 
     /** One point of the numeric series @p name. */
     void counter(TrackId track, const char *name, Cycle at,
@@ -82,6 +89,8 @@ class EventTrace
         Cycle ts;
         Cycle dur;   //!< complete events only
         double value; //!< counter events only
+        std::uint64_t id;   //!< args.id when nonzero ('X'/'i')
+        std::uint64_t link; //!< args.link when nonzero ('X'/'i')
         char ph;     //!< 'X', 'i' or 'C'
     };
 

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <cstdio>
 
+#include "common/stats.h"
+
 namespace ultra::obs
 {
 
@@ -48,6 +50,42 @@ writeJsonNumber(std::ostream &os, double x)
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.9g", x);
     os << buf;
+}
+
+void
+writeJsonAccumulator(std::ostream &os, const Accumulator &acc)
+{
+    os << "{\"count\": " << acc.count() << ", \"mean\": ";
+    writeJsonNumber(os, acc.mean());
+    os << ", \"stddev\": ";
+    writeJsonNumber(os, acc.stddev());
+    os << ", \"min\": ";
+    writeJsonNumber(os, acc.min());
+    os << ", \"max\": ";
+    writeJsonNumber(os, acc.max());
+    os << "}";
+}
+
+void
+writeJsonHistogram(std::ostream &os, const Histogram &hist)
+{
+    os << "{\"count\": " << hist.count() << ", \"mean\": ";
+    writeJsonNumber(os, hist.mean());
+    os << ", \"bin_width\": " << hist.binWidth()
+       << ", \"p50\": " << hist.percentile(0.5)
+       << ", \"p95\": " << hist.percentile(0.95)
+       << ", \"p99\": " << hist.percentile(0.99)
+       << ", \"bins\": [";
+    // Trailing empty bins carry no information; trim them.
+    std::size_t last = hist.numBins();
+    while (last > 0 && hist.binCount(last - 1) == 0)
+        --last;
+    for (std::size_t i = 0; i < last; ++i) {
+        if (i)
+            os << ",";
+        os << hist.binCount(i);
+    }
+    os << "]}";
 }
 
 } // namespace ultra::obs

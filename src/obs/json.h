@@ -11,6 +11,12 @@
 #include <ostream>
 #include <string_view>
 
+namespace ultra
+{
+class Accumulator;
+class Histogram;
+} // namespace ultra
+
 namespace ultra::obs
 {
 
@@ -23,6 +29,14 @@ void writeJsonString(std::ostream &os, std::string_view s);
  * null.
  */
 void writeJsonNumber(std::ostream &os, double x);
+
+/** {"count": .., "mean": .., "stddev": .., "min": .., "max": ..} --
+ *  the registry-dump shape, shared by every sink. */
+void writeJsonAccumulator(std::ostream &os, const Accumulator &acc);
+
+/** {"count": .., "mean": .., "bin_width": .., "p50": .., "p95": ..,
+ *  "p99": .., "bins": [..]} with trailing empty bins trimmed. */
+void writeJsonHistogram(std::ostream &os, const Histogram &hist);
 
 } // namespace ultra::obs
 

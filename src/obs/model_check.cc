@@ -1,0 +1,99 @@
+#include "model_check.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/log.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+
+namespace ultra::obs
+{
+
+bool
+ModelReport::withinTolerance() const
+{
+    if (!applicable)
+        return true;
+    return std::isfinite(drift) && std::fabs(drift) <= tolerance;
+}
+
+ModelCrossCheck::ModelCrossCheck(const analytic::NetworkConfig &cfg,
+                                 double offered_load,
+                                 double measured_transit,
+                                 bool applicable, double tolerance)
+{
+    report_.config = cfg;
+    report_.offeredLoad = offered_load;
+    report_.predictedTransit =
+        analytic::predictedSimTransit(cfg, offered_load);
+    report_.measuredTransit = measured_transit;
+    report_.drift =
+        analytic::transitDrift(cfg, offered_load, measured_transit);
+    report_.applicable = applicable;
+    report_.tolerance = tolerance;
+}
+
+void
+ModelCrossCheck::registerStats(Registry &registry,
+                               const std::string &prefix) const
+{
+    const ModelReport r = report_; // value-captured: no lifetime tie
+    registry.addScalar(prefix + ".predicted_transit",
+                       [r] { return r.predictedTransit; },
+                       "Kruskal-Snir T(p) + injection hop, cycles");
+    registry.addScalar(prefix + ".measured_transit",
+                       [r] { return r.measuredTransit; },
+                       "simulated mean one-way transit, cycles");
+    registry.addScalar(prefix + ".offered_load",
+                       [r] { return r.offeredLoad; },
+                       "measured offered load, msgs/PE/cycle");
+    registry.addScalar(prefix + ".drift",
+                       [r] { return r.drift; },
+                       "(measured - predicted) / predicted");
+    registry.addScalar(prefix + ".applicable",
+                       [r] { return r.applicable ? 1.0 : 0.0; },
+                       "1 when the config matches model assumptions");
+}
+
+bool
+ModelCrossCheck::check() const
+{
+    const bool ok = report_.withinTolerance();
+    if (!ok) {
+        std::ostringstream os;
+        os << "model drift out of tolerance: measured transit "
+           << report_.measuredTransit << " vs predicted "
+           << report_.predictedTransit << " at p = "
+           << report_.offeredLoad << " (drift "
+           << report_.drift * 100.0 << "%, tolerance "
+           << report_.tolerance * 100.0 << "%)";
+        warn(os.str());
+    }
+    return ok;
+}
+
+std::string
+ModelCrossCheck::json() const
+{
+    std::ostringstream os;
+    os << "{\"n\": " << report_.config.n << ", \"k\": "
+       << report_.config.k << ", \"m\": " << report_.config.m
+       << ", \"d\": " << report_.config.d << ", \"offered_load\": ";
+    writeJsonNumber(os, report_.offeredLoad);
+    os << ", \"predicted_transit\": ";
+    writeJsonNumber(os, report_.predictedTransit);
+    os << ", \"measured_transit\": ";
+    writeJsonNumber(os, report_.measuredTransit);
+    os << ", \"drift\": ";
+    writeJsonNumber(os, report_.drift);
+    os << ", \"tolerance\": ";
+    writeJsonNumber(os, report_.tolerance);
+    os << ", \"applicable\": "
+       << (report_.applicable ? "true" : "false")
+       << ", \"within_tolerance\": "
+       << (report_.withinTolerance() ? "true" : "false") << "}";
+    return os.str();
+}
+
+} // namespace ultra::obs

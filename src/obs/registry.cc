@@ -1,5 +1,6 @@
 #include "registry.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/log.h"
@@ -111,59 +112,46 @@ Registry::histogram(const std::string &path) const
 }
 
 std::string
-Registry::jsonDump(Cycle now) const
+Registry::jsonDump(Cycle now, const DumpOptions &opts) const
 {
+    std::vector<const Entry *> order;
+    order.reserve(entries_.size());
+    for (const Entry &entry : entries_)
+        order.push_back(&entry);
+    if (opts.sortKeys) {
+        std::sort(order.begin(), order.end(),
+                  [](const Entry *a, const Entry *b) {
+                      return a->path < b->path;
+                  });
+    }
+
     std::ostringstream os;
     os << "{\"cycle\": " << now << ", \"stats\": {";
     bool first = true;
-    for (const Entry &entry : entries_) {
+    for (const Entry *entry : order) {
         if (!first)
-            os << ",";
+            os << (opts.pretty ? "," : ", ");
         first = false;
-        os << "\n  ";
-        writeJsonString(os, entry.path);
+        if (opts.pretty)
+            os << "\n  ";
+        writeJsonString(os, entry->path);
         os << ": ";
-        switch (entry.kind) {
+        switch (entry->kind) {
           case Kind::Scalar:
-            writeJsonNumber(os, entry.fn());
+            writeJsonNumber(os, entry->fn());
             break;
-          case Kind::Accumulator: {
-            const Accumulator &acc = *entry.acc;
-            os << "{\"count\": " << acc.count() << ", \"mean\": ";
-            writeJsonNumber(os, acc.mean());
-            os << ", \"stddev\": ";
-            writeJsonNumber(os, acc.stddev());
-            os << ", \"min\": ";
-            writeJsonNumber(os, acc.min());
-            os << ", \"max\": ";
-            writeJsonNumber(os, acc.max());
-            os << "}";
+          case Kind::Accumulator:
+            writeJsonAccumulator(os, *entry->acc);
             break;
-          }
-          case Kind::Histogram: {
-            const Histogram &hist = *entry.hist;
-            os << "{\"count\": " << hist.count() << ", \"mean\": ";
-            writeJsonNumber(os, hist.mean());
-            os << ", \"bin_width\": " << hist.binWidth()
-               << ", \"p50\": " << hist.percentile(0.5)
-               << ", \"p95\": " << hist.percentile(0.95)
-               << ", \"p99\": " << hist.percentile(0.99)
-               << ", \"bins\": [";
-            // Trailing empty bins carry no information; trim them.
-            std::size_t last = hist.numBins();
-            while (last > 0 && hist.binCount(last - 1) == 0)
-                --last;
-            for (std::size_t i = 0; i < last; ++i) {
-                if (i)
-                    os << ",";
-                os << hist.binCount(i);
-            }
-            os << "]}";
+          case Kind::Histogram:
+            writeJsonHistogram(os, *entry->hist);
             break;
-          }
         }
     }
-    os << "\n}}\n";
+    if (opts.pretty)
+        os << "\n}}\n";
+    else
+        os << "}}\n";
     return os.str();
 }
 

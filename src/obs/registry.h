@@ -36,6 +36,17 @@
 namespace ultra::obs
 {
 
+/** Rendering options for Registry::jsonDump. */
+struct DumpOptions
+{
+    /** Emit entries sorted by path instead of registration order.
+     *  Registration order depends on construction details; sorted
+     *  output is stable across code motion and repeated runs. */
+    bool sortKeys = false;
+    /** One entry per line (the historical format) vs. one line. */
+    bool pretty = true;
+};
+
 /** The hierarchical name -> statistic table. */
 class Registry
 {
@@ -80,8 +91,13 @@ class Registry
      *
      * {"cycle": 123, "stats": {"net.injected": 42,
      *   "net.round_trip": {"count":..,"mean":..,...}, ...}}
+     *
+     * The default rendering (registration order, one entry per line)
+     * is pinned byte-for-byte by the golden regression suite; pass
+     * DumpOptions for sorted keys or compact output.
      */
-    std::string jsonDump(Cycle now) const;
+    std::string jsonDump(Cycle now) const { return jsonDump(now, {}); }
+    std::string jsonDump(Cycle now, const DumpOptions &opts) const;
 
     /** Plain "path = value" listing for debug output. */
     std::string render() const;

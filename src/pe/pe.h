@@ -48,6 +48,7 @@
 
 #include "cache/cache.h"
 #include "common/log.h"
+#include "common/stats.h"
 #include "common/types.h"
 #include "net/pni.h"
 #include "pe/task.h"
@@ -242,7 +243,17 @@ class Pe
     void flushWaits(Cycle now);
 
     const PeStats &stats() const { return stats_; }
-    void resetStats() { stats_ = PeStats{}; }
+
+    void
+    resetStats()
+    {
+        stats_ = PeStats{};
+        waitHist_.reset();
+    }
+
+    /** Distribution of completed per-context memory-wait spans, in
+     *  cycles (same spans unblock() credits to idleCycles). */
+    const Histogram &waitHist() const { return waitHist_; }
 
     /** Attach an event trace (nullptr detaches); @p track is the trace
      *  track to emit per-context "wait" spans on (tid = PE id). */
@@ -374,6 +385,7 @@ class Pe
     std::unique_ptr<cache::Cache> cache_;
 
     PeStats stats_;
+    Histogram waitHist_{2, 128};
 
     obs::EventTrace *trace_ = nullptr;
     std::uint32_t traceTrack_ = 0;

@@ -10,13 +10,15 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 
-#include "json_lite.h"
+#include "common/json_lite.h"
 
 #ifndef ULTRASIM_BIN
 #error "build must define ULTRASIM_BIN (see tests/CMakeLists.txt)"
@@ -33,13 +35,19 @@ tmpPath(const std::string &name)
            name;
 }
 
+/** Run a shell command and return the child's exit status. */
+int
+runCommand(const std::string &cmd)
+{
+    const int rc = std::system(cmd.c_str());
+    return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
 int
 runTool(const std::string &args)
 {
-    const std::string cmd =
-        std::string(ULTRASIM_BIN) + " " + args + " > /dev/null 2>&1";
-    const int rc = std::system(cmd.c_str());
-    return rc;
+    return runCommand(std::string(ULTRASIM_BIN) + " " + args +
+                      " > /dev/null 2>&1");
 }
 
 std::string
@@ -109,6 +117,131 @@ TEST(CliTest, AppThreadsOutputByteIdentical)
     EXPECT_EQ(solo_text, readFile(dual));
     std::remove(solo.c_str());
     std::remove(dual.c_str());
+}
+
+TEST(CliTest, StatsJsonByteStableAcrossRunsAndSorted)
+{
+    const std::string first = tmpPath("stable_a.json");
+    const std::string second = tmpPath("stable_b.json");
+    const std::string common =
+        "net --ports 64 --k 2 --rate 0.1 --cycles 1000 --stats-json ";
+    ASSERT_EQ(runTool(common + first), 0);
+    ASSERT_EQ(runTool(common + second), 0);
+    const std::string text = readFile(first);
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text, readFile(second))
+        << "repeated identical runs must dump byte-identical stats";
+    // The dump is sorted by key, so it diffs cleanly when statistics
+    // are added or code is reordered.
+    const jsonlite::JsonValue doc = jsonlite::parse(text);
+    std::string prev;
+    std::size_t keys = 0;
+    for (const auto &[key, value] : doc["stats"].object) {
+        (void)value;
+        EXPECT_LT(prev, key);
+        prev = key;
+        ++keys;
+    }
+    EXPECT_GT(keys, 10u);
+    // Default is compact (one line per the whole stats object);
+    // --stats-pretty restores one-entry-per-line.
+    EXPECT_EQ(text.find("\n  "), std::string::npos);
+    const std::string pretty = tmpPath("stable_pretty.json");
+    ASSERT_EQ(runTool(common + pretty + " --stats-pretty"), 0);
+    const std::string pretty_text = readFile(pretty);
+    EXPECT_NE(pretty_text.find("\n"), std::string::npos);
+    EXPECT_NE(pretty_text, text);
+    // Same content either way.
+    EXPECT_EQ(jsonlite::parse(pretty_text)["stats"].object.size(),
+              keys);
+    std::remove(first.c_str());
+    std::remove(second.c_str());
+    std::remove(pretty.c_str());
+}
+
+TEST(CliTest, LatencyJsonReportsDecompositionAndModel)
+{
+    const std::string out = tmpPath("latency.json");
+    ASSERT_EQ(runTool("net --ports 64 --k 2 --rate 0.15 --hot 0.1 "
+                      "--cycles 2000 --latency-json " +
+                      out),
+              0);
+    const std::string text = readFile(out);
+    ASSERT_FALSE(text.empty());
+    const jsonlite::JsonValue doc = jsonlite::parse(text);
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_GT(doc["requests"]["delivered"].number, 0.0);
+    EXPECT_EQ(doc["requests"]["violations"].number, 0.0)
+        << "stage components must sum to end-to-end for every record";
+    EXPECT_GT(doc["combining"]["combined_delivered"].number, 0.0)
+        << "hot-spot run must combine";
+    ASSERT_TRUE(doc["waits"]["stages"].isArray());
+    EXPECT_FALSE(doc["waits"]["stages"].array.empty());
+    ASSERT_TRUE(doc.has("model"));
+    // Combining run: the Kruskal-Snir check must report itself
+    // non-applicable rather than fake a verdict.
+    EXPECT_FALSE(doc["model"]["applicable"].boolean);
+    std::remove(out.c_str());
+}
+
+TEST(CliTest, HeatmapCsvCoversBothDirections)
+{
+    const std::string out = tmpPath("heatmap.csv");
+    ASSERT_EQ(runTool("net --ports 64 --k 2 --rate 0.1 --cycles 1000 "
+                      "--heatmap-csv " +
+                      out),
+              0);
+    const std::string text = readFile(out);
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.find("direction,stage,switch,visits,wait_cycles,"
+                        "mean_wait,combines"),
+              0u);
+    EXPECT_NE(text.find("\nfwd,"), std::string::npos);
+    EXPECT_NE(text.find("\nrev,"), std::string::npos);
+    std::remove(out.c_str());
+}
+
+TEST(CliTest, CheckDriftPassesOnConformingConfig)
+{
+    // A Fig-7-style model-conforming configuration must track the
+    // analytic prediction (exit 0); a combining hot-spot run violates
+    // the model's assumptions and must be rejected as non-applicable
+    // (exit 2), not silently scored.
+    EXPECT_EQ(runTool("net --ports 256 --k 4 --m 4 --uniform "
+                      "--policy none --queue 0 --rate 0.15 "
+                      "--cycles 3000 --check-drift"),
+              0);
+    EXPECT_EQ(runTool("net --ports 64 --k 2 --rate 0.15 --hot 0.2 "
+                      "--cycles 1000 --check-drift"),
+              2);
+}
+
+TEST(CliTest, UltrascopeAnalyzesTrace)
+{
+    const std::string trace = tmpPath("scope_trace.json");
+    ASSERT_EQ(runTool("net --ports 64 --k 2 --rate 0.15 --hot 0.1 "
+                      "--cycles 800 --trace-events " +
+                      trace),
+              0);
+    const std::string report = tmpPath("scope_report.txt");
+    const std::string cmd = std::string(ULTRASCOPE_BIN) + " " + trace +
+                            " --top 5 --slowest 5 > " + report +
+                            " 2>&1";
+    ASSERT_EQ(runCommand(cmd), 0);
+    const std::string text = readFile(report);
+    EXPECT_NE(text.find("top congested lanes"), std::string::npos);
+    EXPECT_NE(text.find("combine forest"), std::string::npos)
+        << "hot-spot trace must contain combine events";
+    EXPECT_NE(text.find("slowest request paths"), std::string::npos);
+    // Malformed input is a clean failure, not a crash.
+    const std::string junk = tmpPath("scope_junk.json");
+    std::ofstream(junk) << "{ not json";
+    const std::string junk_cmd = std::string(ULTRASCOPE_BIN) + " " +
+                                 junk + " > /dev/null 2>&1";
+    EXPECT_EQ(runCommand(junk_cmd), 2);
+    std::remove(trace.c_str());
+    std::remove(report.c_str());
+    std::remove(junk.c_str());
 }
 
 TEST(CliTest, BadSubcommandFails)

@@ -13,7 +13,7 @@
 #include <string>
 
 #include "core/machine.h"
-#include "json_lite.h"
+#include "common/json_lite.h"
 #include "obs/event_trace.h"
 #include "obs/json.h"
 #include "obs/registry.h"
@@ -269,6 +269,43 @@ TEST(EventTraceTest, JsonSchemaForAllShapes)
     }
     EXPECT_EQ(metadata, 2u); // one process_name per track
     EXPECT_EQ(phases, (std::set<std::string>{"M", "X", "i", "C"}));
+}
+
+TEST(EventTraceTest, IdAndLinkArgsSurfaceInJson)
+{
+    // Message-id correlation for tools/ultrascope: nonzero id / link
+    // become args.id / args.link; zero (the default) stays silent so
+    // uncorrelated events carry no args clutter.
+    obs::EventTrace trace;
+    const auto q = trace.track("net");
+    trace.instant(q, 0, "combine", 5, 42, 17); // absorbed 42 -> 17
+    trace.complete(q, 1, "hop", 6, 2, 42);
+    trace.instant(q, 0, "plain", 7);
+
+    const auto doc = jsonlite::parse(trace.json());
+    bool saw_combine = false;
+    bool saw_hop = false;
+    bool saw_plain = false;
+    for (const auto &e : doc["traceEvents"].array) {
+        if (e["ph"].string == "M")
+            continue;
+        const std::string name = e["name"].string;
+        if (name == "combine") {
+            saw_combine = true;
+            EXPECT_EQ(e["args"]["id"].number, 42.0);
+            EXPECT_EQ(e["args"]["link"].number, 17.0);
+        } else if (name == "hop") {
+            saw_hop = true;
+            EXPECT_EQ(e["args"]["id"].number, 42.0);
+            EXPECT_FALSE(e["args"].has("link"));
+        } else if (name == "plain") {
+            saw_plain = true;
+            EXPECT_FALSE(e.has("args"));
+        }
+    }
+    EXPECT_TRUE(saw_combine);
+    EXPECT_TRUE(saw_hop);
+    EXPECT_TRUE(saw_plain);
 }
 
 // ------------------------------------------------------------------

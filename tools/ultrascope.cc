@@ -1,0 +1,319 @@
+/**
+ * @file
+ * ultrascope -- offline analyzer for ultrasim trace-event files.
+ *
+ * Reads the Chrome trace-event JSON written by `ultrasim ... \
+ * --trace-events FILE` (the same file Perfetto loads) and answers
+ * "where did my cycles go?" without a GUI:
+ *
+ *   - top congested switch lanes: per track/lane sums of link-hold
+ *     ("X") durations, busiest first;
+ *   - combine trees: every "combine" instant carries the absorbed
+ *     message id and the id of the surviving request it folded into
+ *     (args.id / args.link), so the absorption forest can be
+ *     reconstructed and its fan-in distribution reported;
+ *   - slowest request paths: inject -> reply latency per message id,
+ *     worst offenders first, with combined-away requests resolved
+ *     through their decombine events.
+ *
+ * Usage: ultrascope TRACE.json [--top N] [--slowest N]
+ *
+ * Exit codes: 0 ok, 2 unreadable or malformed trace.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json_lite.h"
+
+namespace
+{
+
+struct LaneKey
+{
+    std::string track;
+    std::uint64_t tid = 0;
+
+    bool
+    operator<(const LaneKey &o) const
+    {
+        return track != o.track ? track < o.track : tid < o.tid;
+    }
+};
+
+struct LaneLoad
+{
+    std::uint64_t busyCycles = 0;
+    std::uint64_t events = 0;
+    std::uint64_t combines = 0;
+};
+
+struct RequestPath
+{
+    std::uint64_t id = 0;
+    std::uint64_t injectAt = 0;
+    std::uint64_t replyAt = 0;
+    bool injected = false;
+    bool replied = false;
+    bool combined = false; //!< absorbed into another request
+};
+
+struct Analysis
+{
+    std::map<std::string, std::string> trackNames; //!< pid -> name
+    std::map<LaneKey, LaneLoad> lanes;
+    std::map<std::uint64_t, RequestPath> requests;
+    /** combine edges: absorbed id -> surviving id. */
+    std::map<std::uint64_t, std::uint64_t> absorbedInto;
+    /** decombine: spawned reply id -> original absorbed request id. */
+    std::map<std::uint64_t, std::uint64_t> spawnOf;
+    std::uint64_t events = 0;
+};
+
+std::uint64_t
+asU64(const jsonlite::JsonValue &v)
+{
+    return v.isNumber() ? static_cast<std::uint64_t>(v.number) : 0;
+}
+
+bool
+analyze(const jsonlite::JsonValue &doc, Analysis &out)
+{
+    if (!doc.isObject() || !doc.has("traceEvents") ||
+        !doc["traceEvents"].isArray()) {
+        return false;
+    }
+    for (const jsonlite::JsonValue &ev : doc["traceEvents"].array) {
+        if (!ev.isObject() || !ev.has("ph"))
+            continue;
+        ++out.events;
+        const std::string ph = ev["ph"].string;
+        const std::string name = ev.has("name") ? ev["name"].string : "";
+        const std::string pid =
+            ev.has("pid") ? std::to_string(asU64(ev["pid"])) : "0";
+        if (ph == "M") {
+            if (name == "process_name" && ev.has("args"))
+                out.trackNames[pid] = ev["args"]["name"].string;
+            continue;
+        }
+        const std::uint64_t ts = asU64(ev["ts"]);
+        std::uint64_t id = 0;
+        std::uint64_t link = 0;
+        if (ev.has("args")) {
+            const jsonlite::JsonValue &args = ev["args"];
+            if (args.isObject()) {
+                if (args.has("id"))
+                    id = asU64(args["id"]);
+                if (args.has("link"))
+                    link = asU64(args["link"]);
+            }
+        }
+        if (ph == "X") {
+            LaneKey key{pid, asU64(ev["tid"])};
+            LaneLoad &lane = out.lanes[key];
+            lane.busyCycles += asU64(ev["dur"]);
+            ++lane.events;
+            continue;
+        }
+        if (ph != "i")
+            continue;
+        if (name == "inject" && id != 0) {
+            RequestPath &req = out.requests[id];
+            req.id = id;
+            req.injectAt = ts;
+            req.injected = true;
+        } else if (name == "reply" && id != 0) {
+            RequestPath &req = out.requests[id];
+            req.id = id;
+            req.replyAt = ts;
+            req.replied = true;
+        } else if (name == "combine" && id != 0) {
+            out.absorbedInto[id] = link;
+            out.requests[id].combined = true;
+            ++out.lanes[LaneKey{pid, asU64(ev["tid"])}].combines;
+        } else if (name == "decombine" && id != 0) {
+            out.spawnOf[id] = link;
+        }
+    }
+    return true;
+}
+
+/** Follow absorbed -> survivor edges to the request that reached the
+ *  memory (bounded: the forest is acyclic by construction). */
+std::uint64_t
+rootOf(const Analysis &a, std::uint64_t id)
+{
+    for (std::size_t hop = 0; hop < 64; ++hop) {
+        auto it = a.absorbedInto.find(id);
+        if (it == a.absorbedInto.end() || it->second == 0)
+            return id;
+        id = it->second;
+    }
+    return id;
+}
+
+void
+reportLanes(const Analysis &a, std::size_t top)
+{
+    std::vector<std::pair<LaneKey, LaneLoad>> order(a.lanes.begin(),
+                                                    a.lanes.end());
+    std::sort(order.begin(), order.end(), [](const auto &x, const auto &y) {
+        return x.second.busyCycles > y.second.busyCycles;
+    });
+    std::printf("top congested lanes (link-hold cycles):\n");
+    std::printf("  %-28s %6s %12s %10s %9s\n", "track", "lane", "busy",
+                "messages", "combines");
+    for (std::size_t i = 0; i < order.size() && i < top; ++i) {
+        const auto &[key, lane] = order[i];
+        auto named = a.trackNames.find(key.track);
+        const std::string &track =
+            named != a.trackNames.end() ? named->second : key.track;
+        std::printf("  %-28s %6llu %12llu %10llu %9llu\n", track.c_str(),
+                    static_cast<unsigned long long>(key.tid),
+                    static_cast<unsigned long long>(lane.busyCycles),
+                    static_cast<unsigned long long>(lane.events),
+                    static_cast<unsigned long long>(lane.combines));
+    }
+}
+
+void
+reportCombining(const Analysis &a)
+{
+    if (a.absorbedInto.empty()) {
+        std::printf("\nno combines in this trace\n");
+        return;
+    }
+    // Fan-in per surviving root = 1 (itself) + absorbed descendants.
+    std::map<std::uint64_t, std::uint64_t> fanIn;
+    for (const auto &[absorbed, survivor] : a.absorbedInto)
+        ++fanIn[rootOf(a, survivor)];
+    std::map<std::uint64_t, std::uint64_t> dist; // fan-in -> trees
+    std::uint64_t deepest = 0;
+    std::uint64_t deepest_id = 0;
+    for (const auto &[root, absorbed] : fanIn) {
+        ++dist[absorbed + 1];
+        if (absorbed > deepest) {
+            deepest = absorbed;
+            deepest_id = root;
+        }
+    }
+    std::printf("\ncombine forest: %zu requests absorbed into %zu "
+                "trees\n",
+                a.absorbedInto.size(), fanIn.size());
+    for (const auto &[width, trees] : dist) {
+        std::printf("  fan-in %2llu: %llu tree%s\n",
+                    static_cast<unsigned long long>(width),
+                    static_cast<unsigned long long>(trees),
+                    trees == 1 ? "" : "s");
+    }
+    std::printf("  widest tree: %llu requests served by message %llu\n",
+                static_cast<unsigned long long>(deepest + 1),
+                static_cast<unsigned long long>(deepest_id));
+}
+
+void
+reportSlowest(const Analysis &a, std::size_t top)
+{
+    std::vector<const RequestPath *> done;
+    for (const auto &[id, req] : a.requests) {
+        if (req.injected && req.replied && req.replyAt >= req.injectAt)
+            done.push_back(&req);
+    }
+    if (done.empty()) {
+        std::printf("\nno completed inject->reply paths in this trace\n");
+        return;
+    }
+    std::sort(done.begin(), done.end(),
+              [](const RequestPath *x, const RequestPath *y) {
+                  return x->replyAt - x->injectAt >
+                         y->replyAt - y->injectAt;
+              });
+    std::printf("\nslowest request paths (%zu completed):\n",
+                done.size());
+    std::printf("  %12s %10s %8s %9s  %s\n", "message", "inject",
+                "reply", "cycles", "notes");
+    for (std::size_t i = 0; i < done.size() && i < top; ++i) {
+        const RequestPath &req = *done[i];
+        std::string notes;
+        if (req.combined) {
+            notes = "absorbed into " +
+                    std::to_string(rootOf(a, req.id));
+        }
+        std::printf("  %12llu %10llu %8llu %9llu  %s\n",
+                    static_cast<unsigned long long>(req.id),
+                    static_cast<unsigned long long>(req.injectAt),
+                    static_cast<unsigned long long>(req.replyAt),
+                    static_cast<unsigned long long>(req.replyAt -
+                                                    req.injectAt),
+                    notes.c_str());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    std::size_t top = 10;
+    std::size_t slowest = 10;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--top" && i + 1 < argc) {
+            top = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--slowest" && i + 1 < argc) {
+            slowest = std::strtoull(argv[++i], nullptr, 10);
+        } else if (path.empty() && arg.rfind("--", 0) != 0) {
+            path = arg;
+        } else {
+            std::fprintf(stderr, "usage: ultrascope TRACE.json "
+                                 "[--top N] [--slowest N]\n");
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        std::fprintf(stderr,
+                     "usage: ultrascope TRACE.json [--top N] "
+                     "[--slowest N]\n");
+        return 2;
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "ultrascope: cannot read %s\n",
+                     path.c_str());
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    Analysis analysis;
+    try {
+        const jsonlite::JsonValue doc = jsonlite::parse(buf.str());
+        if (!analyze(doc, analysis)) {
+            std::fprintf(stderr,
+                         "ultrascope: %s is not a trace-event file "
+                         "(no traceEvents array)\n",
+                         path.c_str());
+            return 2;
+        }
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "ultrascope: parse error in %s: %s\n",
+                     path.c_str(), err.what());
+        return 2;
+    }
+
+    std::printf("%s: %llu events, %zu lanes, %zu requests seen\n",
+                path.c_str(),
+                static_cast<unsigned long long>(analysis.events),
+                analysis.lanes.size(), analysis.requests.size());
+    reportLanes(analysis, top);
+    reportCombining(analysis);
+    reportSlowest(analysis, slowest);
+    return 0;
+}

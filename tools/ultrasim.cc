@@ -28,9 +28,18 @@
  *
  * Observability options (`net` and `app`):
  *   --stats-json FILE      dump every registered statistic as JSON
+ *                          (keys in sorted order, stable across runs)
+ *   --stats-pretty         one statistic per line in --stats-json
  *   --sample-every S       snapshot occupancy gauges every S cycles
  *   --sample-out FILE      write the sampled time series as CSV
  *   --trace-events FILE    Chrome trace-event JSON (load in Perfetto)
+ *   --latency-json FILE    packet-lifecycle latency report (per-stage
+ *                          waits, combining effectiveness, model drift)
+ *   --heatmap-csv FILE     stage x switch congestion heatmap
+ *   --check-drift [TOL]    net only: fail (exit 3) when the measured
+ *                          transit drifts more than TOL (default 0.15)
+ *                          from the Kruskal-Snir prediction; exit 2
+ *                          when the config violates model assumptions
  *
  * Host-parallelism options (`net` and `app`):
  *   --threads N    host threads for the compute phase (0 = all cores,
@@ -67,6 +76,7 @@
 #include <map>
 #include <string>
 
+#include "analytic/drift.h"
 #include "analytic/packaging.h"
 #include "analytic/queueing.h"
 #include "apps/accounts.h"
@@ -82,6 +92,8 @@
 #include "net/trace.h"
 #include "net/traffic.h"
 #include "obs/event_trace.h"
+#include "obs/latency.h"
+#include "obs/model_check.h"
 #include "obs/registry.h"
 #include "obs/sampler.h"
 #include "par/shard.h"
@@ -145,27 +157,68 @@ class Args
     std::map<std::string, std::string> values_;
 };
 
-/** The shared --stats-json / --sample-* / --trace-events options. */
+/** The shared observability options (--stats-json, --latency-json...). */
 struct ObsOptions
 {
     std::string statsJson;
+    bool statsPretty = false;
     Cycle sampleEvery = 0;
     std::string sampleOut;
     std::string traceEvents;
+    std::string latencyJson;
+    std::string heatmapCsv;
+    bool checkDrift = false;
+    double driftTolerance = analytic::kDefaultDriftTolerance;
 
     static ObsOptions
     from(const Args &args)
     {
         ObsOptions o;
         o.statsJson = args.getString("stats-json", "");
+        o.statsPretty = args.has("stats-pretty");
         o.sampleEvery = args.getInt("sample-every", 0);
         o.sampleOut = args.getString("sample-out", "");
         o.traceEvents = args.getString("trace-events", "");
+        o.latencyJson = args.getString("latency-json", "");
+        o.heatmapCsv = args.getString("heatmap-csv", "");
+        o.checkDrift = args.has("check-drift");
+        o.driftTolerance = args.getDouble(
+            "check-drift", analytic::kDefaultDriftTolerance);
+        if (o.driftTolerance <= 0.0)
+            o.driftTolerance = analytic::kDefaultDriftTolerance;
         return o;
     }
 
     bool sampling() const { return sampleEvery != 0; }
+
+    /** Any option that needs the latency observatory attached. */
+    bool
+    latencyWanted() const
+    {
+        return !latencyJson.empty() || !heatmapCsv.empty() || checkDrift;
+    }
+
+    /** CLI stats dumps are sorted so repeated runs diff cleanly; the
+     *  library default (insertion order, pretty) is golden-pinned and
+     *  unchanged. */
+    obs::DumpOptions
+    dumpOptions() const
+    {
+        return {.sortKeys = true, .pretty = statsPretty};
+    }
 };
+
+/** Splice `, "key": value` before the closing brace of @p object. */
+std::string
+spliceJson(const std::string &object, const std::string &key,
+           const std::string &value)
+{
+    const std::size_t end = object.rfind('}');
+    if (end == std::string::npos)
+        return object;
+    return object.substr(0, end) + ", \"" + key + "\": " + value + "}" +
+           object.substr(end + 1);
+}
 
 void
 writeTextFile(const std::string &path, const std::string &content)
@@ -244,6 +297,20 @@ cmdNet(const Args &args)
     obs::EventTrace trace;
     if (!obs.traceEvents.empty())
         network.setEventTrace(&trace);
+    // Attach while the network is still quiescent; the aggregates
+    // therefore cover the warmup as well (unlike the registry stats,
+    // which are reset after it) -- the decomposition invariant holds
+    // for every record either way.
+    std::unique_ptr<obs::LatencyObservatory> latency;
+    if (obs.latencyWanted()) {
+        obs::LatencyShape shape;
+        shape.stages = network.topology().stages();
+        shape.switchesPerStage = network.topology().switchesPerStage();
+        shape.mmAccessTime = ncfg.mmAccessTime;
+        latency = std::make_unique<obs::LatencyObservatory>(shape);
+        network.setLatencyObservatory(latency.get());
+        latency->registerStats(registry, "lat");
+    }
     obs::Sampler sampler;
     if (obs.sampling()) {
         for (unsigned s = 0; s < network.topology().stages(); ++s) {
@@ -294,14 +361,51 @@ cmdNet(const Args &args)
     pni.resetStats();
     runSampled(cycles);
 
-    if (!obs.statsJson.empty())
-        writeTextFile(obs.statsJson, registry.jsonDump(network.now()));
+    const auto &stats = network.stats();
+
+    // Kruskal-Snir cross-check: compare the measured post-warmup mean
+    // one-way transit against the model's prediction at the measured
+    // accepted load.  Meaningful only when the run matches the model's
+    // assumptions; other configurations still publish their numbers
+    // with model.applicable = 0.
+    analytic::NetworkConfig acfg;
+    acfg.n = ncfg.numPorts;
+    acfg.k = ncfg.k;
+    acfg.m = ncfg.m;
+    acfg.d = ncfg.d;
+    const double offered = static_cast<double>(stats.injected) /
+                           static_cast<double>(cycles) / ncfg.numPorts;
+    const bool applicable =
+        acfg.valid() && ncfg.sizing == net::PacketSizing::Uniform &&
+        ncfg.combinePolicy == net::CombinePolicy::None &&
+        !ncfg.burroughsKill && !ncfg.idealParacomputer &&
+        ncfg.queueCapacityPackets == 0 &&
+        ncfg.mmPendingCapacityPackets == 0 && tcfg.hotFraction == 0.0 &&
+        !tcfg.closedLoop;
+    const obs::ModelCrossCheck model(acfg, offered,
+                                     stats.oneWayTransit.mean(),
+                                     applicable, obs.driftTolerance);
+    model.registerStats(registry, "model");
+    const bool model_ok = model.check();
+
+    if (!obs.statsJson.empty()) {
+        writeTextFile(obs.statsJson, registry.jsonDump(network.now(),
+                                                       obs.dumpOptions()));
+    }
     if (!obs.sampleOut.empty())
         sampler.save(obs.sampleOut);
     if (!obs.traceEvents.empty())
         trace.save(obs.traceEvents);
-
-    const auto &stats = network.stats();
+    if (latency) {
+        if (!obs.latencyJson.empty()) {
+            writeTextFile(obs.latencyJson,
+                          spliceJson(latency->summaryJson(), "model",
+                                     model.json()) +
+                              "\n");
+        }
+        if (!obs.heatmapCsv.empty())
+            writeTextFile(obs.heatmapCsv, latency->heatmapCsv());
+    }
     std::printf("ports %u, k=%u m=%u d=%u, policy %s%s\n",
                 ncfg.numPorts, ncfg.k, ncfg.m, ncfg.d,
                 args.getString("policy", "full").c_str(),
@@ -334,6 +438,37 @@ cmdNet(const Args &args)
                 pni.stats().accessTime.mean());
     std::printf("MM queue wait:   %.2f cycles\n",
                 stats.mmQueueWait.mean());
+    if (latency) {
+        std::printf("latency records: %llu delivered, %llu combined "
+                    "away, %llu MM cycles saved, %llu invariant "
+                    "violations\n",
+                    static_cast<unsigned long long>(
+                        latency->delivered()),
+                    static_cast<unsigned long long>(
+                        latency->combinedDelivered()),
+                    static_cast<unsigned long long>(
+                        latency->mmCyclesSaved()),
+                    static_cast<unsigned long long>(
+                        latency->violations()));
+    }
+    const obs::ModelReport &mr = model.report();
+    if (mr.applicable) {
+        std::printf("model transit:   %.2f cycles predicted vs %.2f "
+                    "measured (drift %+.1f%%)\n",
+                    mr.predictedTransit, mr.measuredTransit,
+                    100.0 * mr.drift);
+    }
+    if (obs.checkDrift) {
+        if (!mr.applicable) {
+            std::fprintf(stderr,
+                         "--check-drift: configuration violates model "
+                         "assumptions (need --uniform --policy none "
+                         "--queue 0, open-loop uniform traffic)\n");
+            return 2;
+        }
+        if (!model_ok)
+            return 3;
+    }
     return 0;
 }
 
@@ -356,6 +491,8 @@ cmdApp(const Args &args)
     obs::EventTrace trace;
     if (!obs.traceEvents.empty())
         machine.attachEventTrace(&trace);
+    if (obs.latencyWanted())
+        machine.enableLatency();
     if (obs.sampling())
         machine.enableSampling(obs.sampleEvery);
     if (app == "tred2") {
@@ -453,12 +590,22 @@ cmdApp(const Args &args)
                     machine.network().stats().combined));
     std::printf("\n%s", machine.statsReport().c_str());
 
-    if (!obs.statsJson.empty())
-        writeTextFile(obs.statsJson, machine.statsJson());
+    if (!obs.statsJson.empty()) {
+        writeTextFile(obs.statsJson,
+                      machine.statsJson(obs.dumpOptions()));
+    }
     if (!obs.sampleOut.empty())
         machine.sampler().save(obs.sampleOut);
     if (!obs.traceEvents.empty())
         trace.save(obs.traceEvents);
+    if (machine.latencyEnabled()) {
+        if (!obs.latencyJson.empty())
+            writeTextFile(obs.latencyJson, machine.latencyJson() + "\n");
+        if (!obs.heatmapCsv.empty()) {
+            writeTextFile(obs.heatmapCsv,
+                          machine.latency()->heatmapCsv());
+        }
+    }
     return 0;
 }
 
