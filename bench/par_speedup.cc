@@ -7,21 +7,40 @@
  * 1-thread engine, and verifies the headline property along the way:
  * every thread count must produce byte-identical stats.
  *
- * Only the compute phase (PE coroutine stepping) parallelizes; PNI
- * issue, the network, and memory are the sequential commit phase, so
- * the speedup ceiling is set by the compute fraction of the cycle
- * (Amdahl) -- the point of recording BENCH_par.json is to track that
- * fraction as later PRs move more work into the compute phase.
+ * Two phases parallelize: PE coroutine stepping (compute phase) and
+ * the network's per-unit arrival phase (sharded over the same engine);
+ * PNI issue, departures/merge, and memory stay sequential.  The final
+ * pair of runs A/Bs the network sharding at the widest thread count so
+ * BENCH_par.json tracks both the Amdahl ceiling and the network
+ * phase's contribution to it.
  *
- * Usage: par_speedup [output.json]   (default BENCH_par.json)
+ * Host cores are detected as max(hardware_concurrency,
+ * sched_getaffinity) -- containers often pin affinity below the
+ * advertised core count (or report 0), and a speedup quoted against
+ * the wrong denominator is worthless.  BENCH_par.json records the
+ * honest value; read speedups on a 1-core host accordingly.
+ *
+ * Usage: par_speedup [--check-speedup] [output.json]
+ *                                      (default BENCH_par.json)
+ *
+ * --check-speedup: CI smoke mode -- run 1 vs 4 threads only and exit
+ * nonzero if the 4-thread self-speedup falls below 1.0 while at least
+ * 4 host cores are available (a regression that made threading a net
+ * loss).  On hosts with fewer cores the check degrades to the
+ * determinism assertion alone.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
 
 #include "common/table.h"
 #include "core/machine.h"
@@ -35,23 +54,42 @@ using namespace ultra;
 constexpr std::uint32_t kPes = 1024;
 constexpr int kIterations = 150;
 
+/** Honest usable-core count (see the file comment). */
+unsigned
+detectHostCores()
+{
+    unsigned cores = std::thread::hardware_concurrency();
+#ifdef __linux__
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof set, &set) == 0) {
+        cores = std::max(
+            cores, static_cast<unsigned>(CPU_COUNT(&set)));
+    }
+#endif
+    return std::max(cores, 1u);
+}
+
 struct RunResult
 {
     unsigned threads = 1;
+    bool shardedNet = true;
     double seconds = 0.0;
     Cycle cycles = 0;
     std::string statsJson;
 };
 
 RunResult
-runOnce(unsigned threads)
+runOnce(unsigned threads, bool sharded_net, int iterations)
 {
     core::MachineConfig cfg = core::MachineConfig::paperTable1();
     cfg.threads = threads;
+    cfg.shardedNetwork = sharded_net;
     core::Machine machine(cfg);
     const Addr counter = machine.allocShared(1, "counter");
-    machine.launchAll(kPes, [counter](pe::Pe &pe) -> pe::Task {
-        for (int i = 0; i < kIterations; ++i) {
+    machine.launchAll(kPes, [counter, iterations](pe::Pe &pe)
+                          -> pe::Task {
+        for (int i = 0; i < iterations; ++i) {
             co_await pe.compute(16);
             co_await pe.fetchAdd(counter, 1);
         }
@@ -66,7 +104,7 @@ runOnce(unsigned threads)
         std::exit(1);
     }
     if (machine.peek(counter) !=
-        static_cast<Word>(kPes) * kIterations) {
+        static_cast<Word>(kPes) * iterations) {
         std::fprintf(stderr, "wrong fetch-add total with %u threads\n",
                      threads);
         std::exit(1);
@@ -74,10 +112,43 @@ runOnce(unsigned threads)
 
     RunResult r;
     r.threads = threads;
+    r.shardedNet = sharded_net;
     r.seconds = std::chrono::duration<double>(stop - start).count();
     r.cycles = machine.now();
     r.statsJson = machine.statsJson();
     return r;
+}
+
+/** CI smoke: determinism always; speedup >= 1.0 when cores allow. */
+int
+checkSpeedup(unsigned host_cores)
+{
+    const int iterations = 60; // keep the smoke fast
+    const RunResult solo = runOnce(1, true, iterations);
+    const RunResult quad = runOnce(4, true, iterations);
+    if (quad.statsJson != solo.statsJson) {
+        std::fprintf(stderr, "DETERMINISM VIOLATION: 4-thread stats "
+                             "differ from 1-thread stats\n");
+        return 1;
+    }
+    const double speedup = solo.seconds / quad.seconds;
+    std::printf("check-speedup: 1-thread %.2fs, 4-thread %.2fs, "
+                "self-speedup %.2fx on %u host core%s\n",
+                solo.seconds, quad.seconds, speedup, host_cores,
+                host_cores == 1 ? "" : "s");
+    if (host_cores < 4) {
+        std::printf("fewer than 4 host cores: speedup criterion "
+                    "skipped, determinism verified\n");
+        return 0;
+    }
+    if (speedup < 1.0) {
+        std::fprintf(stderr,
+                     "SPEEDUP REGRESSION: 4 threads slower than 1 "
+                     "(%.2fx) with %u cores available\n",
+                     speedup, host_cores);
+        return 1;
+    }
+    return 0;
 }
 
 } // namespace
@@ -85,9 +156,18 @@ runOnce(unsigned threads)
 int
 main(int argc, char **argv)
 {
-    const std::string out_path =
-        argc > 1 ? argv[1] : "BENCH_par.json";
-    const unsigned host_cores = std::thread::hardware_concurrency();
+    std::string out_path = "BENCH_par.json";
+    bool check_speedup = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--check-speedup")
+            check_speedup = true;
+        else
+            out_path = argv[i];
+    }
+    const unsigned host_cores = detectHostCores();
+    if (check_speedup)
+        return checkSpeedup(host_cores);
+
     std::printf("par_speedup: Table-1 machine, %u PEs x %d "
                 "compute+fetch-add iterations, %u host core%s\n\n",
                 kPes, kIterations, host_cores,
@@ -95,7 +175,7 @@ main(int argc, char **argv)
 
     std::vector<RunResult> results;
     for (unsigned threads : {1u, 2u, 4u, 8u}) {
-        results.push_back(runOnce(threads));
+        results.push_back(runOnce(threads, true, kIterations));
         const RunResult &r = results.back();
         if (r.statsJson != results.front().statsJson) {
             std::fprintf(stderr,
@@ -104,16 +184,29 @@ main(int argc, char **argv)
                          threads);
             return 1;
         }
-        std::printf("  threads=%u: %.2fs (%llu cycles, stats %s)\n",
+        std::printf("  threads=%u net=sharded: %.2fs (%llu cycles, "
+                    "stats %s)\n",
                     r.threads, r.seconds,
                     static_cast<unsigned long long>(r.cycles),
                     threads == 1 ? "baseline" : "identical");
     }
+    // A/B the network arrival-phase sharding at the widest engine.
+    results.push_back(runOnce(8, false, kIterations));
+    if (results.back().statsJson != results.front().statsJson) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: serial-network stats "
+                     "differ from sharded-network stats\n");
+        return 1;
+    }
+    std::printf("  threads=8 net=serial:  %.2fs (stats identical)\n",
+                results.back().seconds);
 
     TextTable table;
-    table.setHeader({"host threads", "wall (s)", "self-speedup"});
+    table.setHeader(
+        {"host threads", "network", "wall (s)", "self-speedup"});
     for (const RunResult &r : results) {
         table.addRow({std::to_string(r.threads),
+                      r.shardedNet ? "sharded" : "serial",
                       TextTable::fmt(r.seconds, 2),
                       TextTable::fmt(results.front().seconds /
                                          r.seconds,
@@ -135,11 +228,13 @@ main(int argc, char **argv)
         << "  \"deterministic\": true,\n  \"runs\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const RunResult &r = results[i];
-        char line[160];
+        char line[200];
         std::snprintf(line, sizeof line,
-                      "    {\"threads\": %u, \"wall_seconds\": %.3f, "
+                      "    {\"threads\": %u, \"net_sharded\": %s, "
+                      "\"wall_seconds\": %.3f, "
                       "\"self_speedup\": %.3f}%s\n",
-                      r.threads, r.seconds,
+                      r.threads, r.shardedNet ? "true" : "false",
+                      r.seconds,
                       results.front().seconds / r.seconds,
                       i + 1 < results.size() ? "," : "");
         out << line;

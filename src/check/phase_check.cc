@@ -74,6 +74,7 @@ void
 PhaseChecker::beginCompute(Cycle cycle)
 {
     ULTRA_ASSERT(!inCompute_, "nested compute phases");
+    ULTRA_ASSERT(!inNetCompute_, "PE compute inside network compute");
     cycle_ = cycle;
     inCompute_ = true;
 }
@@ -82,6 +83,32 @@ void
 PhaseChecker::endCompute()
 {
     inCompute_ = false;
+}
+
+void
+PhaseChecker::setNetOwners(unsigned shards,
+                           std::vector<unsigned> shardOfUnit)
+{
+    ULTRA_ASSERT(!inNetCompute_,
+                 "net ownership may only change between compute phases");
+    ULTRA_ASSERT(shards >= 1);
+    netShards_ = shards;
+    netShardOfUnit_ = std::move(shardOfUnit);
+}
+
+void
+PhaseChecker::beginNetCompute(Cycle cycle)
+{
+    ULTRA_ASSERT(!inNetCompute_, "nested network compute phases");
+    ULTRA_ASSERT(!inCompute_, "network compute inside PE compute");
+    cycle_ = cycle;
+    inNetCompute_ = true;
+}
+
+void
+PhaseChecker::endNetCompute()
+{
+    inNetCompute_ = false;
 }
 
 void
@@ -141,10 +168,33 @@ PhaseChecker::onComputeRead(const char *component, std::uint64_t owner)
 void
 PhaseChecker::onCommitOnly(const char *component)
 {
-    if (!inCompute_)
+    if (!inCompute_ && !inNetCompute_)
         return;
     record(Violation::Kind::CommitOnlyInCompute, component,
            Violation::kNoOwner, 0);
+}
+
+void
+PhaseChecker::onNetMutate(const char *component, std::uint64_t unit)
+{
+    if (inCompute_) {
+        // The network is frozen during the PE compute phase.
+        record(Violation::Kind::CommitOnlyInCompute, component, unit, 0);
+        return;
+    }
+    if (!inNetCompute_)
+        return; // sequential phase may touch anything
+    if (unit >= netShardOfUnit_.size()) {
+        // Unit-less (or unmapped) state may never be touched by a
+        // network compute shard.
+        record(Violation::Kind::CrossShardWrite, component, unit, 0);
+        return;
+    }
+    const int owner_shard = static_cast<int>(netShardOfUnit_[unit]);
+    if (tlsShard == owner_shard)
+        return;
+    record(Violation::Kind::CrossShardWrite, component, unit,
+           owner_shard);
 }
 
 void

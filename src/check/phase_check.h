@@ -22,6 +22,20 @@
  *   ULTRA_CHECK_COMMIT_ONLY(component)
  *       -- the surrounding mutator belongs to the sequential commit
  *          phase and must never run during compute.
+ *   ULTRA_CHECK_NET_MUTATE(component, unit)
+ *       -- the caller mutates switch-column state owned by network
+ *          unit `unit` (a StageColumnPlan index; kNoOwner = not
+ *          unit-owned).  Legal from the sequential phase, or during
+ *          the *network* compute phase from the shard that owns the
+ *          unit.  During the PE compute phase it is a violation (the
+ *          network is frozen then), and unit-less state (MNI pending
+ *          queues) may never be touched by a network compute shard.
+ *
+ * Two compute domains exist per cycle: the PE domain (coroutine
+ * stepping, owner ids are PE ids) and the network domain (switch-
+ * column sharding, owner ids are StageColumnPlan units).  Each has its
+ * own ownership map and begin/end bracket; the hooks check whichever
+ * domain is active.
  *
  * The hooks compile to nothing unless the ULTRA_CHECK CMake option is
  * ON (which defines ULTRA_CHECK_ENABLED), so production builds pay
@@ -112,6 +126,23 @@ class PhaseChecker
 
     bool inCompute() const { return inCompute_; }
 
+    /**
+     * Declare the network-domain ownership map: switch-column unit `u`
+     * (a StageColumnPlan index) belongs to engine shard
+     * `shardOfUnit[u]`.  Set by the Network whenever its unit-to-shard
+     * binding changes.
+     */
+    void setNetOwners(unsigned shards,
+                      std::vector<unsigned> shardOfUnit);
+
+    /** Enter the parallel *network* compute phase of cycle @p cycle. */
+    void beginNetCompute(Cycle cycle);
+
+    /** Leave the network compute phase. */
+    void endNetCompute();
+
+    bool inNetCompute() const { return inNetCompute_; }
+
     /** Panic on the first violation instead of recording (defaults to
      *  the ULTRA_CHECK_ABORT environment variable). */
     void setFailFast(bool on) { failFast_ = on; }
@@ -132,6 +163,7 @@ class PhaseChecker
     void onComputeWrite(const char *component, std::uint64_t owner);
     void onComputeRead(const char *component, std::uint64_t owner);
     void onCommitOnly(const char *component);
+    void onNetMutate(const char *component, std::uint64_t unit);
 
     // --- results ------------------------------------------------------
 
@@ -164,9 +196,12 @@ class PhaseChecker
     // Written only while no compute phase runs; the fork-join barriers
     // of TickEngine establish happens-before with every hook call.
     bool inCompute_ = false;
+    bool inNetCompute_ = false;
     Cycle cycle_ = 0;
     unsigned shards_ = 1;
     std::vector<unsigned> shardOfOwner_;
+    unsigned netShards_ = 1;
+    std::vector<unsigned> netShardOfUnit_;
     bool failFast_ = false;
 
     std::atomic<std::uint64_t> count_{0};
@@ -201,6 +236,16 @@ class PhaseChecker
     ::ultra::check::PhaseChecker::bindShard((shard))
 #define ULTRA_CHECK_UNBIND_SHARD()                                          \
     ::ultra::check::PhaseChecker::unbindShard()
+#define ULTRA_CHECK_NET_MUTATE(component, unit)                             \
+    ::ultra::check::PhaseChecker::instance().onNetMutate(                   \
+        (component), static_cast<std::uint64_t>(unit))
+#define ULTRA_CHECK_SET_NET_OWNERS(shards, shardOfUnit)                     \
+    ::ultra::check::PhaseChecker::instance().setNetOwners(                  \
+        (shards), (shardOfUnit))
+#define ULTRA_CHECK_NET_COMPUTE_BEGIN(cycle)                                \
+    ::ultra::check::PhaseChecker::instance().beginNetCompute((cycle))
+#define ULTRA_CHECK_NET_COMPUTE_END()                                       \
+    ::ultra::check::PhaseChecker::instance().endNetCompute()
 
 #else
 
@@ -212,6 +257,10 @@ class PhaseChecker
 #define ULTRA_CHECK_COMPUTE_END() ((void)0)
 #define ULTRA_CHECK_BIND_SHARD(shard) ((void)0)
 #define ULTRA_CHECK_UNBIND_SHARD() ((void)0)
+#define ULTRA_CHECK_NET_MUTATE(component, unit) ((void)0)
+#define ULTRA_CHECK_SET_NET_OWNERS(shards, shardOfUnit) ((void)0)
+#define ULTRA_CHECK_NET_COMPUTE_BEGIN(cycle) ((void)0)
+#define ULTRA_CHECK_NET_COMPUTE_END() ((void)0)
 
 #endif // ULTRA_CHECK_ENABLED
 

@@ -176,10 +176,11 @@ Machine::prepareShards()
     shardPes_ = launched_;
     std::sort(shardPes_.begin(), shardPes_.end());
 
+    // The engine serves both the PE compute phase and the network's
+    // arrival phase, so it is NOT clamped to the launched-PE count: a
+    // one-PE program on a big machine still profits from sharded switch
+    // simulation (excess PE shards are just empty ranges).
     unsigned threads = par::TickEngine::resolveThreads(cfg_.threads);
-    if (!shardPes_.empty() &&
-        threads > static_cast<unsigned>(shardPes_.size()))
-        threads = static_cast<unsigned>(shardPes_.size());
     // A request probe observes every request() in call order, which is
     // not deterministic under parallel stepping; keep such runs serial.
     if (pni_.hasRequestProbe())
@@ -191,6 +192,8 @@ Machine::prepareShards()
         engine_ = std::make_unique<par::TickEngine>(threads);
         engineThreads_ = threads;
     }
+    network_.setTickEngine(cfg_.shardedNetwork ? engine_.get()
+                                               : nullptr);
     shardPlan_ = par::ShardPlan::contiguous(shardPes_.size(), threads);
     shardDone_.assign(threads, 0);
 

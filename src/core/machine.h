@@ -63,6 +63,15 @@ struct MachineConfig
      */
     unsigned threads = 1;
 
+    /**
+     * Distribute the network's arrival phase over the same engine
+     * threads (see DESIGN.md "Sharding the network tick").  Off, the
+     * network runs the identical unit sweep inline; output is
+     * byte-identical either way, so this is purely a speed knob
+     * (--net-serial in the CLI for A/B timing).
+     */
+    bool shardedNetwork = true;
+
     /** The paper's Table-1 machine: 4096 ports, six stages of 4x4
      *  switches, 15-packet queues, PE instr = MM access = 2 cycles. */
     static MachineConfig paperTable1();

@@ -70,6 +70,11 @@ struct Message
     /** Pairs absorbed while in the current ToMM queue (pairwise cap). */
     std::uint32_t combinedAtThisQueue = 0;
 
+    /** Pool (StageColumnPlan unit) the slot belongs to.  A message may
+     *  die far from home; the merge phase routes it back so frees never
+     *  touch a foreign pool during the parallel arrival phase. */
+    std::uint32_t poolUnit = 0;
+
     /** Lifecycle stamps, owned by the LatencyObservatory; null unless
      *  one is attached (see obs/latency.h).  Travels with the message
      *  and parks in a WaitEntry while combined away. */
@@ -79,15 +84,31 @@ struct Message
 /**
  * Slab allocator for messages.  Slots are recycled but ids are not: every
  * alloc() stamps a fresh id from a monotonic counter.
+ *
+ * For the sharded network tick each StageColumnPlan unit owns one pool
+ * with an interleaved id stream (first_id = unit index + 1, stride =
+ * unit count): streams never collide, and because the stream is a pure
+ * function of the unit — not of the thread that runs it — allocation
+ * order inside a unit yields the same ids for any --threads N.
  */
 class MessagePool
 {
   public:
+    explicit MessagePool(std::uint64_t first_id = 1,
+                         std::uint64_t stride = 1,
+                         std::uint32_t unit = 0)
+        : nextId_(first_id), stride_(stride), unit_(unit)
+    {
+    }
+
     Message *alloc();
     void free(Message *msg);
 
     /** Messages currently live (allocated and not freed). */
     std::size_t liveCount() const { return live_; }
+
+    /** StageColumnPlan unit this pool serves (0 when unsharded). */
+    std::uint32_t unit() const { return unit_; }
 
   private:
     static constexpr std::size_t kBlockSize = 1024;
@@ -95,6 +116,8 @@ class MessagePool
     std::vector<std::unique_ptr<Message[]>> blocks_;
     std::vector<Message *> freeList_;
     std::uint64_t nextId_ = 1;
+    std::uint64_t stride_ = 1;
+    std::uint32_t unit_ = 0;
     std::size_t live_ = 0;
 };
 
@@ -111,7 +134,9 @@ MessagePool::alloc()
     Message *msg = freeList_.back();
     freeList_.pop_back();
     *msg = Message{};
-    msg->id = nextId_++;
+    msg->id = nextId_;
+    nextId_ += stride_;
+    msg->poolUnit = unit_;
     ++live_;
     return msg;
 }

@@ -9,6 +9,7 @@
 #include "obs/event_trace.h"
 #include "obs/latency.h"
 #include "obs/registry.h"
+#include "par/tick_engine.h"
 
 namespace ultra::net
 {
@@ -29,6 +30,8 @@ NetSimConfig::valid() const
     if (!isPowerOfTwo(numPorts) || !isPowerOfTwo(k) || k < 2)
         return false;
     if (m == 0 || d == 0 || dataPackets == 0 || maxCombinesPerVisit == 0)
+        return false;
+    if (shardGroupTarget == 0)
         return false;
     // numPorts must be a power of k.
     std::uint64_t reach = 1;
@@ -92,18 +95,79 @@ Network::Network(const NetSimConfig &cfg, mem::MemorySystem &memory)
     }
     nextCopy_.assign(cfg_.numPorts, 0);
     injectStates_.resize(cfg_.numPorts);
+
+    // The unit partition is fixed by the topology (never by the thread
+    // count); each unit gets its own message pool on an interleaved id
+    // stream so allocation during the parallel arrival phase touches no
+    // shared state and yields identical ids for any --threads N.
+    plan_ = par::StageColumnPlan::build(
+        cfg_.d, topo_.stages(), topo_.switchesPerStage(),
+        cfg_.shardGroupTarget);
+    const std::size_t n_units = plan_.units();
+    units_.reserve(n_units);
+    for (std::size_t u = 0; u < n_units; ++u) {
+        Unit unit;
+        unit.copy = plan_.copyOf(u);
+        unit.stage = plan_.stageOf(u);
+        unit.cols = plan_.columnsOf(u);
+        unit.pool = MessagePool(u + 1, n_units,
+                                static_cast<std::uint32_t>(u));
+        units_.push_back(std::move(unit));
+    }
+    unitShards_ = par::ShardPlan::contiguous(n_units, 1);
+    mergeLen_.assign(n_units, 0);
+
+    // Bind every queue and wait buffer to its owning unit for the
+    // phase-contract checker.
+    for (auto &copy : copies_) {
+        for (unsigned s = 0; s < topo_.stages(); ++s) {
+            for (std::uint32_t idx = 0; idx < topo_.switchesPerStage();
+                 ++idx) {
+                const std::size_t u =
+                    plan_.unitOf(copy.index, s, idx);
+                Node &node = copy.stage[s][idx];
+                for (unsigned p = 0; p < cfg_.k; ++p) {
+                    node.fwd[p].queue.setCheckOwner(u);
+                    node.rev[p].queue.setCheckOwner(u);
+                }
+                node.wb.setCheckOwner(u);
+            }
+        }
+        // MNI pending queues are unit-less: sequential-phase only.
+    }
 }
 
 Network::~Network() = default;
 
 void
+Network::setTickEngine(par::TickEngine *engine)
+{
+    engine_ = engine;
+    const unsigned threads = engine != nullptr ? engine->threads() : 1;
+    unitShards_ = par::ShardPlan::contiguous(units_.size(), threads);
+    std::vector<unsigned> shard_of(units_.size(), 0);
+    for (std::size_t u = 0; u < units_.size(); ++u)
+        shard_of[u] = unitShards_.shardOf(u);
+    ULTRA_CHECK_SET_NET_OWNERS(threads, std::move(shard_of));
+    (void)shard_of;
+}
+
+std::size_t
+Network::inFlight() const
+{
+    std::size_t live = 0;
+    for (const Unit &unit : units_)
+        live += unit.pool.liveCount();
+    return live;
+}
+
+void
 Network::activateNode(Copy &copy, unsigned s, std::uint32_t idx)
 {
     Node &node = copy.stage[s][idx];
-    node.active = true;
     if (!node.inList) {
         node.inList = true;
-        copy.activeNodes.emplace_back(s, idx);
+        units_[plan_.unitOf(copy.index, s, idx)].active.push_back(idx);
     }
 }
 
@@ -118,11 +182,19 @@ Network::activateMni(Copy &copy, MMId mm)
     }
 }
 
+void
+Network::stageInstant(Unit &unit, std::uint32_t track, std::uint32_t tid,
+                      const char *name, std::uint64_t id,
+                      std::uint64_t link)
+{
+    unit.traces.push_back({track, tid, name, now_, id, link});
+}
+
 bool
 Network::tryInject(PEId pe, Op op, Addr paddr, Word data,
                    std::uint64_t tag, Cycle queued_at)
 {
-    // Injection mutates switch queues: commit-phase only (issued by
+    // Injection mutates switch queues: sequential-phase only (issued by
     // PniArray::tick, never by a compute-phase shard).
     ULTRA_CHECK_COMMIT_ONLY("net.network.inject");
     ULTRA_ASSERT(pe < cfg_.numPorts);
@@ -135,7 +207,8 @@ Network::tryInject(PEId pe, Op op, Addr paddr, Word data,
         // Section 2.1: simultaneous access in a single cycle; the
         // serialization principle is realized by executing requests in
         // injection order at the next tick.
-        Message *msg = pool_.alloc();
+        Message *msg =
+            units_[plan_.unitOf(0, 0, entry.sw)].pool.alloc();
         msg->op = op;
         msg->paddr = paddr;
         msg->data = data;
@@ -174,7 +247,8 @@ Network::tryInject(PEId pe, Op op, Addr paddr, Word data,
                 return false; // claim registered; caller retries
             }
         }
-        Message *msg = pool_.alloc();
+        Message *msg =
+            units_[plan_.unitOf(c, 0, entry.sw)].pool.alloc();
         msg->op = op;
         msg->paddr = paddr;
         msg->data = data;
@@ -225,8 +299,8 @@ Network::acquireSpace(std::uint64_t &claim_id, std::uint32_t &claim_pkts,
 }
 
 bool
-Network::tryCombine(Copy &copy, unsigned s, std::uint32_t idx,
-                    Node &node, unsigned port, Message *msg)
+Network::tryCombine(Unit &unit, Node &node, std::uint32_t idx,
+                    unsigned port, Message *msg)
 {
     if (cfg_.burroughsKill || cfg_.combinePolicy == CombinePolicy::None)
         return false;
@@ -234,6 +308,7 @@ Network::tryCombine(Copy &copy, unsigned s, std::uint32_t idx,
     if (node.wb.full())
         return false;
 
+    const unsigned s = unit.stage;
     const std::uint32_t growth_packets =
         cfg_.sizing == PacketSizing::Uniform ? 0 : cfg_.dataPackets;
 
@@ -256,30 +331,35 @@ Network::tryCombine(Copy &copy, unsigned s, std::uint32_t idx,
         plan->entry.createdAt = now_;
         if (msg->lat) {
             // The absorbed request's record parks in the wait buffer
-            // until the reply fissions it back out.
+            // until the reply fissions it back out.  noteCombined only
+            // touches the record and this unit's heat cells, so it is
+            // arrival-phase safe.
             lat_->noteCombined(msg->lat, s, idx, now_);
             plan->entry.lat = msg->lat;
             msg->lat = nullptr;
         }
         if (trace_) {
-            trace_->instant(fwdTrack_[copy.index][s],
-                            traceLane(idx, port), "combine", now_,
-                            msg->id, cand->id);
+            stageInstant(unit, fwdTrack_[unit.copy][s],
+                         traceLane(idx, port), "combine", msg->id,
+                         cand->id);
         }
         node.wb.insert(plan->entry);
         queue.cancelReservation(msg->packets);
-        pool_.free(msg);
-        ++stats_.combined;
-        ++stats_.combinesPerStage[s];
+        // The absorbed message may live in another unit's pool: stage
+        // the free for the merge phase.
+        unit.dead.push_back(msg);
+        ++unit.delta.combined;
+        ++unit.delta.stageCombines;
         return true;
     }
     return false;
 }
 
 void
-Network::arriveForward(Copy &copy, unsigned s, std::uint32_t idx,
-                       Message *msg)
+Network::arriveForward(Unit &unit, std::uint32_t idx, Message *msg)
 {
+    Copy &copy = copies_[unit.copy];
+    const unsigned s = unit.stage;
     Node &node = copy.stage[s][idx];
     const unsigned port = topo_.routeDigit(msg->dest, s);
     OutPort &out = node.fwd[port];
@@ -289,35 +369,31 @@ Network::arriveForward(Copy &copy, unsigned s, std::uint32_t idx,
     if (cfg_.burroughsKill) {
         // Kill-on-conflict: the output must be idle or the request dies.
         if (out.linkFreeAt > now_ || !out.queue.empty()) {
-            ++stats_.killed;
-            if (msg->lat) {
-                lat_->closeKilled(msg->lat);
-                msg->lat = nullptr;
-            }
-            if (trace_) {
-                trace_->instant(peTrack_, msg->origin, "kill", now_,
-                                msg->id);
-            }
-            if (killFn_)
-                killFn_(msg->origin, msg->tag);
-            pool_.free(msg);
+            ++unit.delta.killed;
+            if (trace_)
+                stageInstant(unit, peTrack_, msg->origin, "kill",
+                             msg->id);
+            // closeKilled, the kill callback and the pool free all
+            // touch shared state: stage them for the merge phase.
+            unit.kills.push_back(msg);
             return;
         }
         out.queue.enqueueUnreserved(msg);
         return;
     }
 
-    if (tryCombine(copy, s, idx, node, port, msg))
+    if (tryCombine(unit, node, idx, port, msg))
         return;
-    stats_.queueLenAtEnqueue.add(
+    unit.queueLenSamples.push_back(
         static_cast<double>(out.queue.usedPackets()));
     out.queue.enqueue(msg);
 }
 
 void
-Network::arriveReverse(Copy &copy, unsigned s, std::uint32_t idx,
-                       Message *msg)
+Network::arriveReverse(Unit &unit, std::uint32_t idx, Message *msg)
 {
+    Copy &copy = copies_[unit.copy];
+    const unsigned s = unit.stage;
     Node &node = copy.stage[s][idx];
     if (msg->lat)
         lat_->noteRevArrive(msg->lat, s, now_);
@@ -329,12 +405,12 @@ Network::arriveReverse(Copy &copy, unsigned s, std::uint32_t idx,
     // combining.h).
     const std::uint32_t packets_on_arrival = msg->packets;
     if (!node.wb.empty()) {
-        matchScratch_.clear();
-        node.wb.takeMatches(msg->requestId, matchScratch_);
+        unit.matchScratch.clear();
+        node.wb.takeMatches(msg->requestId, unit.matchScratch);
         Word current = msg->data;
-        for (std::size_t i = matchScratch_.size(); i-- > 0;) {
-            const WaitEntry &entry = matchScratch_[i];
-            Message *spawn = pool_.alloc();
+        for (std::size_t i = unit.matchScratch.size(); i-- > 0;) {
+            const WaitEntry &entry = unit.matchScratch[i];
+            Message *spawn = unit.pool.alloc();
             spawn->op = entry.satisfiedOp;
             spawn->isReply = true;
             spawn->paddr = msg->paddr;
@@ -358,17 +434,17 @@ Network::arriveReverse(Copy &copy, unsigned s, std::uint32_t idx,
                 msg->packets = std::max(
                     msg->packets, cfg_.packetsFor(Op::Load, true));
             }
-            ++stats_.decombined;
+            ++unit.delta.decombined;
             const unsigned sp_port =
                 topo_.routeDigit(spawn->origin, s);
             if (trace_) {
-                trace_->instant(revTrack_[copy.index][s],
-                                traceLane(idx, sp_port), "decombine",
-                                now_, spawn->id, entry.satisfiedId);
+                stageInstant(unit, revTrack_[unit.copy][s],
+                             traceLane(idx, sp_port), "decombine",
+                             spawn->id, entry.satisfiedId);
             }
             OutQueue &sp_queue = node.rev[sp_port].queue;
             if (!sp_queue.canAccept(spawn->packets))
-                stats_.revOverflowPackets += spawn->packets;
+                unit.delta.revOverflowPackets += spawn->packets;
             sp_queue.enqueueUnreserved(spawn);
         }
         msg->data = current;
@@ -387,7 +463,7 @@ Network::arriveReverse(Copy &copy, unsigned s, std::uint32_t idx,
                 msg->packets - packets_on_arrival;
             rev_queue.reserve(extra);
             if (!rev_queue.canAccept(0))
-                stats_.revOverflowPackets += extra;
+                unit.delta.revOverflowPackets += extra;
         }
         rev_queue.enqueue(msg);
     }
@@ -424,7 +500,7 @@ Network::departForward(Copy &copy, unsigned s, std::uint32_t idx,
                 }
                 if (killFn_)
                     killFn_(msg->origin, msg->tag);
-                pool_.free(msg);
+                poolOf(msg).free(msg);
                 return;
             }
         } else {
@@ -532,39 +608,182 @@ Network::departReverse(Copy &copy, unsigned s, std::uint32_t idx,
 }
 
 void
-Network::processNode(Copy &copy, unsigned s, std::uint32_t idx)
+Network::arrivalPhaseUnit(Unit &unit)
 {
-    Node &node = copy.stage[s][idx];
+    Copy &copy = copies_[unit.copy];
+    auto &stage_nodes = copy.stage[unit.stage];
 
-    auto take_due = [&](std::vector<Arrival> &inbox, bool forward) {
+    auto take_due = [&](std::vector<Arrival> &inbox, std::uint32_t idx,
+                        bool forward) {
         std::size_t keep = 0;
         for (std::size_t i = 0; i < inbox.size(); ++i) {
             if (inbox[i].at <= now_) {
                 if (forward)
-                    arriveForward(copy, s, idx, inbox[i].msg);
+                    arriveForward(unit, idx, inbox[i].msg);
                 else
-                    arriveReverse(copy, s, idx, inbox[i].msg);
+                    arriveReverse(unit, idx, inbox[i].msg);
             } else {
                 inbox[keep++] = inbox[i];
             }
         }
         inbox.resize(keep);
     };
-    take_due(node.fwdInbox, true);
-    take_due(node.revInbox, false);
 
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < unit.active.size(); ++i) {
+        const std::uint32_t idx = unit.active[i];
+        Node &node = stage_nodes[idx];
+
+        bool busy = !node.fwdInbox.empty() || !node.revInbox.empty();
+        for (unsigned p = 0; p < cfg_.k && !busy; ++p) {
+            busy = !node.fwd[p].queue.empty() ||
+                   !node.rev[p].queue.empty();
+        }
+        if (!busy) {
+            // Went idle after last cycle's departures; drop it.  Only
+            // sequential contexts re-activate, so this prune cannot
+            // race with another unit.
+            node.inList = false;
+            continue;
+        }
+        take_due(node.fwdInbox, idx, true);
+        take_due(node.revInbox, idx, false);
+        unit.active[keep++] = idx;
+    }
+    unit.active.resize(keep);
+    // Canonical ascending-column order: the merge sweep then visits a
+    // stage's active columns in an order independent of how they were
+    // activated AND of the group partition, so downstream space
+    // arbitration -- and with it every statistic -- is identical for
+    // any shardGroupTarget.
+    std::sort(unit.active.begin(), unit.active.end());
+}
+
+void
+Network::arrivalPhase()
+{
+    if (engine_ != nullptr && engine_->threads() > 1) {
+        ULTRA_CHECK_NET_COMPUTE_BEGIN(now_);
+        try {
+            engine_->forEachShard([this](unsigned shard) {
+                const par::ShardRange r = unitShards_.range(shard);
+                for (std::size_t u = r.begin; u < r.end; ++u)
+                    arrivalPhaseUnit(units_[u]);
+            });
+        } catch (...) {
+            ULTRA_CHECK_NET_COMPUTE_END();
+            throw;
+        }
+        ULTRA_CHECK_NET_COMPUTE_END();
+        return;
+    }
+    // Inline sweep: the same canonical algorithm, unit by unit, so the
+    // unsharded path is byte-identical to the sharded one.
+    for (Unit &unit : units_)
+        arrivalPhaseUnit(unit);
+}
+
+void
+Network::mergePhase()
+{
     // Rotate the service order across cycles so no output port (and
     // hence no subtree of PEs) gets a systematic arbitration advantage.
     const unsigned start = static_cast<unsigned>(now_) % cfg_.k;
-    for (unsigned p = 0; p < cfg_.k; ++p)
-        departForward(copy, s, idx, (start + p) % cfg_.k);
-    for (unsigned p = 0; p < cfg_.k; ++p)
-        departReverse(copy, s, idx, (start + p) % cfg_.k);
+    const unsigned stages = topo_.stages();
+    const unsigned groups = plan_.groupsPerStage();
 
-    bool busy = !node.fwdInbox.empty() || !node.revInbox.empty();
-    for (unsigned p = 0; p < cfg_.k && !busy; ++p)
-        busy = !node.fwd[p].queue.empty() || !node.rev[p].queue.empty();
-    node.active = busy;
+    // Snapshot every unit's active count: columns activated DURING the
+    // merge (claim pumping, next-hop handoffs) depart starting next
+    // cycle, which keeps the sweep a pure function of the pre-merge
+    // state.  The lists themselves were sorted by the arrival phase, so
+    // a stage's columns are visited in ascending order regardless of
+    // the group partition.
+    for (std::size_t u = 0; u < units_.size(); ++u)
+        mergeLen_[u] = units_[u].active.size();
+
+    // Forward departures in stage-descending order: a downstream
+    // dequeue at stage s+1 frees space before the stage-s sender tries
+    // to claim it, so a full pipeline ripples forward without bubbles.
+    for (auto &copy : copies_) {
+        for (unsigned s = stages; s-- > 0;) {
+            for (unsigned g = 0; g < groups; ++g) {
+                const std::size_t u =
+                    (static_cast<std::size_t>(copy.index) * stages + s) *
+                        groups +
+                    g;
+                Unit &unit = units_[u];
+                for (std::size_t i = 0; i < mergeLen_[u]; ++i) {
+                    const std::uint32_t idx = unit.active[i];
+                    for (unsigned p = 0; p < cfg_.k; ++p)
+                        departForward(copy, s, idx,
+                                      (start + p) % cfg_.k);
+                }
+            }
+        }
+    }
+    // Reverse departures ripple the other way: stage-ascending.
+    for (auto &copy : copies_) {
+        for (unsigned s = 0; s < stages; ++s) {
+            for (unsigned g = 0; g < groups; ++g) {
+                const std::size_t u =
+                    (static_cast<std::size_t>(copy.index) * stages + s) *
+                        groups +
+                    g;
+                Unit &unit = units_[u];
+                for (std::size_t i = 0; i < mergeLen_[u]; ++i) {
+                    const std::uint32_t idx = unit.active[i];
+                    for (unsigned p = 0; p < cfg_.k; ++p)
+                        departReverse(copy, s, idx,
+                                      (start + p) % cfg_.k);
+                }
+            }
+        }
+    }
+
+    drainUnitStaging();
+}
+
+void
+Network::drainUnitStaging()
+{
+    // Fixed unit order makes every cross-unit effect deterministic: the
+    // same kills fire, the same messages return to the same pools, and
+    // the same samples land in the same accumulator order no matter how
+    // the arrival phase was scheduled.
+    for (Unit &unit : units_) {
+        if (trace_) {
+            for (const StagedTrace &t : unit.traces)
+                trace_->instant(t.track, t.tid, t.name, t.at, t.id,
+                                t.link);
+        }
+        unit.traces.clear();
+
+        for (Message *msg : unit.kills) {
+            if (msg->lat) {
+                lat_->closeKilled(msg->lat);
+                msg->lat = nullptr;
+            }
+            if (killFn_)
+                killFn_(msg->origin, msg->tag);
+            poolOf(msg).free(msg);
+        }
+        unit.kills.clear();
+
+        for (Message *msg : unit.dead)
+            poolOf(msg).free(msg);
+        unit.dead.clear();
+
+        stats_.combined += unit.delta.combined;
+        stats_.decombined += unit.delta.decombined;
+        stats_.killed += unit.delta.killed;
+        stats_.revOverflowPackets += unit.delta.revOverflowPackets;
+        stats_.combinesPerStage[unit.stage] += unit.delta.stageCombines;
+        unit.delta = UnitStats{};
+
+        for (double sample : unit.queueLenSamples)
+            stats_.queueLenAtEnqueue.add(sample);
+        unit.queueLenSamples.clear();
+    }
 }
 
 void
@@ -664,23 +883,6 @@ Network::makeReply(Message *msg)
 }
 
 void
-Network::processCopy(Copy &copy)
-{
-    processMnis(copy);
-    for (std::size_t i = 0; i < copy.activeNodes.size(); ++i) {
-        const auto [s, idx] = copy.activeNodes[i];
-        processNode(copy, s, idx);
-    }
-    std::erase_if(copy.activeNodes, [&](const auto &entry) {
-        Node &node = copy.stage[entry.first][entry.second];
-        if (node.active)
-            return false;
-        node.inList = false;
-        return true;
-    });
-}
-
-void
 Network::commitPhase()
 {
     // Ideal-paracomputer mode: execute and answer everything injected
@@ -724,7 +926,7 @@ Network::commitPhase()
             }
             if (deliverFn_)
                 deliverFn_(msg->origin, msg->tag, msg->data);
-            pool_.free(msg);
+            poolOf(msg).free(msg);
         } else {
             deliveries_[keep++] = arr;
         }
@@ -733,18 +935,18 @@ Network::commitPhase()
 }
 
 void
-Network::computePhase()
-{
-    for (auto &copy : copies_)
-        processCopy(copy);
-}
-
-void
 Network::tick()
 {
     ULTRA_CHECK_COMMIT_ONLY("net.network.tick");
     commitPhase();
-    computePhase();
+    // MNIs are few, cheap and touch cross-unit state (last-stage rev
+    // queues, the memory system): they stay sequential, before the
+    // parallel arrival phase so every unit sees the same pre-arrival
+    // queue state.
+    for (auto &copy : copies_)
+        processMnis(copy);
+    arrivalPhase();
+    mergePhase();
     ++now_;
 }
 
@@ -752,9 +954,9 @@ bool
 Network::drain(Cycle max_cycles)
 {
     const Cycle deadline = now_ + max_cycles;
-    while (pool_.liveCount() > 0 && now_ < deadline)
+    while (inFlight() > 0 && now_ < deadline)
         tick();
-    return pool_.liveCount() == 0;
+    return inFlight() == 0;
 }
 
 
@@ -762,8 +964,7 @@ std::string
 Network::dumpState() const
 {
     std::ostringstream os;
-    os << "cycle " << now_ << ", live messages "
-       << pool_.liveCount() << "\n";
+    os << "cycle " << now_ << ", live messages " << inFlight() << "\n";
     auto show_queue = [&](const char *what, unsigned c, unsigned s,
                           std::uint32_t idx, unsigned port,
                           const OutQueue &queue, Cycle link_free) {
@@ -972,9 +1173,9 @@ Network::setLatencyObservatory(obs::LatencyObservatory *lat)
     // Only whole-lifecycle records make sense: attach while messages are
     // in flight and the partial stamps would fail the decomposition
     // check the moment those messages complete.
-    ULTRA_ASSERT(pool_.liveCount() == 0,
+    ULTRA_ASSERT(inFlight() == 0,
                  "attach the latency observatory while the network is "
-                 "quiescent, not with ", pool_.liveCount(),
+                 "quiescent, not with ", inFlight(),
                  " messages in flight");
     lat_ = lat;
 }

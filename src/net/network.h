@@ -34,6 +34,7 @@
 #include "net/out_queue.h"
 #include "net/routing.h"
 #include "net/wait_buffer.h"
+#include "par/shard.h"
 
 namespace ultra::obs
 {
@@ -41,6 +42,11 @@ class EventTrace;
 class LatencyObservatory;
 class Registry;
 } // namespace ultra::obs
+
+namespace ultra::par
+{
+class TickEngine;
+} // namespace ultra::par
 
 namespace ultra::net
 {
@@ -72,6 +78,19 @@ struct NetSimConfig
     std::uint32_t mmPendingCapacityPackets = 15;
     /** Kill-on-conflict switches instead of queues (baseline). */
     bool burroughsKill = false;
+
+    /**
+     * Target switch-column groups per stage for the sharded network
+     * tick (clamped to [1, switches per stage]).  The resulting
+     * StageColumnPlan unit count is a pure function of the topology —
+     * never of --threads — and the merge phase visits a stage's active
+     * columns in canonical ascending order, so simulation behaviour
+     * and every statistic are identical for any value; only message-id
+     * numbering (which nothing semantic depends on) reflects the
+     * partition.  A pure parallelism-granularity knob.  See DESIGN.md
+     * "Sharding the network tick".
+     */
+    unsigned shardGroupTarget = 8;
 
     /**
      * Ideal-paracomputer mode (section 2.1): bypass the switches
@@ -143,20 +162,34 @@ class Network
                    std::uint64_t tag, Cycle queued_at = kNeverCycle);
 
     /**
-     * Advance one cycle: commitPhase() then computePhase() then the
-     * clock.  Always called from the machine's sequential commit phase
-     * — the network is a single simulation component whose per-cycle
-     * work is internally ordered (see DESIGN.md "The compute/commit
-     * phase contract"); sharding the switch columns themselves is
-     * future work tracked in ROADMAP.md.
+     * Advance one cycle.  Always called from the machine's sequential
+     * commit phase; internally the cycle is commitPhase() (deliveries),
+     * the sequential MNI sweep, the *parallel* per-unit arrival phase
+     * (distributed over the attached TickEngine, or an inline sweep of
+     * the same units when none is attached), and the sequential merge
+     * phase that executes departures and drains per-unit staging in
+     * fixed (copy, stage, column) order.  Output is bit-identical for
+     * any engine thread count (see DESIGN.md "Sharding the network
+     * tick").
      */
     void tick();
+
+    /**
+     * Attach (or detach, with nullptr) a fork-join engine for the
+     * arrival phase.  Non-owning; the engine must outlive the network
+     * or be detached first.  With no engine the same canonical
+     * unit-sweep runs inline, so results are byte-identical either way.
+     */
+    void setTickEngine(par::TickEngine *engine);
+
+    /** The fixed unit partition of the switch grid. */
+    const par::StageColumnPlan &shardPlan() const { return plan_; }
 
     /** Current simulation time in cycles. */
     Cycle now() const { return now_; }
 
     /** Messages still inside the network or MNIs. */
-    std::size_t inFlight() const { return pool_.liveCount(); }
+    std::size_t inFlight() const;
 
     /**
      * Run until no messages are in flight or @p max_cycles elapse.
@@ -244,8 +277,7 @@ class Network
         WaitBuffer wb;
         std::vector<Arrival> fwdInbox;
         std::vector<Arrival> revInbox;
-        bool active = false; //!< has work pending
-        bool inList = false; //!< member of the copy's active list
+        bool inList = false; //!< member of its unit's active list
     };
 
     struct MniState
@@ -266,17 +298,79 @@ class Network
         unsigned index = 0; //!< which of the d copies this is
         std::vector<std::vector<Node>> stage; //!< [stage][switch]
         std::vector<Cycle> peLinkFreeAt;      //!< injection links
-        std::vector<std::pair<unsigned, std::uint32_t>> activeNodes;
         std::vector<MniState> mni;
         std::vector<MMId> activeMnis;
+    };
+
+    /** A trace event staged during the parallel arrival phase and
+     *  flushed to the (shared) EventTrace in the merge phase. */
+    struct StagedTrace
+    {
+        std::uint32_t track;
+        std::uint32_t tid;
+        const char *name;
+        Cycle at;
+        std::uint64_t id;
+        std::uint64_t link;
+    };
+
+    /** Statistic increments gathered by one unit during one arrival
+     *  phase; folded into stats_ in unit order by the merge phase. */
+    struct UnitStats
+    {
+        std::uint64_t combined = 0;
+        std::uint64_t decombined = 0;
+        std::uint64_t killed = 0;
+        std::uint64_t revOverflowPackets = 0;
+        std::uint64_t stageCombines = 0; //!< all in the unit's stage
+    };
+
+    /**
+     * One StageColumnPlan unit: the contiguous switch columns of one
+     * stage of one copy that a single engine shard owns during the
+     * arrival phase.  Everything a unit's arrival work touches lives
+     * here (or in its own nodes): its message pool (interleaved id
+     * stream), its active-column list, and staging for every mutation
+     * that crosses unit boundaries — message frees, Burroughs kills,
+     * trace events, shared statistics.  Staged work drains in the
+     * sequential merge phase in unit order, which is what keeps output
+     * bit-identical for any thread count.
+     */
+    struct Unit
+    {
+        unsigned copy = 0;
+        unsigned stage = 0;
+        par::ShardRange cols;
+        MessagePool pool;
+        std::vector<std::uint32_t> active; //!< columns with work pending
+        UnitStats delta;
+        std::vector<double> queueLenSamples; //!< replayed in merge order
+        std::vector<Message *> dead;  //!< combined-away, free at merge
+        std::vector<Message *> kills; //!< Burroughs arrival kills
+        std::vector<StagedTrace> traces;
+        std::vector<WaitEntry> matchScratch;
     };
 
     Node &nodeAt(Copy &copy, unsigned s, std::uint32_t idx)
     {
         return copy.stage[s][idx];
     }
+    Unit &unitAt(unsigned copy, unsigned s, unsigned group)
+    {
+        return units_[(static_cast<std::size_t>(copy) * topo_.stages() +
+                       s) *
+                          plan_.groupsPerStage() +
+                      group];
+    }
+    MessagePool &poolOf(const Message *msg)
+    {
+        return units_[msg->poolUnit].pool;
+    }
     void activateNode(Copy &copy, unsigned s, std::uint32_t idx);
     void activateMni(Copy &copy, MMId mm);
+    void stageInstant(Unit &unit, std::uint32_t track, std::uint32_t tid,
+                      const char *name, std::uint64_t id,
+                      std::uint64_t link = 0);
 
     /**
      * Commit half of a cycle: publish last cycle's staged results to
@@ -289,31 +383,40 @@ class Network
     void commitPhase();
 
     /**
-     * Compute half of a cycle: every switch and MNI consumes inputs
-     * that arrived before this cycle (inbox entries carry an arrival
-     * time; take_due only releases those <= now) and stages outputs
-     * for the next (downstream pushes land with at = now + 1).  Claims
-     * on downstream queue space are taken in fixed node-index order,
-     * which is what makes the whole cycle deterministic.
+     * Parallel half of a cycle: each unit (independently — over the
+     * engine's shards, or inline in unit order with no engine) prunes
+     * its idle columns and consumes inbox entries due this cycle
+     * (arrival, combining search, reply fission).  A unit touches only
+     * its own nodes, pool and staging, so units never race.
      */
-    void computePhase();
+    void arrivalPhase();
+    void arrivalPhaseUnit(Unit &unit);
 
-    void processCopy(Copy &copy);
-    void processNode(Copy &copy, unsigned s, std::uint32_t idx);
+    /**
+     * Sequential second half: departures sweep the units in fixed
+     * order — forward in stage-descending order, reverse in
+     * stage-ascending order, so a downstream dequeue frees space
+     * before the upstream sender tries to claim it (bubble-free
+     * ripple) — then per-unit staging (frees, kills, traces, stat
+     * deltas) drains in unit order.  Claim order on downstream queue
+     * space is therefore a pure function of the topology sweep, which
+     * is what makes the cycle deterministic for any thread count.
+     */
+    void mergePhase();
+    void drainUnitStaging();
+
     void processMnis(Copy &copy);
 
-    void arriveForward(Copy &copy, unsigned s, std::uint32_t idx,
-                       Message *msg);
-    void arriveReverse(Copy &copy, unsigned s, std::uint32_t idx,
-                       Message *msg);
+    void arriveForward(Unit &unit, std::uint32_t idx, Message *msg);
+    void arriveReverse(Unit &unit, std::uint32_t idx, Message *msg);
     void departForward(Copy &copy, unsigned s, std::uint32_t idx,
                        unsigned port);
     void departReverse(Copy &copy, unsigned s, std::uint32_t idx,
                        unsigned port);
 
     /** Attempt combining; true when @p msg was absorbed. */
-    bool tryCombine(Copy &copy, unsigned s, std::uint32_t idx,
-                    Node &node, unsigned port, Message *msg);
+    bool tryCombine(Unit &unit, Node &node, std::uint32_t idx,
+                    unsigned port, Message *msg);
 
     /**
      * Age-fair space acquisition on @p target for the head message of
@@ -332,7 +435,6 @@ class Network
     NetSimConfig cfg_;
     OmegaTopology topo_;
     mem::MemorySystem &memory_;
-    MessagePool pool_;
     NetStats stats_;
     struct InjectState
     {
@@ -357,12 +459,22 @@ class Network
     std::uint32_t peTrack_ = 0;
 
     std::vector<Copy> copies_;
+    /** Fixed (copy, stage, column-group) partition of the switch grid;
+     *  independent of the thread count by construction. */
+    par::StageColumnPlan plan_;
+    std::vector<Unit> units_;
+    /** Engine for the arrival phase (non-owning; null = inline). */
+    par::TickEngine *engine_ = nullptr;
+    /** Distribution of units over the engine's shards. */
+    par::ShardPlan unitShards_;
+    /** Per-unit active-list length snapshot taken at merge start (so
+     *  merge-time activations depart next cycle). */
+    std::vector<std::size_t> mergeLen_;
     std::vector<unsigned> nextCopy_; //!< per-PE round-robin cursor
     std::vector<InjectState> injectStates_; //!< per-PE space claims
     Cycle now_ = 0;
     DeliverFn deliverFn_;
     KillFn killFn_;
-    std::vector<WaitEntry> matchScratch_;
     std::vector<Arrival> deliveries_;
     /** Ideal-mode requests awaiting their one-cycle completion. */
     std::vector<Arrival> idealPending_;

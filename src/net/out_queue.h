@@ -47,6 +47,14 @@ class OutQueue
 
     bool unbounded() const { return capacity_ == 0; }
 
+    /**
+     * Bind the queue to the StageColumnPlan unit that owns it for the
+     * phase-contract checker: mutators are then legal from the
+     * sequential phase or from the owning shard during the network
+     * compute phase.  Unset (the default) the queue is sequential-only.
+     */
+    void setCheckOwner(std::uint64_t unit) { checkOwner_ = unit; }
+
     /** Free space check including reservations and granted claims. */
     bool
     canAccept(std::uint32_t pkts) const
@@ -63,7 +71,7 @@ class OutQueue
     bool
     tryReserve(std::uint32_t pkts)
     {
-        ULTRA_CHECK_COMMIT_ONLY("net.out_queue.reserve");
+        ULTRA_CHECK_NET_MUTATE("net.out_queue.reserve", checkOwner_);
         if (unbounded()) {
             reserved_ += pkts;
             return true;
@@ -81,7 +89,7 @@ class OutQueue
     std::uint64_t
     openClaim(std::uint32_t pkts)
     {
-        ULTRA_CHECK_COMMIT_ONLY("net.out_queue.claim");
+        ULTRA_CHECK_NET_MUTATE("net.out_queue.claim", checkOwner_);
         ULTRA_ASSERT(!unbounded(), "claims are for bounded queues");
         claims_.push_back({nextClaimId_, pkts, 0});
         pump();
@@ -145,7 +153,7 @@ class OutQueue
     void
     enqueue(Message *msg)
     {
-        ULTRA_CHECK_COMMIT_ONLY("net.out_queue.enqueue");
+        ULTRA_CHECK_NET_MUTATE("net.out_queue.enqueue", checkOwner_);
         ULTRA_ASSERT(reserved_ >= msg->packets,
                      "enqueue without prior reservation");
         reserved_ -= msg->packets;
@@ -157,7 +165,7 @@ class OutQueue
     void
     enqueueUnreserved(Message *msg)
     {
-        ULTRA_CHECK_COMMIT_ONLY("net.out_queue.enqueue");
+        ULTRA_CHECK_NET_MUTATE("net.out_queue.enqueue", checkOwner_);
         used_ += msg->packets;
         entries_.push_back(msg);
     }
@@ -170,7 +178,7 @@ class OutQueue
     bool
     grow(Message *msg, std::uint32_t extra)
     {
-        ULTRA_CHECK_COMMIT_ONLY("net.out_queue.grow");
+        ULTRA_CHECK_NET_MUTATE("net.out_queue.grow", checkOwner_);
         if (extra == 0)
             return true;
         if (!unbounded() &&
@@ -194,7 +202,7 @@ class OutQueue
     Message *
     dequeue()
     {
-        ULTRA_CHECK_COMMIT_ONLY("net.out_queue.dequeue");
+        ULTRA_CHECK_NET_MUTATE("net.out_queue.dequeue", checkOwner_);
         Message *msg = entries_.front();
         entries_.pop_front();
         ULTRA_ASSERT(used_ >= msg->packets);
@@ -234,6 +242,7 @@ class OutQueue
     }
 
     std::uint32_t capacity_;
+    std::uint64_t checkOwner_ = ~0ULL; //!< phase-checker unit (kNoOwner)
     std::uint32_t used_ = 0;
     std::uint32_t reserved_ = 0;
     std::uint32_t grantedTotal_ = 0;

@@ -76,10 +76,14 @@ class WaitBuffer
     std::size_t size() const { return entries_.size(); }
     bool empty() const { return entries_.empty(); }
 
+    /** Bind to the owning StageColumnPlan unit for the phase checker
+     *  (see OutQueue::setCheckOwner). */
+    void setCheckOwner(std::uint64_t unit) { checkOwner_ = unit; }
+
     void
     insert(const WaitEntry &entry)
     {
-        ULTRA_CHECK_COMMIT_ONLY("net.wait_buffer.insert");
+        ULTRA_CHECK_NET_MUTATE("net.wait_buffer.insert", checkOwner_);
         entries_.push_back(entry);
     }
 
@@ -91,7 +95,7 @@ class WaitBuffer
     std::size_t
     takeMatches(std::uint64_t key, std::vector<WaitEntry> &out)
     {
-        ULTRA_CHECK_COMMIT_ONLY("net.wait_buffer.take");
+        ULTRA_CHECK_NET_MUTATE("net.wait_buffer.take", checkOwner_);
         std::size_t found = 0;
         for (std::size_t i = 0; i < entries_.size();) {
             if (entries_[i].waitKey == key) {
@@ -110,6 +114,7 @@ class WaitBuffer
 
   private:
     std::uint32_t capacity_;
+    std::uint64_t checkOwner_ = ~0ULL; //!< phase-checker unit (kNoOwner)
     std::vector<WaitEntry> entries_;
 };
 

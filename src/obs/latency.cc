@@ -122,12 +122,13 @@ void
 LatencyObservatory::noteDecombine(LatencyRecord *rec, unsigned s,
                                   Cycle now)
 {
+    // Record-only: this hook fires from the owning network shard during
+    // the parallel arrival phase, so the shared decombine counter and
+    // wait-buffer accumulator are deferred to closeDelivered (which
+    // always runs in the sequential commit phase).
     rec->decombineAt = now;
     // The spawned reply enters this stage's ToPE queue immediately.
     rec->revArrive[s] = now;
-    ++decombines_;
-    if (rec->combineAt != kNoStamp)
-        wbWait_.add(static_cast<double>(now - rec->combineAt));
 }
 
 void
@@ -224,6 +225,13 @@ LatencyObservatory::closeDelivered(LatencyRecord *rec, Cycle deliver_at)
     ++delivered_;
     if (rec->combineStage >= 0)
         ++combinedDelivered_;
+    if (rec->decombineAt != kNoStamp) {
+        ++decombines_;
+        if (rec->combineAt != kNoStamp) {
+            wbWait_.add(static_cast<double>(rec->decombineAt -
+                                            rec->combineAt));
+        }
+    }
 
     const Cycle expected = componentSum(*rec);
     if (expected != observed) {

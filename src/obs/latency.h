@@ -20,10 +20,15 @@
  *     reported with full stamp detail.
  *
  * Threading contract (see DESIGN.md "The compute/commit phase
- * contract"): every hook is called from the network's commit phase,
- * which is sequential, so aggregates are bit-identical for any
- * --threads N.  Hooks are free of allocation in steady state: records
- * are pooled and recycled on close.
+ * contract" and "Sharding the network tick"): the arrival-phase hooks
+ * noteFwdArrive, noteRevArrive, noteCombined and noteDecombine may be
+ * called from the network shard that owns the record's message during
+ * the parallel arrival phase; they touch only the record itself and
+ * (for noteCombined) heat cells of switches that shard owns.  Every
+ * other hook — open, departures, MNI/service stamps, both closes — runs
+ * in the sequential phase and owns the shared aggregates, so output is
+ * bit-identical for any --threads N.  Hooks are free of allocation in
+ * steady state: records are pooled and recycled on close.
  *
  * The observatory is opt-in.  With no observatory attached each network
  * hook is a single null-pointer test, and no lat.* statistics are
@@ -90,7 +95,8 @@ class LatencyObservatory
 
     const LatencyShape &shape() const { return shape_; }
 
-    // --- lifecycle hooks (commit phase only) --------------------------
+    // --- lifecycle hooks (sequential phase; the four arrival-side
+    // hooks are additionally shard-safe, see the threading contract) --
 
     /** A request entered the network; returns its (pooled) record. */
     LatencyRecord *open(std::uint64_t msg_id, Cycle request_at,

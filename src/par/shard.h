@@ -88,6 +88,102 @@ class ShardPlan
     std::size_t rem_ = 0;
 };
 
+/**
+ * Stage-aware shard topology for the network tick: partitions the
+ * switches of a (copy, stage) grid into fixed *units*, each a
+ * contiguous column range of one stage of one network copy.
+ *
+ * The unit count is a pure function of the topology — never of the
+ * host thread count — so any per-unit state (message pools, RNG or id
+ * streams, staging outboxes) evolves identically no matter how many
+ * TickEngine slots the units are later spread across.  That invariance
+ * is what makes the sharded network tick bit-identical for every
+ * `--threads N` (see DESIGN.md "Sharding the network tick").
+ *
+ * Units are numbered (copy-major, then stage, then column group), so a
+ * plain index walk visits them in (copy, stage, column) order — the
+ * canonical merge order of the commit phase.
+ */
+class StageColumnPlan
+{
+  public:
+    StageColumnPlan() = default;
+
+    /**
+     * @param copies        network copies d
+     * @param stages        switch stages per copy
+     * @param columns       switches per stage
+     * @param group_target  desired column groups per stage (clamped to
+     *                      [1, columns]); fixed per topology.
+     */
+    static StageColumnPlan
+    build(unsigned copies, unsigned stages, std::uint32_t columns,
+          unsigned group_target)
+    {
+        ULTRA_ASSERT(copies > 0 && stages > 0 && columns > 0);
+        StageColumnPlan plan;
+        plan.copies_ = copies;
+        plan.stages_ = stages;
+        plan.columns_ = columns;
+        unsigned groups = group_target == 0 ? 1 : group_target;
+        if (groups > columns)
+            groups = static_cast<unsigned>(columns);
+        plan.columnPlan_ = ShardPlan::contiguous(columns, groups);
+        return plan;
+    }
+
+    unsigned copies() const { return copies_; }
+    unsigned stages() const { return stages_; }
+    unsigned groupsPerStage() const { return columnPlan_.shards(); }
+
+    /** Total units = copies x stages x groupsPerStage. */
+    std::size_t
+    units() const
+    {
+        return static_cast<std::size_t>(copies_) * stages_ *
+               groupsPerStage();
+    }
+
+    /** Unit owning switch column @p col of @p stage in @p copy. */
+    std::size_t
+    unitOf(unsigned copy, unsigned stage, std::uint32_t col) const
+    {
+        ULTRA_ASSERT(copy < copies_ && stage < stages_ &&
+                     col < columns_);
+        return (static_cast<std::size_t>(copy) * stages_ + stage) *
+                   groupsPerStage() +
+               columnPlan_.shardOf(col);
+    }
+
+    unsigned
+    copyOf(std::size_t unit) const
+    {
+        return static_cast<unsigned>(unit /
+                                     (stages_ * groupsPerStage()));
+    }
+
+    unsigned
+    stageOf(std::size_t unit) const
+    {
+        return static_cast<unsigned>((unit / groupsPerStage()) %
+                                     stages_);
+    }
+
+    /** Column range [begin, end) owned by @p unit. */
+    ShardRange
+    columnsOf(std::size_t unit) const
+    {
+        return columnPlan_.range(
+            static_cast<unsigned>(unit % groupsPerStage()));
+    }
+
+  private:
+    unsigned copies_ = 1;
+    unsigned stages_ = 1;
+    std::uint32_t columns_ = 1;
+    ShardPlan columnPlan_ = ShardPlan::contiguous(1, 1);
+};
+
 } // namespace ultra::par
 
 #endif // ULTRA_PAR_SHARD_H

@@ -4,7 +4,9 @@
  * Table-1-style network traffic on a scaled Table-1 configuration,
  * Fig-7 transit times across offered loads, and end-to-end application
  * runs (TRED2, multigrid) -- as checked-in JSON, and asserts that 1-,
- * 2-, and 8-thread runs reproduce each golden byte-for-byte.
+ * 2-, and 8-thread runs, with the network's arrival phase sharded over
+ * the engine and with the serial inline sweep, all reproduce each
+ * golden byte-for-byte.
  *
  * Regenerating (after an intentional simulation-semantics change):
  *
@@ -71,22 +73,27 @@ readFile(const std::string &path)
 }
 
 /**
- * Produce @p name with every thread count, assert the runs agree
+ * Produce @p name with every thread count (network sharding on) plus
+ * once with the network's serial path, assert all runs agree
  * byte-for-byte, and compare (or regenerate) the golden file.
  */
 void
 checkGolden(const std::string &name,
-            const std::string (*produce)(unsigned threads))
+            const std::string (*produce)(unsigned threads,
+                                         bool sharded_net))
 {
-    const std::string solo = produce(1);
+    const std::string solo = produce(1, true);
     ASSERT_FALSE(solo.empty());
     for (unsigned threads : kThreadCounts) {
         if (threads == 1)
             continue;
-        ASSERT_EQ(solo, produce(threads))
+        ASSERT_EQ(solo, produce(threads, true))
             << name << ": " << threads
             << "-thread run diverged from the 1-thread run";
     }
+    ASSERT_EQ(solo, produce(8, false))
+        << name << ": the unsharded (serial) network path diverged "
+        << "from the sharded one";
     const std::string path = goldenPath(name);
     if (regenRequested()) {
         std::ofstream out(path, std::ios::binary);
@@ -122,7 +129,7 @@ fmt(double value)
  * 2-cycle MMs) driven open-loop at the paper's nominal intensity.
  */
 const std::string
-netTable1Scaled(unsigned threads)
+netTable1Scaled(unsigned threads, bool sharded_net)
 {
     net::NetSimConfig ncfg;
     ncfg.numPorts = 256;
@@ -162,6 +169,8 @@ netTable1Scaled(unsigned threads)
     memory.registerStats(registry, "mem");
 
     par::TickEngine engine(threads);
+    if (sharded_net)
+        network.setTickEngine(&engine);
     const auto plan =
         par::ShardPlan::contiguous(tcfg.activePes, threads);
     std::vector<unsigned> shard_of(ncfg.numPorts, 0);
@@ -194,7 +203,7 @@ TEST(GoldenTest, NetTable1Scaled)
  *  over three offered loads; each load contributes its full registry
  *  dump, keyed by rate. */
 const std::string
-fig7Transit(unsigned threads)
+fig7Transit(unsigned threads, bool sharded_net)
 {
     std::ostringstream doc;
     doc << "{\n";
@@ -228,6 +237,8 @@ fig7Transit(unsigned threads)
         pni.registerStats(registry, "pni");
 
         par::TickEngine engine(threads);
+        if (sharded_net)
+            network.setTickEngine(&engine);
         const auto plan =
             par::ShardPlan::contiguous(tcfg.activePes, threads);
         std::vector<unsigned> shard_of(ncfg.numPorts, 0);
@@ -267,10 +278,11 @@ TEST(GoldenTest, Fig7TransitTimes)
  *  (tridiagonal entries), the simulated completion time, and the full
  *  machine stats. */
 const std::string
-appTred2(unsigned threads)
+appTred2(unsigned threads, bool sharded_net)
 {
     core::MachineConfig cfg = core::MachineConfig::small(64, 2);
     cfg.threads = threads;
+    cfg.shardedNetwork = sharded_net;
     core::Machine machine(cfg);
     const std::size_t n = 16;
     const auto matrix = apps::randomSymmetric(n, 1);
@@ -295,10 +307,11 @@ TEST(GoldenTest, AppTred2)
 /** Multigrid Poisson solve: pins the residual, a solution checksum,
  *  the completion time, and the full machine stats. */
 const std::string
-appMultigrid(unsigned threads)
+appMultigrid(unsigned threads, bool sharded_net)
 {
     core::MachineConfig cfg = core::MachineConfig::small(64, 2);
     cfg.threads = threads;
+    cfg.shardedNetwork = sharded_net;
     core::Machine machine(cfg);
     apps::MultigridConfig gcfg;
     gcfg.level = 4;

@@ -18,8 +18,14 @@
 #include "common/rng.h"
 #include "core/coord.h"
 #include "core/machine.h"
+#include "mem/address_hash.h"
 #include "mem/memory_system.h"
 #include "net/network.h"
+#include "net/pni.h"
+#include "net/traffic.h"
+#include "obs/latency.h"
+#include "obs/registry.h"
+#include "par/tick_engine.h"
 
 namespace ultra::net
 {
@@ -403,6 +409,140 @@ TEST(NetworkStressTest, RepeatedBurstsLeaveNoResidue)
         ASSERT_EQ(network.inFlight(), 0u) << "burst " << burst;
     }
     EXPECT_EQ(delivered, injected);
+}
+
+// ------------------------------------------------------------------
+// Sharded-tick identity under the nastiest configurations
+// ------------------------------------------------------------------
+
+/** One observed run: the full stats-registry dump plus the latency
+ *  observatory's decomposition-violation count and kill tally. */
+struct ObservedRun
+{
+    std::string json;
+    std::uint64_t latViolations = 0;
+    std::uint64_t kills = 0;
+};
+
+/**
+ * Drive @p ncfg with PNI-mediated traffic for @p cycles with a latency
+ * observatory attached, the network's arrival phase sharded over
+ * @p threads engine workers.  Exercises the staged kill path (PNI
+ * retries) and the staged combining paths at once.
+ */
+ObservedRun
+observeRun(const NetSimConfig &ncfg, const TrafficConfig &tcfg,
+           unsigned threads, Cycle cycles)
+{
+    mem::MemoryConfig mc;
+    mc.numModules = ncfg.numPorts;
+    mc.wordsPerModule = 1 << 10;
+    mc.accessTime = ncfg.mmAccessTime;
+    mem::MemorySystem memory(mc);
+    Network network(ncfg, memory);
+    mem::AddressHash hash(log2Exact(memory.totalWords()), true);
+    PniConfig pcfg;
+    pcfg.maxOutstanding = 4;
+    PniArray pni(pcfg, network, hash);
+    TrafficGenerator traffic(tcfg, pni, network);
+
+    obs::LatencyShape shape;
+    shape.stages = network.topology().stages();
+    shape.switchesPerStage = network.topology().switchesPerStage();
+    shape.mmAccessTime = ncfg.mmAccessTime;
+    obs::LatencyObservatory latency(shape);
+    network.setLatencyObservatory(&latency);
+
+    obs::Registry registry;
+    network.registerStats(registry, "net");
+    pni.registerStats(registry, "pni");
+    memory.registerStats(registry, "mem");
+    latency.registerStats(registry, "lat");
+
+    par::TickEngine engine(threads);
+    network.setTickEngine(&engine);
+
+    for (Cycle c = 0; c < cycles; ++c) {
+        traffic.tickRange(0, static_cast<PEId>(tcfg.activePes));
+        pni.tick();
+        network.tick();
+    }
+    network.drain(20'000);
+
+    ObservedRun run;
+    run.json = registry.jsonDump(network.now());
+    run.latViolations = latency.violations();
+    run.kills = network.stats().killed;
+    return run;
+}
+
+TEST(NetworkStressTest, HotSpotStormIdenticalAcrossThreads)
+{
+    // The paper's pathological case: most of the offered load aimed at
+    // one hot word, full combining on, tight queues -- maximal
+    // cross-unit staging traffic (combined-away frees, decombine
+    // fission, wait-buffer churn).  An 8-thread run must reproduce the
+    // 1-thread registry dump byte-for-byte, with a clean decomposition
+    // invariant in both.
+    NetSimConfig ncfg;
+    ncfg.numPorts = 64;
+    ncfg.k = 2;
+    ncfg.sizing = PacketSizing::ByContent;
+    ncfg.dataPackets = 3;
+    ncfg.queueCapacityPackets = 8;
+    ncfg.mmPendingCapacityPackets = 8;
+    ncfg.combinePolicy = CombinePolicy::Full;
+    TrafficConfig tcfg;
+    tcfg.activePes = ncfg.numPorts;
+    tcfg.rate = 0.5;
+    tcfg.hotFraction = 0.8;
+    tcfg.hotAddr = 21;
+    tcfg.addrSpaceWords = 1 << 10;
+    tcfg.seed = 99;
+
+    const ObservedRun solo = observeRun(ncfg, tcfg, 1, 800);
+    ASSERT_FALSE(solo.json.empty());
+    EXPECT_EQ(solo.latViolations, 0u)
+        << "latency decomposition invariant broken in the serial run";
+    const ObservedRun sharded = observeRun(ncfg, tcfg, 8, 800);
+    EXPECT_EQ(solo.json, sharded.json)
+        << "8-thread hot-spot run diverged from the 1-thread run";
+    EXPECT_EQ(sharded.latViolations, 0u)
+        << "latency decomposition invariant broken under sharding";
+}
+
+TEST(NetworkStressTest, BurroughsKillStormIdenticalAcrossThreads)
+{
+    // Burroughs mode under saturation: blocked switches kill queued
+    // requests, the PNIs retry them after a delay.  Kills are staged
+    // per unit during the parallel arrival phase and executed at the
+    // sequential merge, so the kill *order* (and hence the retry
+    // schedule) must also be thread-count invariant.
+    NetSimConfig ncfg;
+    ncfg.numPorts = 64;
+    ncfg.k = 2;
+    ncfg.combinePolicy = CombinePolicy::None;
+    ncfg.burroughsKill = true;
+    ncfg.queueCapacityPackets = 4;
+    ncfg.mmPendingCapacityPackets = 4;
+    TrafficConfig tcfg;
+    tcfg.activePes = ncfg.numPorts;
+    tcfg.rate = 0.6;
+    tcfg.hotFraction = 0.5;
+    tcfg.hotAddr = 3;
+    tcfg.addrSpaceWords = 1 << 9;
+    tcfg.seed = 17;
+
+    const ObservedRun solo = observeRun(ncfg, tcfg, 1, 800);
+    ASSERT_FALSE(solo.json.empty());
+    EXPECT_GT(solo.kills, 0u)
+        << "config failed to provoke any Burroughs kills; the staged "
+           "kill path went unexercised";
+    EXPECT_EQ(solo.latViolations, 0u);
+    const ObservedRun sharded = observeRun(ncfg, tcfg, 8, 800);
+    EXPECT_EQ(solo.json, sharded.json)
+        << "8-thread Burroughs-kill run diverged from the 1-thread run";
+    EXPECT_EQ(sharded.latViolations, 0u);
 }
 
 } // namespace

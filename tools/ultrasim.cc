@@ -42,6 +42,8 @@
  *                          when the config violates model assumptions
  *
  * Host-parallelism options (`net` and `app`):
+ *   --net-serial   keep the network's arrival phase on one thread
+ *                  (output is byte-identical; A/B timing knob)
  *   --threads N    host threads for the compute phase (0 = all cores,
  *                  default 1); results are identical for every N
  *
@@ -331,6 +333,8 @@ cmdNet(const Args &args)
     if (threads > tcfg.activePes && tcfg.activePes > 0)
         threads = tcfg.activePes;
     par::TickEngine engine(threads);
+    if (!args.has("net-serial"))
+        network.setTickEngine(&engine);
     const par::ShardPlan plan =
         par::ShardPlan::contiguous(tcfg.activePes, threads);
     std::vector<unsigned> shard_of(ncfg.numPorts, 0);
@@ -482,6 +486,7 @@ cmdApp(const Args &args)
         std::max<std::uint32_t>(16, pes), 2);
     mcfg.net.combinePolicy = net::CombinePolicy::Full;
     mcfg.threads = static_cast<unsigned>(args.getInt("threads", 1));
+    mcfg.shardedNetwork = !args.has("net-serial");
 
     Cycle cycles = 0;
     pe::PeStats totals;
