@@ -237,6 +237,12 @@ Machine::run(Cycle max_cycles)
     const Cycle deadline = now() + max_cycles;
     bool finished_all = false;
     while (now() < deadline) {
+        // Cycle-boundary yield point: the previous cycle is fully
+        // committed and the next compute phase has not started, so a
+        // hook (the live-inspection pause fence) observes only
+        // consistent state and may block here indefinitely.
+        if (cycleHook_)
+            cycleHook_(now());
         // Compute phase: step PE coroutines, one shard per thread.
         // Each shard touches only its own PEs' state and the PNI
         // staging its shard owns; everything else this phase reads

@@ -122,6 +122,21 @@ class Machine
      */
     bool run(Cycle max_cycles = 50'000'000);
 
+    /**
+     * Install a hook called at the top of every run() iteration -- at
+     * the cycle boundary, after the previous cycle's commit phase and
+     * before the next compute phase, when no mid-tick state exists.
+     * This is the pause fence of the live inspection protocol
+     * (ultra::inspect): the hook may block (pausing the simulation) and
+     * may read any machine state, but as long as it does not *write*
+     * simulation state the run is byte-identical to an unhooked one.
+     * Pass nullptr to remove.
+     */
+    void setCycleHook(std::function<void(Cycle)> hook)
+    {
+        cycleHook_ = std::move(hook);
+    }
+
     Cycle now() const { return network_.now(); }
 
     // --- shared-memory setup and inspection (functional, no timing) ---
@@ -231,6 +246,8 @@ class Machine
     std::unique_ptr<obs::LatencyObservatory> latency_;
     Cycle samplePeriod_ = 0;
     Cycle lastSampleAt_ = static_cast<Cycle>(-1);
+    /** Cycle-boundary yield point (live inspection pause fence). */
+    std::function<void(Cycle)> cycleHook_;
 
     // --- parallel compute phase (ultra::par) --------------------------
     std::unique_ptr<par::TickEngine> engine_;

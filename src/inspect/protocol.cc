@@ -1,0 +1,321 @@
+#include "inspect/protocol.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/json_lite.h"
+#include "obs/json.h"
+
+namespace ultra::inspect
+{
+
+namespace
+{
+
+/** Extract a non-negative integer field (false when absent). */
+bool
+getU64(const jsonlite::JsonValue &obj, const char *key,
+       std::uint64_t &out)
+{
+    if (!obj.has(key) || !obj[key].isNumber())
+        return false;
+    const double x = obj[key].number;
+    if (x < 0 || std::floor(x) != x)
+        return false;
+    out = static_cast<std::uint64_t>(x);
+    return true;
+}
+
+} // namespace
+
+bool
+parseCmpOp(const std::string &text, CmpOp &out)
+{
+    if (text == ">")
+        out = CmpOp::GT;
+    else if (text == ">=")
+        out = CmpOp::GE;
+    else if (text == "<")
+        out = CmpOp::LT;
+    else if (text == "<=")
+        out = CmpOp::LE;
+    else if (text == "==")
+        out = CmpOp::EQ;
+    else if (text == "!=")
+        out = CmpOp::NE;
+    else
+        return false;
+    return true;
+}
+
+const char *
+cmpOpName(CmpOp op)
+{
+    switch (op) {
+    case CmpOp::GT: return ">";
+    case CmpOp::GE: return ">=";
+    case CmpOp::LT: return "<";
+    case CmpOp::LE: return "<=";
+    case CmpOp::EQ: return "==";
+    case CmpOp::NE: return "!=";
+    }
+    return "?";
+}
+
+bool
+evalCmp(double lhs, CmpOp op, double rhs)
+{
+    switch (op) {
+    case CmpOp::GT: return lhs > rhs;
+    case CmpOp::GE: return lhs >= rhs;
+    case CmpOp::LT: return lhs < rhs;
+    case CmpOp::LE: return lhs <= rhs;
+    case CmpOp::EQ: return lhs == rhs;
+    case CmpOp::NE: return lhs != rhs;
+    }
+    return false;
+}
+
+std::string
+WatchSpec::describeJson() const
+{
+    std::ostringstream os;
+    switch (kind) {
+    case Kind::Cycle:
+        os << "{\"cycle\": " << cycle << "}";
+        break;
+    case Kind::Stat:
+        os << "{\"stat\": ";
+        obs::writeJsonString(os, stat);
+        os << ", \"op\": \"" << cmpOpName(op) << "\", \"value\": ";
+        obs::writeJsonNumber(os, value);
+        os << "}";
+        break;
+    case Kind::Queue:
+        os << "{\"queue\": \"" << (toMm ? "tomm" : "tope")
+           << "\", \"stage\": " << stage << ", \"op\": \""
+           << cmpOpName(op) << "\", \"value\": ";
+        obs::writeJsonNumber(os, value);
+        os << "}";
+        break;
+    case Kind::WaitBuffer:
+        os << "{\"queue\": \"wb\", \"stage\": " << stage
+           << ", \"op\": \"" << cmpOpName(op) << "\", \"value\": ";
+        obs::writeJsonNumber(os, value);
+        os << "}";
+        break;
+    case Kind::Drift:
+        os << "{\"drift\": ";
+        obs::writeJsonNumber(os, value);
+        os << "}";
+        break;
+    }
+    return os.str();
+}
+
+namespace
+{
+
+bool
+parseWatch(const jsonlite::JsonValue &obj, WatchSpec &out,
+           std::string &err)
+{
+    std::uint64_t u = 0;
+    if (getU64(obj, "cycle", u)) {
+        out.kind = WatchSpec::Kind::Cycle;
+        out.cycle = u;
+        return true;
+    }
+    if (obj.has("drift")) {
+        if (!obj["drift"].isNumber() || obj["drift"].number <= 0) {
+            err = "watch: 'drift' must be a positive tolerance";
+            return false;
+        }
+        out.kind = WatchSpec::Kind::Drift;
+        out.value = obj["drift"].number;
+        return true;
+    }
+    const bool is_stat = obj.has("stat");
+    const bool is_queue = obj.has("queue");
+    if (!is_stat && !is_queue) {
+        err = "watch needs one of 'cycle', 'drift', 'stat', 'queue'";
+        return false;
+    }
+    if (!obj.has("op") || !obj["op"].isString() ||
+        !parseCmpOp(obj["op"].string, out.op)) {
+        err = "watch: 'op' must be one of > >= < <= == !=";
+        return false;
+    }
+    if (!obj.has("value") || !obj["value"].isNumber()) {
+        err = "watch: numeric 'value' required";
+        return false;
+    }
+    out.value = obj["value"].number;
+    if (is_stat) {
+        if (!obj["stat"].isString() || obj["stat"].string.empty()) {
+            err = "watch: 'stat' must be a registry path";
+            return false;
+        }
+        out.kind = WatchSpec::Kind::Stat;
+        out.stat = obj["stat"].string;
+        return true;
+    }
+    if (!obj["queue"].isString()) {
+        err = "watch: 'queue' must be \"tomm\", \"tope\" or \"wb\"";
+        return false;
+    }
+    const std::string &dir = obj["queue"].string;
+    if (dir == "tomm") {
+        out.kind = WatchSpec::Kind::Queue;
+        out.toMm = true;
+    } else if (dir == "tope") {
+        out.kind = WatchSpec::Kind::Queue;
+        out.toMm = false;
+    } else if (dir == "wb") {
+        out.kind = WatchSpec::Kind::WaitBuffer;
+    } else {
+        err = "watch: 'queue' must be \"tomm\", \"tope\" or \"wb\"";
+        return false;
+    }
+    if (!getU64(obj, "stage", u)) {
+        err = "watch: 'stage' required for queue watchpoints";
+        return false;
+    }
+    out.stage = static_cast<unsigned>(u);
+    return true;
+}
+
+} // namespace
+
+bool
+parseCommand(const std::string &line, Command &out, std::string &err)
+{
+    jsonlite::JsonValue doc;
+    try {
+        doc = jsonlite::parse(line);
+    } catch (const std::exception &e) {
+        err = std::string("malformed JSON: ") + e.what();
+        return false;
+    }
+    if (!doc.isObject() || !doc.has("cmd") || !doc["cmd"].isString()) {
+        err = "request must be a JSON object with a string 'cmd'";
+        return false;
+    }
+    const std::string &cmd = doc["cmd"].string;
+    std::uint64_t u = 0;
+
+    if (cmd == "ping") {
+        out.kind = Command::Kind::Ping;
+    } else if (cmd == "status") {
+        out.kind = Command::Kind::Status;
+    } else if (cmd == "pause") {
+        out.kind = Command::Kind::Pause;
+    } else if (cmd == "resume") {
+        out.kind = Command::Kind::Resume;
+    } else if (cmd == "step") {
+        out.kind = Command::Kind::Step;
+        out.stepCount = 1;
+        out.stepTo = kNeverCycle;
+        if (doc.has("to")) {
+            if (!getU64(doc, "to", u)) {
+                err = "step: 'to' must be a non-negative integer "
+                      "cycle";
+                return false;
+            }
+            out.stepTo = u;
+        } else if (doc.has("n")) {
+            if (!getU64(doc, "n", u) || u == 0) {
+                err = "step: 'n' must be an integer >= 1";
+                return false;
+            }
+            out.stepCount = u;
+        }
+    } else if (cmd == "switch") {
+        out.kind = Command::Kind::Switch;
+        if (getU64(doc, "copy", u))
+            out.copy = static_cast<unsigned>(u);
+        if (!getU64(doc, "stage", u)) {
+            err = "switch: 'stage' required";
+            return false;
+        }
+        out.stage = static_cast<unsigned>(u);
+        if (!getU64(doc, "index", u)) {
+            err = "switch: 'index' required";
+            return false;
+        }
+        out.index = static_cast<std::uint32_t>(u);
+    } else if (cmd == "mni") {
+        out.kind = Command::Kind::Mni;
+        if (getU64(doc, "copy", u))
+            out.copy = static_cast<unsigned>(u);
+        if (!getU64(doc, "module", u)) {
+            err = "mni: 'module' required";
+            return false;
+        }
+        out.module = static_cast<MMId>(u);
+    } else if (cmd == "mem" || cmd == "poke") {
+        out.kind = cmd == "mem" ? Command::Kind::Mem
+                                : Command::Kind::Poke;
+        if (getU64(doc, "vaddr", u)) {
+            out.hasVaddr = true;
+            out.vaddr = u;
+        } else if (getU64(doc, "module", u)) {
+            out.hasModule = true;
+            out.module = static_cast<MMId>(u);
+            if (!getU64(doc, "offset", u)) {
+                err = cmd + ": 'offset' required with 'module'";
+                return false;
+            }
+            out.offset = u;
+        } else {
+            err = cmd + ": 'vaddr' or 'module'+'offset' required";
+            return false;
+        }
+        if (out.kind == Command::Kind::Poke) {
+            if (!doc.has("value") || !doc["value"].isNumber()) {
+                err = "poke: numeric 'value' required";
+                return false;
+            }
+            out.value = static_cast<Word>(doc["value"].number);
+        }
+    } else if (cmd == "stats") {
+        out.kind = Command::Kind::Stats;
+        if (doc.has("prefix") && doc["prefix"].isString())
+            out.prefix = doc["prefix"].string;
+    } else if (cmd == "latency") {
+        out.kind = Command::Kind::Latency;
+    } else if (cmd == "heatmap") {
+        out.kind = Command::Kind::Heatmap;
+    } else if (cmd == "watch") {
+        out.kind = Command::Kind::Watch;
+        if (!parseWatch(doc, out.watch, err))
+            return false;
+    } else if (cmd == "unwatch") {
+        out.kind = Command::Kind::Unwatch;
+        if (!getU64(doc, "id", u)) {
+            err = "unwatch: 'id' required";
+            return false;
+        }
+        out.watchId = u;
+    } else if (cmd == "watchpoints") {
+        out.kind = Command::Kind::Watchpoints;
+    } else if (cmd == "detach" || cmd == "quit") {
+        out.kind = Command::Kind::Detach;
+    } else {
+        err = "unknown cmd '" + cmd + "'";
+        return false;
+    }
+    return true;
+}
+
+std::string
+errorReply(const std::string &message)
+{
+    std::ostringstream os;
+    os << "{\"ok\": false, \"error\": ";
+    obs::writeJsonString(os, message);
+    os << "}";
+    return os.str();
+}
+
+} // namespace ultra::inspect

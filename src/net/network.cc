@@ -1025,6 +1025,98 @@ Network::dumpState() const
     return os.str();
 }
 
+namespace
+{
+
+/** Append one message as a JSON object (protocol dump format). */
+void
+messageJson(std::ostringstream &os, const Message *msg, Cycle now)
+{
+    os << "{\"id\": " << msg->id << ", \"op\": \""
+       << mem::opName(msg->op) << "\", \"reply\": "
+       << (msg->isReply ? "true" : "false") << ", \"paddr\": "
+       << msg->paddr << ", \"origin\": " << msg->origin
+       << ", \"dest\": " << msg->dest << ", \"packets\": "
+       << msg->packets << ", \"combined\": " << msg->timesCombined
+       << ", \"age\": " << (now - msg->injectedAt) << "}";
+}
+
+/** Append one output queue as a JSON object. */
+void
+queueJson(std::ostringstream &os, const OutQueue &queue, Cycle now)
+{
+    os << "{\"msgs\": " << queue.sizeMessages() << ", \"used_pkts\": "
+       << queue.usedPackets() << ", \"reserved_pkts\": "
+       << queue.reservedPackets() << ", \"capacity_pkts\": "
+       << queue.capacityPackets() << ", \"entries\": [";
+    bool first = true;
+    for (const Message *msg : queue.entries()) {
+        if (!first)
+            os << ", ";
+        first = false;
+        messageJson(os, msg, now);
+    }
+    os << "]}";
+}
+
+} // namespace
+
+std::string
+Network::switchJson(unsigned copy, unsigned stage,
+                    std::uint32_t index) const
+{
+    if (copy >= copies_.size() || stage >= topo_.stages() ||
+        index >= copies_[copy].stage[stage].size()) {
+        return "";
+    }
+    const Node &node = copies_[copy].stage[stage][index];
+    std::ostringstream os;
+    os << "{\"copy\": " << copy << ", \"stage\": " << stage
+       << ", \"index\": " << index << ", \"tomm\": [";
+    for (unsigned p = 0; p < cfg_.k; ++p) {
+        if (p > 0)
+            os << ", ";
+        queueJson(os, node.fwd[p].queue, now_);
+    }
+    os << "], \"tope\": [";
+    for (unsigned p = 0; p < cfg_.k; ++p) {
+        if (p > 0)
+            os << ", ";
+        queueJson(os, node.rev[p].queue, now_);
+    }
+    os << "], \"wait_buffer\": [";
+    bool first = true;
+    for (const WaitEntry &entry : node.wb.entries()) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "{\"wait_key\": " << entry.waitKey
+           << ", \"satisfied_id\": " << entry.satisfiedId
+           << ", \"origin\": " << entry.satisfiedOrigin
+           << ", \"op\": \"" << mem::opName(entry.satisfiedOp)
+           << "\", \"paddr\": " << entry.paddr << ", \"age\": "
+           << (now_ - entry.createdAt) << "}";
+    }
+    os << "], \"inbox\": {\"fwd\": " << node.fwdInbox.size()
+       << ", \"rev\": " << node.revInbox.size() << "}}";
+    return os.str();
+}
+
+std::string
+Network::mniJson(unsigned copy, MMId mm) const
+{
+    if (copy >= copies_.size() || mm >= copies_[copy].mni.size())
+        return "";
+    const MniState &mni = copies_[copy].mni[mm];
+    std::ostringstream os;
+    os << "{\"copy\": " << copy << ", \"module\": " << mm
+       << ", \"service_free_at\": " << mni.serviceFreeAt
+       << ", \"inbox\": " << mni.inbox.size() << ", \"pending\": ";
+    queueJson(os, mni.pending, now_);
+    os << "}";
+    return os.str();
+}
+
 void
 Network::resetStats()
 {

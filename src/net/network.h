@@ -250,6 +250,21 @@ class Network
      */
     std::string dumpState() const;
 
+    /**
+     * One switch's ToMM/ToPE queues and wait-buffer entries as a JSON
+     * object (for the live inspection protocol, ultra::inspect).  Reads
+     * only committed state -- call it between ticks.  Returns "" when
+     * (copy, stage, index) is out of range.
+     */
+    std::string switchJson(unsigned copy, unsigned stage,
+                           std::uint32_t index) const;
+
+    /**
+     * One MNI's pending service queue as a JSON object; "" when
+     * (copy, mm) is out of range.
+     */
+    std::string mniJson(unsigned copy, MMId mm) const;
+
   private:
     struct OutPort
     {

@@ -102,6 +102,27 @@ TEST(CliTest, NetThreadsOutputByteIdentical)
     std::remove(quad.c_str());
 }
 
+TEST(CliTest, UnknownFlagsExitTwoWithUsage)
+{
+    const std::string err = tmpPath("unknown_flag.err");
+    ASSERT_EQ(runCommand(std::string(ULTRASIM_BIN) +
+                         " net --bogus > /dev/null 2> " + err),
+              2);
+    const std::string text = readFile(err);
+    EXPECT_NE(text.find("unknown flag '--bogus'"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("usage:"), std::string::npos) << text;
+    std::remove(err.c_str());
+
+    // Every subcommand has its own allowlist: flags that are valid
+    // elsewhere are still rejected where they make no sense.
+    EXPECT_EQ(runTool("app --frobnicate"), 2);
+    EXPECT_EQ(runTool("model --cycles 10"), 2);
+    EXPECT_EQ(runTool("model --inspect 0"), 2);
+    EXPECT_EQ(runTool("pack --k 4"), 2);
+    EXPECT_EQ(runTool("trace --stats-json out.json"), 2);
+}
+
 TEST(CliTest, AppThreadsOutputByteIdentical)
 {
     const std::string solo = tmpPath("app_t1.json");

@@ -23,11 +23,14 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/multigrid.h"
 #include "apps/tred2.h"
 #include "core/machine.h"
+#include "inspect/inspector.h"
+#include "inspect/server.h"
 #include "mem/address_hash.h"
 #include "mem/memory_system.h"
 #include "net/network.h"
@@ -274,16 +277,12 @@ TEST(GoldenTest, Fig7TransitTimes)
 // End-to-end applications
 // ------------------------------------------------------------------
 
-/** TRED2 (the paper's flagship workload): pins the numerical result
- *  (tridiagonal entries), the simulated completion time, and the full
- *  machine stats. */
+/** Run TRED2 on @p machine and render the golden document (numerical
+ *  result, completion time, full stats); shared between the plain
+ *  produce function and the inspected-run identity test below. */
 const std::string
-appTred2(unsigned threads, bool sharded_net)
+tred2Doc(core::Machine &machine)
 {
-    core::MachineConfig cfg = core::MachineConfig::small(64, 2);
-    cfg.threads = threads;
-    cfg.shardedNetwork = sharded_net;
-    core::Machine machine(cfg);
     const std::size_t n = 16;
     const auto matrix = apps::randomSymmetric(n, 1);
     const auto result = apps::tred2Parallel(machine, 8, matrix, n);
@@ -299,9 +298,100 @@ appTred2(unsigned threads, bool sharded_net)
     return doc.str();
 }
 
+/** TRED2 (the paper's flagship workload): pins the numerical result
+ *  (tridiagonal entries), the simulated completion time, and the full
+ *  machine stats. */
+const std::string
+appTred2(unsigned threads, bool sharded_net)
+{
+    core::MachineConfig cfg = core::MachineConfig::small(64, 2);
+    cfg.threads = threads;
+    cfg.shardedNetwork = sharded_net;
+    core::Machine machine(cfg);
+    return tred2Doc(machine);
+}
+
 TEST(GoldenTest, AppTred2)
 {
     checkGolden("app_tred2", appTred2);
+}
+
+/** The TRED2 run with a live inspection session riding along: start
+ *  paused, arm a cycle watchpoint, dump a switch and the live stats at
+ *  the hit, then detach and let it finish.  Read-only inspection must
+ *  not move a single byte of the golden document. */
+const std::string
+appTred2Inspected(unsigned threads)
+{
+    core::MachineConfig cfg = core::MachineConfig::small(64, 2);
+    cfg.threads = threads;
+    core::Machine machine(cfg);
+
+    std::string err;
+    auto server = inspect::InspectServer::listen("0", err);
+    EXPECT_NE(server, nullptr) << err;
+    if (server == nullptr)
+        return "";
+    inspect::Targets targets;
+    targets.network = &machine.network();
+    targets.memory = &machine.memory();
+    targets.hash = &machine.addressHash();
+    targets.registry = &machine.registry();
+    inspect::Inspector inspector(*server, targets, true);
+    machine.setCycleHook([&inspector](Cycle now) {
+        inspector.atCycleBoundary(now);
+    });
+
+    // The attached client, scripted on a side thread; the simulation
+    // holds at cycle 0 until its "resume" arrives.
+    std::thread driver([port = server->port()] {
+        std::string cerr;
+        auto client =
+            inspect::InspectClient::connect(std::to_string(port), cerr);
+        EXPECT_NE(client, nullptr) << cerr;
+        if (client == nullptr)
+            return;
+        auto req = [&client](const std::string &line) {
+            EXPECT_TRUE(client->sendLine(line));
+            std::string reply;
+            while (client->recvLine(reply, 15000)) {
+                if (reply.find("\"ok\"") != std::string::npos)
+                    return;
+            }
+            ADD_FAILURE() << "no reply to " << line;
+        };
+        req("{\"cmd\":\"watch\",\"cycle\":40}");
+        req("{\"cmd\":\"resume\"}");
+        std::string line;
+        while (client->recvLine(line, 15000)) {
+            if (line.find("\"watchpoint\"") != std::string::npos)
+                break;
+        }
+        req("{\"cmd\":\"switch\",\"copy\":0,\"stage\":0,\"index\":0}");
+        req("{\"cmd\":\"stats\",\"prefix\":\"\"}");
+        req("{\"cmd\":\"detach\"}");
+    });
+
+    const std::string doc = tred2Doc(machine);
+    driver.join();
+    machine.setCycleHook(nullptr);
+    EXPECT_FALSE(inspector.pokeUsed());
+    return doc;
+}
+
+TEST(GoldenTest, InspectedRunMatchesGolden)
+{
+    if (regenRequested())
+        GTEST_SKIP() << "golden regeneration run";
+    const std::string golden = readFile(goldenPath("app_tred2"));
+    ASSERT_FALSE(golden.empty())
+        << "missing golden " << goldenPath("app_tred2")
+        << "; run golden_test with ULTRA_REGEN_GOLDEN=1 first";
+    for (unsigned threads : {1u, 4u}) {
+        EXPECT_EQ(appTred2Inspected(threads), golden)
+            << "live inspection perturbed the run at threads="
+            << threads;
+    }
 }
 
 /** Multigrid Poisson solve: pins the residual, a solution checksum,

@@ -18,7 +18,24 @@
  *
  * Usage: ultrascope TRACE.json [--top N] [--slowest N]
  *
- * Exit codes: 0 ok, 2 unreadable or malformed trace.
+ * Live mode: `ultrascope --attach ADDR` connects to a running
+ * `ultrasim ... --inspect ADDR` (see DESIGN.md "Live inspection").
+ * With no further arguments it resumes the run and watches it: a
+ * status line every --watch SEC seconds (default 2) until the run
+ * finishes, optionally snapshotting the congestion heatmap to
+ * PREFIX<n>.csv with --heatmap-out PREFIX.  Scripted sessions chain
+ * ordered actions instead:
+ *
+ *   --cmd JSON-OR-WORD   send one request ('resume' expands to
+ *                        {"cmd":"resume"}) and print its reply
+ *   --wait-event NAME    print protocol traffic until the named
+ *                        event ("watchpoint", "paused", "finished")
+ *                        arrives
+ *   --timeout SEC        per-wait receive timeout (default 30)
+ *
+ * Exit codes: 0 ok, 2 unreadable trace / usage / connect failure,
+ * 1 a scripted command got an error reply, 3 timeout waiting for the
+ * server.
  */
 
 #include <algorithm>
@@ -31,6 +48,7 @@
 #include <vector>
 
 #include "common/json_lite.h"
+#include "inspect/server.h"
 
 namespace
 {
@@ -255,11 +273,258 @@ reportSlowest(const Analysis &a, std::size_t top)
     }
 }
 
+// ------------------------------------------------------------------
+// Live mode (--attach)
+// ------------------------------------------------------------------
+
+void
+attachUsage()
+{
+    std::fprintf(stderr,
+                 "usage: ultrascope --attach ADDR [--cmd JSON]... "
+                 "[--wait-event NAME]...\n"
+                 "                  [--watch SEC] [--heatmap-out "
+                 "PREFIX] [--timeout SEC]\n");
+}
+
+/** One ordered step of a scripted session. */
+struct AttachAction
+{
+    bool waitEvent = false; //!< else: send the command in text
+    std::string text;
+};
+
+/** Print one received protocol line and classify it. */
+struct LineInfo
+{
+    bool isEvent = false;
+    std::string event;
+    bool isReply = false;
+    bool ok = false;
+    jsonlite::JsonValue value;
+};
+
+LineInfo
+classifyLine(const std::string &line)
+{
+    LineInfo info;
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+    try {
+        info.value = jsonlite::parse(line);
+    } catch (const std::exception &) {
+        return info; // not JSON: just echoed
+    }
+    if (!info.value.isObject())
+        return info;
+    if (info.value.has("event") && info.value["event"].isString()) {
+        info.isEvent = true;
+        info.event = info.value["event"].string;
+    } else if (info.value.has("ok")) {
+        info.isReply = true;
+        info.ok = info.value["ok"].boolean;
+    }
+    return info;
+}
+
+/**
+ * Receive until a reply ({"ok":...}) arrives, echoing everything.
+ * @return 0 ok reply, 1 error reply, 3 timeout or server gone.
+ */
+int
+awaitReply(ultra::inspect::InspectClient &client, int timeout_ms,
+           bool &finished, jsonlite::JsonValue *reply = nullptr)
+{
+    std::string line;
+    for (;;) {
+        const auto got = client.recvLineEx(line, timeout_ms);
+        if (got != ultra::inspect::InspectClient::Recv::Line) {
+            std::fprintf(stderr, "ultrascope: %s waiting for reply\n",
+                         got == ultra::inspect::InspectClient::Recv::
+                                    Timeout
+                             ? "timed out"
+                             : "server closed the connection");
+            return 3;
+        }
+        const LineInfo info = classifyLine(line);
+        if (info.isEvent) {
+            finished = finished || info.event == "finished";
+            continue;
+        }
+        if (info.isReply) {
+            if (reply != nullptr)
+                *reply = info.value;
+            return info.ok ? 0 : 1;
+        }
+    }
+}
+
+/** {"cmd":"resume"} from the bare word, full JSON passed through. */
+std::string
+commandLineFor(const std::string &text)
+{
+    if (!text.empty() && text[0] == '{')
+        return text;
+    return "{\"cmd\": \"" + text + "\"}";
+}
+
+int
+attachMain(int argc, char **argv)
+{
+    std::string addr;
+    std::vector<AttachAction> actions;
+    bool watch = false;
+    double watch_sec = 2.0;
+    std::string heatmap_prefix;
+    int timeout_ms = 30'000;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                attachUsage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--attach") {
+            addr = value();
+        } else if (arg == "--cmd") {
+            actions.push_back({false, value()});
+        } else if (arg == "--wait-event") {
+            actions.push_back({true, value()});
+        } else if (arg == "--watch") {
+            watch = true;
+            watch_sec = std::strtod(value().c_str(), nullptr);
+            if (watch_sec <= 0)
+                watch_sec = 2.0;
+        } else if (arg == "--heatmap-out") {
+            heatmap_prefix = value();
+        } else if (arg == "--timeout") {
+            timeout_ms = static_cast<int>(
+                1000.0 * std::strtod(value().c_str(), nullptr));
+        } else {
+            attachUsage();
+            return 2;
+        }
+    }
+    if (addr.empty()) {
+        attachUsage();
+        return 2;
+    }
+    if (actions.empty())
+        watch = true; // bare --attach ADDR: watch the run
+
+    std::string err;
+    auto client = ultra::inspect::InspectClient::connect(addr, err);
+    if (client == nullptr) {
+        std::fprintf(stderr, "ultrascope: cannot connect to %s: %s\n",
+                     addr.c_str(), err.c_str());
+        return 2;
+    }
+
+    bool finished = false;
+    int worst = 0;
+
+    // Scripted actions first, in order.
+    for (const AttachAction &action : actions) {
+        if (action.waitEvent) {
+            std::string line;
+            for (;;) {
+                const auto got = client->recvLineEx(line, timeout_ms);
+                if (got !=
+                    ultra::inspect::InspectClient::Recv::Line) {
+                    std::fprintf(stderr,
+                                 "ultrascope: no '%s' event (%s)\n",
+                                 action.text.c_str(),
+                                 got == ultra::inspect::InspectClient::
+                                            Recv::Timeout
+                                     ? "timeout"
+                                     : "server gone");
+                    return 3;
+                }
+                const LineInfo info = classifyLine(line);
+                if (info.isEvent) {
+                    finished = finished || info.event == "finished";
+                    if (info.event == action.text)
+                        break;
+                }
+            }
+        } else {
+            if (!client->sendLine(commandLineFor(action.text))) {
+                std::fprintf(stderr, "ultrascope: server gone\n");
+                return 3;
+            }
+            const int rc = awaitReply(*client, timeout_ms, finished);
+            if (rc == 3)
+                return 3;
+            worst = std::max(worst, rc);
+        }
+    }
+    if (!watch)
+        return worst;
+
+    // Watch loop: resume (start-paused runs), then a status poll every
+    // watch_sec, absorbing async events, until the finished event.
+    client->sendLine("{\"cmd\": \"resume\"}");
+    // Tolerate an error reply: the run may already be finished.
+    if (awaitReply(*client, timeout_ms, finished) == 3)
+        return 3;
+    const int interval_ms =
+        std::max(1, static_cast<int>(watch_sec * 1000.0));
+    unsigned snapshot = 0;
+    bool heatmap_ok = !heatmap_prefix.empty();
+    while (!finished) {
+        std::string line;
+        const auto got = client->recvLineEx(line, interval_ms);
+        if (got == ultra::inspect::InspectClient::Recv::Line) {
+            const LineInfo info = classifyLine(line);
+            if (info.isEvent && info.event == "finished")
+                finished = true;
+            continue;
+        }
+        if (got == ultra::inspect::InspectClient::Recv::Closed) {
+            std::fprintf(stderr,
+                         "ultrascope: server closed the connection\n");
+            return finished ? 0 : 3;
+        }
+        client->sendLine("{\"cmd\": \"status\"}");
+        if (awaitReply(*client, timeout_ms, finished) == 3)
+            return 3;
+        if (heatmap_ok && !finished) {
+            client->sendLine("{\"cmd\": \"heatmap\"}");
+            jsonlite::JsonValue reply;
+            const int rc =
+                awaitReply(*client, timeout_ms, finished, &reply);
+            if (rc == 3)
+                return 3;
+            if (rc != 0 || !reply.has("csv")) {
+                heatmap_ok = false; // e.g. no observatory attached
+            } else {
+                const std::string path = heatmap_prefix +
+                                         std::to_string(snapshot++) +
+                                         ".csv";
+                std::ofstream out(path, std::ios::binary);
+                out << reply["csv"].string;
+                std::fprintf(stderr, "ultrascope: wrote %s\n",
+                             path.c_str());
+            }
+        }
+    }
+    client->sendLine("{\"cmd\": \"detach\"}");
+    awaitReply(*client, timeout_ms, finished);
+    return worst;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--attach")
+            return attachMain(argc, argv);
+    }
     std::string path;
     std::size_t top = 10;
     std::size_t slowest = 10;

@@ -47,6 +47,17 @@
  *   --threads N    host threads for the compute phase (0 = all cores,
  *                  default 1); results are identical for every N
  *
+ * Live inspection (`net` and `app`; see DESIGN.md "Live inspection"):
+ *   --inspect ADDR serve the gdb-style inspection protocol on ADDR (an
+ *                  all-digit string is a TCP port on 127.0.0.1, 0 picks
+ *                  an ephemeral one; anything else is a unix-socket
+ *                  path).  The run starts paused until a client
+ *                  attaches and resumes; attach with
+ *                  `ultrascope --attach ADDR`.
+ *
+ * Unknown flags are rejected (exit 2) -- a typo must never silently
+ * become a default-configured experiment.
+ *
  * `net` options:
  *   --rate R       offered load, messages/PE/cycle (default 0.1)
  *   --hot F        fraction of traffic to one hot F&A cell (default 0)
@@ -75,7 +86,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "analytic/drift.h"
@@ -89,6 +102,8 @@
 #include "apps/weather.h"
 #include "common/table.h"
 #include "core/machine.h"
+#include "inspect/inspector.h"
+#include "inspect/server.h"
 #include "mem/address_hash.h"
 #include "net/pni.h"
 #include "net/trace.h"
@@ -106,6 +121,8 @@ namespace
 
 using namespace ultra;
 
+void usage();
+
 /** Minimal flag parser: --name value and boolean --name. */
 class Args
 {
@@ -117,6 +134,7 @@ class Args
             if (key.rfind("--", 0) != 0) {
                 std::fprintf(stderr, "unexpected argument '%s'\n",
                              argv[i]);
+                usage();
                 std::exit(2);
             }
             key = key.substr(2);
@@ -124,6 +142,28 @@ class Args
                 values_[key] = argv[++i];
             } else {
                 values_[key] = "";
+            }
+        }
+    }
+
+    /**
+     * Reject (exit 2 + usage) any parsed flag not in @p allowed: a typo
+     * must never silently run a default-configured experiment.
+     */
+    void
+    rejectUnknown(const char *cmd,
+                  std::initializer_list<const char *> allowed) const
+    {
+        for (const auto &kv : values_) {
+            bool known = false;
+            for (const char *name : allowed)
+                known = known || kv.first == name;
+            if (!known) {
+                std::fprintf(stderr,
+                             "ultrasim %s: unknown flag '--%s'\n", cmd,
+                             kv.first.c_str());
+                usage();
+                std::exit(2);
             }
         }
     }
@@ -263,9 +303,51 @@ netConfigFrom(const Args &args)
     return cfg;
 }
 
+/** Flags shared by `net` and `app` (observability + parallelism). */
+#define ULTRASIM_OBS_FLAGS                                              \
+    "stats-json", "stats-pretty", "sample-every", "sample-out",         \
+        "trace-events", "latency-json", "heatmap-csv", "check-drift",   \
+        "threads", "net-serial", "inspect"
+
+/**
+ * Create the inspection server + engine for --inspect ADDR (exit 2 on
+ * a bad address).  The run starts paused until a client resumes it, so
+ * a fast run cannot finish before the client attaches.
+ */
+std::unique_ptr<inspect::Inspector>
+makeInspector(const Args &args,
+              std::unique_ptr<inspect::InspectServer> &server,
+              const inspect::Targets &targets)
+{
+    if (!args.has("inspect"))
+        return nullptr;
+    const std::string addr = args.getString("inspect", "");
+    if (addr.empty()) {
+        std::fprintf(stderr,
+                     "--inspect needs a port or unix-socket path\n");
+        std::exit(2);
+    }
+    std::string err;
+    server = inspect::InspectServer::listen(addr, err);
+    if (server == nullptr) {
+        std::fprintf(stderr, "--inspect %s: %s\n", addr.c_str(),
+                     err.c_str());
+        std::exit(2);
+    }
+    std::fprintf(stderr,
+                 "inspect: listening on %s (paused until a client "
+                 "attaches and resumes)\n",
+                 server->where().c_str());
+    return std::make_unique<inspect::Inspector>(*server, targets, true);
+}
+
 int
 cmdNet(const Args &args)
 {
+    args.rejectUnknown(
+        "net", {"ports", "k", "m", "d", "queue", "policy", "burroughs",
+                "ideal", "uniform", "rate", "hot", "cycles", "closed",
+                ULTRASIM_OBS_FLAGS});
     const net::NetSimConfig ncfg = netConfigFrom(args);
     net::TrafficConfig tcfg;
     tcfg.activePes = ncfg.numPorts;
@@ -342,11 +424,58 @@ cmdNet(const Args &args)
         shard_of[pe] = plan.shardOf(pe);
     pni.setShardMap(threads, std::move(shard_of));
 
+    // Kruskal-Snir cross-check (also backing live drift watchpoints):
+    // the model applies only to configurations matching its
+    // assumptions; everything static about that is known before the
+    // run, the offered load is measured during it.
+    analytic::NetworkConfig acfg;
+    acfg.n = ncfg.numPorts;
+    acfg.k = ncfg.k;
+    acfg.m = ncfg.m;
+    acfg.d = ncfg.d;
+    const bool applicable =
+        acfg.valid() && ncfg.sizing == net::PacketSizing::Uniform &&
+        ncfg.combinePolicy == net::CombinePolicy::None &&
+        !ncfg.burroughsKill && !ncfg.idealParacomputer &&
+        ncfg.queueCapacityPackets == 0 &&
+        ncfg.mmPendingCapacityPackets == 0 && tcfg.hotFraction == 0.0 &&
+        !tcfg.closedLoop;
+
+    std::unique_ptr<inspect::InspectServer> iserver;
+    inspect::Targets itargets;
+    itargets.network = &network;
+    itargets.memory = &memory;
+    itargets.hash = &hash;
+    itargets.registry = &registry;
+    itargets.latency = latency.get();
+    std::unique_ptr<inspect::Inspector> inspector =
+        makeInspector(args, iserver, itargets);
+    Cycle statsResetAt = 0;
+    if (inspector && applicable) {
+        inspector->setDriftProbe([&network, &statsResetAt, acfg,
+                                  ports = ncfg.numPorts]() {
+            const auto &s = network.stats();
+            const Cycle elapsed = network.now() - statsResetAt;
+            if (elapsed == 0 || s.injected == 0 ||
+                s.oneWayTransit.count() == 0) {
+                return 0.0;
+            }
+            const double p = static_cast<double>(s.injected) /
+                             static_cast<double>(elapsed) / ports;
+            return analytic::transitDrift(acfg, p,
+                                          s.oneWayTransit.mean());
+        });
+    }
+
     const Cycle cycles = args.getInt("cycles", 10000);
     // Sampling covers the warmup too, so the series shows queues
     // ramping from cold (the hot-spot tree-saturation onset).
     auto runSampled = [&](Cycle count) {
         for (Cycle c = 0; c < count; ++c) {
+            // The pause fence: between ticks nothing is mid-flight,
+            // so the inspector may block, dump and watch here.
+            if (inspector)
+                inspector->atCycleBoundary(network.now());
             engine.forEachShard([&](unsigned shard) {
                 const par::ShardRange r = plan.range(shard);
                 traffic.tickRange(static_cast<PEId>(r.begin),
@@ -363,34 +492,27 @@ cmdNet(const Args &args)
     runSampled(cycles / 5); // warm up
     network.resetStats();
     pni.resetStats();
+    statsResetAt = network.now();
     runSampled(cycles);
 
     const auto &stats = network.stats();
 
-    // Kruskal-Snir cross-check: compare the measured post-warmup mean
-    // one-way transit against the model's prediction at the measured
-    // accepted load.  Meaningful only when the run matches the model's
-    // assumptions; other configurations still publish their numbers
-    // with model.applicable = 0.
-    analytic::NetworkConfig acfg;
-    acfg.n = ncfg.numPorts;
-    acfg.k = ncfg.k;
-    acfg.m = ncfg.m;
-    acfg.d = ncfg.d;
+    // Compare the measured post-warmup mean one-way transit against
+    // the model's prediction at the measured accepted load.
+    // Non-applicable configurations still publish their numbers with
+    // model.applicable = 0.
     const double offered = static_cast<double>(stats.injected) /
                            static_cast<double>(cycles) / ncfg.numPorts;
-    const bool applicable =
-        acfg.valid() && ncfg.sizing == net::PacketSizing::Uniform &&
-        ncfg.combinePolicy == net::CombinePolicy::None &&
-        !ncfg.burroughsKill && !ncfg.idealParacomputer &&
-        ncfg.queueCapacityPackets == 0 &&
-        ncfg.mmPendingCapacityPackets == 0 && tcfg.hotFraction == 0.0 &&
-        !tcfg.closedLoop;
     const obs::ModelCrossCheck model(acfg, offered,
                                      stats.oneWayTransit.mean(),
                                      applicable, obs.driftTolerance);
     model.registerStats(registry, "model");
     const bool model_ok = model.check();
+
+    // The run is over: let an attached client take final dumps (the
+    // model.* stats are registered by now), then write the files.
+    if (inspector)
+        inspector->finishRun(network.now(), true);
 
     if (!obs.statsJson.empty()) {
         writeTextFile(obs.statsJson, registry.jsonDump(network.now(),
@@ -479,6 +601,8 @@ cmdNet(const Args &args)
 int
 cmdApp(const Args &args)
 {
+    args.rejectUnknown("app", {"app", "pes", "n", "contexts",
+                               ULTRASIM_OBS_FLAGS});
     const std::string app = args.getString("app", "tred2");
     const auto pes =
         static_cast<std::uint32_t>(args.getInt("pes", 16));
@@ -500,6 +624,20 @@ cmdApp(const Args &args)
         machine.enableLatency();
     if (obs.sampling())
         machine.enableSampling(obs.sampleEvery);
+    std::unique_ptr<inspect::InspectServer> iserver;
+    inspect::Targets itargets;
+    itargets.network = &machine.network();
+    itargets.memory = &machine.memory();
+    itargets.hash = &machine.addressHash();
+    itargets.registry = &machine.registry();
+    itargets.latency = machine.latency();
+    std::unique_ptr<inspect::Inspector> inspector =
+        makeInspector(args, iserver, itargets);
+    if (inspector) {
+        machine.setCycleHook([&inspector](Cycle now) {
+            inspector->atCycleBoundary(now);
+        });
+    }
     if (app == "tred2") {
         const std::size_t n = args.getInt("n", 32);
         const auto contexts =
@@ -577,6 +715,8 @@ cmdApp(const Args &args)
         std::fprintf(stderr, "unknown app '%s'\n", app.c_str());
         return 2;
     }
+    if (inspector)
+        inspector->finishRun(machine.now(), true);
     access = machine.pni().stats().accessTime.mean();
 
     std::printf("simulated time:  %llu cycles\n",
@@ -617,6 +757,9 @@ cmdApp(const Args &args)
 int
 cmdModel(const Args &args)
 {
+    args.rejectUnknown("model",
+                       {"ports", "k", "m", "d", "best", "rate",
+                        "budget"});
     if (args.has("best")) {
         // Cheapest configuration meeting a latency budget at a load.
         const double p = args.getDouble("rate", 0.2);
@@ -666,6 +809,10 @@ cmdModel(const Args &args)
 int
 cmdTrace(const Args &args)
 {
+    args.rejectUnknown("trace",
+                       {"record", "replay", "app", "pes", "n", "ports",
+                        "k", "m", "d", "queue", "policy", "burroughs",
+                        "ideal", "uniform"});
     if (args.has("record")) {
         const std::string path = args.getString("record", "trace.csv");
         const std::string app = args.getString("app", "tred2");
@@ -725,6 +872,7 @@ cmdTrace(const Args &args)
 int
 cmdPack(const Args &args)
 {
+    args.rejectUnknown("pack", {"ports"});
     const auto pkg =
         analytic::packageMachine(args.getInt("ports", 4096));
     std::printf("PEs: %llu\nchips: %llu PE + %llu MM + %llu network "
@@ -752,7 +900,8 @@ void
 usage()
 {
     std::fprintf(stderr,
-                 "usage: ultrasim <net|app|model|pack> [options]\n"
+                 "usage: ultrasim <net|app|model|pack|trace> "
+                 "[options]\n"
                  "see the comment at the top of tools/ultrasim.cc\n");
 }
 
