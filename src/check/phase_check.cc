@@ -112,6 +112,33 @@ PhaseChecker::endNetCompute()
 }
 
 void
+PhaseChecker::setNetDepartOwners(unsigned shards,
+                                 std::vector<unsigned> shardOfUnit)
+{
+    ULTRA_ASSERT(!inNetDepart_,
+                 "departure ownership may only change between windows");
+    ULTRA_ASSERT(shards >= 1);
+    departShards_ = shards;
+    departShardOfUnit_ = std::move(shardOfUnit);
+}
+
+void
+PhaseChecker::beginNetDepart(Cycle cycle)
+{
+    ULTRA_ASSERT(!inNetDepart_, "nested network departure windows");
+    ULTRA_ASSERT(!inCompute_ && !inNetCompute_,
+                 "departure window inside a compute phase");
+    cycle_ = cycle;
+    inNetDepart_ = true;
+}
+
+void
+PhaseChecker::endNetDepart()
+{
+    inNetDepart_ = false;
+}
+
+void
 PhaseChecker::bindShard(unsigned shard)
 {
     tlsShard = static_cast<int>(shard);
@@ -182,6 +209,22 @@ PhaseChecker::onNetMutate(const char *component, std::uint64_t unit)
         record(Violation::Kind::CommitOnlyInCompute, component, unit, 0);
         return;
     }
+    if (inNetDepart_) {
+        // During the parallel departure window a unit's state may only
+        // be mutated by the shard driving that unit in the current
+        // per-stage dispatch.
+        if (unit >= departShardOfUnit_.size()) {
+            record(Violation::Kind::CrossShardWrite, component, unit, 0);
+            return;
+        }
+        const int owner_shard =
+            static_cast<int>(departShardOfUnit_[unit]);
+        if (tlsShard != owner_shard) {
+            record(Violation::Kind::CrossShardWrite, component, unit,
+                   owner_shard);
+        }
+        return;
+    }
     if (!inNetCompute_)
         return; // sequential phase may touch anything
     if (unit >= netShardOfUnit_.size()) {
@@ -195,6 +238,33 @@ PhaseChecker::onNetMutate(const char *component, std::uint64_t unit)
         return;
     record(Violation::Kind::CrossShardWrite, component, unit,
            owner_shard);
+}
+
+void
+PhaseChecker::onNetDequeue(const char *component, std::uint64_t unit,
+                           std::uint64_t departUnit)
+{
+    if (!inNetDepart_) {
+        // Outside a departure window a dequeue follows the ordinary
+        // arrival-ownership rule.
+        onNetMutate(component, unit);
+        return;
+    }
+    // Inside the window the legal puller is the queue's *departure*
+    // owner (the downstream receiver), not its arrival owner.
+    if (departUnit >= departShardOfUnit_.size()) {
+        // Sequential-only queue (no departure owner bound, e.g. the
+        // final-stage-to-MNI ports) pulled from a parallel window.
+        record(Violation::Kind::CrossShardWrite, component, departUnit,
+               0);
+        return;
+    }
+    const int owner_shard =
+        static_cast<int>(departShardOfUnit_[departUnit]);
+    if (tlsShard != owner_shard) {
+        record(Violation::Kind::CrossShardWrite, component, departUnit,
+               owner_shard);
+    }
 }
 
 void

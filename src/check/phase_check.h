@@ -143,6 +143,26 @@ class PhaseChecker
 
     bool inNetCompute() const { return inNetCompute_; }
 
+    /**
+     * Declare the ownership map for the next parallel *departure*
+     * window: unit `u` belongs to shard `shardOfUnit[u]`.  The
+     * departure window parallelizes one stage at a time, so the
+     * Network re-declares this map before every per-stage dispatch.
+     */
+    void setNetDepartOwners(unsigned shards,
+                            std::vector<unsigned> shardOfUnit);
+
+    /** Enter a parallel network *departure* window of cycle @p cycle.
+     *  Mutating hooks then check against the departure ownership map;
+     *  dequeue hooks check the queue's departure owner (the downstream
+     *  receiver pulling the head) instead of its arrival owner. */
+    void beginNetDepart(Cycle cycle);
+
+    /** Leave the network departure window. */
+    void endNetDepart();
+
+    bool inNetDepart() const { return inNetDepart_; }
+
     /** Panic on the first violation instead of recording (defaults to
      *  the ULTRA_CHECK_ABORT environment variable). */
     void setFailFast(bool on) { failFast_ = on; }
@@ -164,6 +184,13 @@ class PhaseChecker
     void onComputeRead(const char *component, std::uint64_t owner);
     void onCommitOnly(const char *component);
     void onNetMutate(const char *component, std::uint64_t unit);
+
+    /** Dequeue-side hook: a queue has two legal pullers depending on
+     *  the phase — its arrival owner (@p unit) during net compute, and
+     *  its departure owner (@p departUnit, the downstream receiver)
+     *  during the parallel departure window. */
+    void onNetDequeue(const char *component, std::uint64_t unit,
+                      std::uint64_t departUnit);
 
     // --- results ------------------------------------------------------
 
@@ -197,11 +224,14 @@ class PhaseChecker
     // of TickEngine establish happens-before with every hook call.
     bool inCompute_ = false;
     bool inNetCompute_ = false;
+    bool inNetDepart_ = false;
     Cycle cycle_ = 0;
     unsigned shards_ = 1;
     std::vector<unsigned> shardOfOwner_;
     unsigned netShards_ = 1;
     std::vector<unsigned> netShardOfUnit_;
+    unsigned departShards_ = 1;
+    std::vector<unsigned> departShardOfUnit_;
     bool failFast_ = false;
 
     std::atomic<std::uint64_t> count_{0};
@@ -246,6 +276,17 @@ class PhaseChecker
     ::ultra::check::PhaseChecker::instance().beginNetCompute((cycle))
 #define ULTRA_CHECK_NET_COMPUTE_END()                                       \
     ::ultra::check::PhaseChecker::instance().endNetCompute()
+#define ULTRA_CHECK_NET_DEQUEUE(component, owner, departOwner)              \
+    ::ultra::check::PhaseChecker::instance().onNetDequeue(                  \
+        (component), static_cast<std::uint64_t>(owner),                     \
+        static_cast<std::uint64_t>(departOwner))
+#define ULTRA_CHECK_SET_NET_DEPART_OWNERS(shards, shardOfUnit)              \
+    ::ultra::check::PhaseChecker::instance().setNetDepartOwners(            \
+        (shards), (shardOfUnit))
+#define ULTRA_CHECK_NET_DEPART_BEGIN(cycle)                                 \
+    ::ultra::check::PhaseChecker::instance().beginNetDepart((cycle))
+#define ULTRA_CHECK_NET_DEPART_END()                                        \
+    ::ultra::check::PhaseChecker::instance().endNetDepart()
 
 #else
 
@@ -261,6 +302,10 @@ class PhaseChecker
 #define ULTRA_CHECK_SET_NET_OWNERS(shards, shardOfUnit) ((void)0)
 #define ULTRA_CHECK_NET_COMPUTE_BEGIN(cycle) ((void)0)
 #define ULTRA_CHECK_NET_COMPUTE_END() ((void)0)
+#define ULTRA_CHECK_NET_DEQUEUE(component, owner, departOwner) ((void)0)
+#define ULTRA_CHECK_SET_NET_DEPART_OWNERS(shards, shardOfUnit) ((void)0)
+#define ULTRA_CHECK_NET_DEPART_BEGIN(cycle) ((void)0)
+#define ULTRA_CHECK_NET_DEPART_END() ((void)0)
 
 #endif // ULTRA_CHECK_ENABLED
 

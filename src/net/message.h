@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/log.h"
 #include "common/types.h"
 #include "mem/fetch_phi.h"
 
@@ -90,10 +91,27 @@ struct Message
  * unit count): streams never collide, and because the stream is a pure
  * function of the unit — not of the thread that runs it — allocation
  * order inside a unit yields the same ids for any --threads N.
+ *
+ * Slab discipline: storage is blocks of kBlockSize slots.  reserve()
+ * pre-grows the slab so a steady-state run never allocates in the hot
+ * path, and free() asserts the message's poolUnit matches this pool --
+ * a packet must always be returned to its *home* slab (the merge phase
+ * routes foreign frees back; a direct cross-pool free is a bug the
+ * conservation tests hunt).  audit() exposes the slab accounting
+ * identity live + free == capacity for those tests.
  */
 class MessagePool
 {
   public:
+    /** Slab accounting snapshot (see audit()). */
+    struct Audit
+    {
+        std::size_t capacity = 0; //!< total slots across all blocks
+        std::size_t live = 0;     //!< allocated and not yet freed
+        std::size_t freeSlots = 0; //!< on the free list
+        bool consistent() const { return live + freeSlots == capacity; }
+    };
+
     explicit MessagePool(std::uint64_t first_id = 1,
                          std::uint64_t stride = 1,
                          std::uint32_t unit = 0)
@@ -104,14 +122,55 @@ class MessagePool
     Message *alloc();
     void free(Message *msg);
 
+    /** Pre-grow the slab to at least @p slots total capacity. */
+    void
+    reserve(std::size_t slots)
+    {
+        while (capacity() < slots)
+            addBlock();
+    }
+
     /** Messages currently live (allocated and not freed). */
     std::size_t liveCount() const { return live_; }
+
+    /** Total slots owned by this pool's slab blocks. */
+    std::size_t capacity() const { return blocks_.size() * kBlockSize; }
+
+    /** True when @p msg points into one of this pool's slab blocks. */
+    bool
+    ownsSlot(const Message *msg) const
+    {
+        for (const auto &block : blocks_) {
+            const Message *base = block.get();
+            if (msg >= base && msg < base + kBlockSize)
+                return true;
+        }
+        return false;
+    }
+
+    /** Slab accounting snapshot; consistent() must hold at any
+     *  sequential point (every slot is either live or free). */
+    Audit
+    audit() const
+    {
+        return Audit{capacity(), live_, freeList_.size()};
+    }
 
     /** StageColumnPlan unit this pool serves (0 when unsharded). */
     std::uint32_t unit() const { return unit_; }
 
   private:
     static constexpr std::size_t kBlockSize = 1024;
+
+    void
+    addBlock()
+    {
+        blocks_.push_back(std::make_unique<Message[]>(kBlockSize));
+        Message *block = blocks_.back().get();
+        freeList_.reserve(freeList_.size() + kBlockSize);
+        for (std::size_t i = kBlockSize; i-- > 0;)
+            freeList_.push_back(&block[i]);
+    }
 
     std::vector<std::unique_ptr<Message[]>> blocks_;
     std::vector<Message *> freeList_;
@@ -124,13 +183,8 @@ class MessagePool
 inline Message *
 MessagePool::alloc()
 {
-    if (freeList_.empty()) {
-        blocks_.push_back(std::make_unique<Message[]>(kBlockSize));
-        Message *block = blocks_.back().get();
-        freeList_.reserve(freeList_.size() + kBlockSize);
-        for (std::size_t i = kBlockSize; i-- > 0;)
-            freeList_.push_back(&block[i]);
-    }
+    if (freeList_.empty())
+        addBlock();
     Message *msg = freeList_.back();
     freeList_.pop_back();
     *msg = Message{};
@@ -144,6 +198,9 @@ MessagePool::alloc()
 inline void
 MessagePool::free(Message *msg)
 {
+    ULTRA_ASSERT(msg->poolUnit == unit_,
+                 "message freed to a foreign pool (home slab discipline)");
+    ULTRA_ASSERT(live_ > 0, "pool free without a matching alloc");
     --live_;
     freeList_.push_back(msg);
 }

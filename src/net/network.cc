@@ -112,13 +112,34 @@ Network::Network(const NetSimConfig &cfg, mem::MemorySystem &memory)
         unit.cols = plan_.columnsOf(u);
         unit.pool = MessagePool(u + 1, n_units,
                                 static_cast<std::uint32_t>(u));
+        // Pre-size the staging arenas once so the per-tick clear()s
+        // recycle capacity instead of reallocating in the hot path;
+        // sized to the unit's column count (the natural upper bound on
+        // per-tick activity for the list-shaped staging).
+        const std::size_t n_cols = unit.cols.size();
+        unit.pool.reserve(64);
+        unit.active.reserve(n_cols);
+        unit.queueLenSamples.reserve(n_cols * cfg_.k);
+        unit.dead.reserve(n_cols);
+        unit.kills.reserve(cfg_.burroughsKill ? n_cols * cfg_.k : 0);
+        unit.matchScratch.reserve(8);
+        unit.fwdPull.reserve(n_cols * cfg_.k);
+        unit.revPull.reserve(n_cols * cfg_.k);
+        unit.departWaits.reserve(n_cols * cfg_.k);
         units_.push_back(std::move(unit));
     }
     unitShards_ = par::ShardPlan::contiguous(n_units, 1);
+    departShards_ = par::ShardPlan::contiguous(
+        static_cast<std::size_t>(cfg_.d) * plan_.groupsPerStage(), 1);
     mergeLen_.assign(n_units, 0);
 
     // Bind every queue and wait buffer to its owning unit for the
-    // phase-contract checker.
+    // phase-contract checker, and every inter-stage queue to its
+    // *departure* owner — the unit of the next-stage switch its output
+    // wire feeds, which is the unit allowed to pull its head during
+    // the parallel departure window.  Final-stage ToMM ports and
+    // stage-0 ToPE ports depart in sequential sub-phases and get no
+    // departure owner.
     for (auto &copy : copies_) {
         for (unsigned s = 0; s < topo_.stages(); ++s) {
             for (std::uint32_t idx = 0; idx < topo_.switchesPerStage();
@@ -129,6 +150,18 @@ Network::Network(const NetSimConfig &cfg, mem::MemorySystem &memory)
                 for (unsigned p = 0; p < cfg_.k; ++p) {
                     node.fwd[p].queue.setCheckOwner(u);
                     node.rev[p].queue.setCheckOwner(u);
+                    const std::uint32_t line = topo_.lineFrom(idx, p);
+                    if (s + 1 < topo_.stages()) {
+                        const auto next = topo_.intoStage(line, s + 1);
+                        node.fwd[p].queue.setDepartOwner(
+                            plan_.unitOf(copy.index, s + 1, next.sw));
+                    }
+                    if (s > 0) {
+                        const std::uint32_t prev_idx =
+                            topo_.unshuffle(line) >> log2Exact(cfg_.k);
+                        node.rev[p].queue.setDepartOwner(
+                            plan_.unitOf(copy.index, s - 1, prev_idx));
+                    }
                 }
                 node.wb.setCheckOwner(u);
             }
@@ -150,6 +183,23 @@ Network::setTickEngine(par::TickEngine *engine)
         shard_of[u] = unitShards_.shardOf(u);
     ULTRA_CHECK_SET_NET_OWNERS(threads, std::move(shard_of));
     (void)shard_of;
+
+    // The departure window processes one stage at a time, so its
+    // shard plan partitions (copy, group) slots rather than whole
+    // units: unit u is worked by the shard owning slot
+    // copy(u) * groups + group(u), whatever u's stage.
+    const unsigned groups = plan_.groupsPerStage();
+    departShards_ = par::ShardPlan::contiguous(
+        static_cast<std::size_t>(cfg_.d) * groups, threads);
+    std::vector<unsigned> depart_shard_of(units_.size(), 0);
+    for (std::size_t u = 0; u < units_.size(); ++u) {
+        depart_shard_of[u] = departShards_.shardOf(
+            static_cast<std::size_t>(plan_.copyOf(u)) * groups +
+            u % groups);
+    }
+    ULTRA_CHECK_SET_NET_DEPART_OWNERS(threads,
+                                      std::move(depart_shard_of));
+    (void)depart_shard_of;
 }
 
 std::size_t
@@ -159,6 +209,16 @@ Network::inFlight() const
     for (const Unit &unit : units_)
         live += unit.pool.liveCount();
     return live;
+}
+
+std::vector<MessagePool::Audit>
+Network::poolAudits() const
+{
+    std::vector<MessagePool::Audit> audits;
+    audits.reserve(units_.size());
+    for (const Unit &unit : units_)
+        audits.push_back(unit.pool.audit());
+    return audits;
 }
 
 void
@@ -188,6 +248,13 @@ Network::stageInstant(Unit &unit, std::uint32_t track, std::uint32_t tid,
                       std::uint64_t link)
 {
     unit.traces.push_back({track, tid, name, now_, id, link});
+}
+
+void
+Network::stageComplete(Unit &unit, std::uint32_t track, std::uint32_t tid,
+                       const char *name, Cycle dur, std::uint64_t id)
+{
+    unit.traces.push_back({track, tid, name, now_, id, 0, dur, true});
 }
 
 bool
@@ -312,9 +379,14 @@ Network::tryCombine(Unit &unit, Node &node, std::uint32_t idx,
     const std::uint32_t growth_packets =
         cfg_.sizing == PacketSizing::Uniform ? 0 : cfg_.dataPackets;
 
-    for (Message *cand : queue.entries()) {
-        if (cand->paddr != msg->paddr)
+    // Scan the queue's contiguous key array first: the common miss
+    // touches one cache line per few entries instead of a Message each.
+    const Addr *keys = queue.keys();
+    const std::size_t n = queue.sizeMessages();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (keys[i] != msg->paddr)
             continue;
+        Message *cand = queue.msgAt(i);
         if (cand->combinedAtThisQueue >= cfg_.maxCombinesPerVisit)
             continue;
         auto plan = planCombine(*cand, *msg, cfg_.combinePolicy,
@@ -473,6 +545,10 @@ void
 Network::departForward(Copy &copy, unsigned s, std::uint32_t idx,
                        unsigned port)
 {
+    if (s + 1 != topo_.stages()) {
+        departForwardHop(copy, s, idx, port);
+        return;
+    }
     Node &node = copy.stage[s][idx];
     OutPort &out = node.fwd[port];
     if (out.linkFreeAt > now_ || out.queue.empty())
@@ -480,7 +556,7 @@ Network::departForward(Copy &copy, unsigned s, std::uint32_t idx,
     Message *msg = out.queue.head();
     const std::uint32_t line = topo_.lineFrom(idx, port);
 
-    if (s + 1 == topo_.stages()) {
+    {
         // Final stage: the output line is the MM id.
         ULTRA_ASSERT(line == msg->dest, "routing reached MM ", line,
                      " but message is bound for ", msg->dest);
@@ -527,9 +603,23 @@ Network::departForward(Copy &copy, unsigned s, std::uint32_t idx,
         activateMni(copy, msg->dest);
         return;
     }
+}
 
+void
+Network::departForwardHop(Copy &copy, unsigned s, std::uint32_t idx,
+                          unsigned port)
+{
+    Node &node = copy.stage[s][idx];
+    OutPort &out = node.fwd[port];
+    if (out.linkFreeAt > now_ || out.queue.empty())
+        return;
+    Message *msg = out.queue.head();
+    const std::uint32_t line = topo_.lineFrom(idx, port);
     const OmegaTopology::Port next = topo_.intoStage(line, s + 1);
     Node &next_node = copy.stage[s + 1][next.sw];
+    // The receiving unit: during the departure window it is the unit
+    // executing this call, so observability stages into its arenas.
+    Unit &runit = units_[plan_.unitOf(copy.index, s + 1, next.sw)];
     const unsigned next_port = topo_.routeDigit(msg->dest, s + 1);
     if (!cfg_.burroughsKill) {
         OutQueue &next_queue = next_node.fwd[next_port].queue;
@@ -541,12 +631,16 @@ Network::departForward(Copy &copy, unsigned s, std::uint32_t idx,
     }
     out.queue.dequeue();
     out.linkFreeAt = now_ + msg->packets;
-    if (msg->lat)
-        lat_->noteFwdDepart(msg->lat, s, idx, now_, msg->packets, false);
+    if (msg->lat) {
+        runit.departWaits.push_back(
+            {true, s, idx,
+             lat_->stampFwdDepart(msg->lat, s, now_, msg->packets,
+                                  false)});
+    }
     if (trace_) {
-        trace_->complete(fwdTrack_[copy.index][s], traceLane(idx, port),
-                         mem::opName(msg->op), now_, msg->packets,
-                         msg->id);
+        stageComplete(runit, fwdTrack_[copy.index][s],
+                      traceLane(idx, port), mem::opName(msg->op),
+                      msg->packets, msg->id);
     }
     next_node.fwdInbox.push_back({msg, now_ + 1});
     activateNode(copy, s + 1, next.sw);
@@ -556,6 +650,10 @@ void
 Network::departReverse(Copy &copy, unsigned s, std::uint32_t idx,
                        unsigned port)
 {
+    if (s != 0) {
+        departReverseHop(copy, s, idx, port);
+        return;
+    }
     Node &node = copy.stage[s][idx];
     OutPort &out = node.rev[port];
     if (out.linkFreeAt > now_ || out.queue.empty())
@@ -564,7 +662,7 @@ Network::departReverse(Copy &copy, unsigned s, std::uint32_t idx,
     // The PE-side line of this reverse output port.
     const std::uint32_t line = topo_.unshuffle(topo_.lineFrom(idx, port));
 
-    if (s == 0) {
+    {
         // Deliver to the PNI once the tail arrives.
         ULTRA_ASSERT(line == msg->origin, "reply reached PE ", line,
                      " but belongs to PE ", msg->origin);
@@ -582,9 +680,22 @@ Network::departReverse(Copy &copy, unsigned s, std::uint32_t idx,
         deliveries_.push_back({msg, now_ + msg->packets});
         return;
     }
+}
 
+void
+Network::departReverseHop(Copy &copy, unsigned s, std::uint32_t idx,
+                          unsigned port)
+{
+    Node &node = copy.stage[s][idx];
+    OutPort &out = node.rev[port];
+    if (out.linkFreeAt > now_ || out.queue.empty())
+        return;
+    Message *msg = out.queue.head();
+    // The PE-side line of this reverse output port.
+    const std::uint32_t line = topo_.unshuffle(topo_.lineFrom(idx, port));
     const std::uint32_t prev_idx = line >> log2Exact(cfg_.k);
     Node &prev_node = copy.stage[s - 1][prev_idx];
+    Unit &runit = units_[plan_.unitOf(copy.index, s - 1, prev_idx)];
     const unsigned prev_port = topo_.routeDigit(msg->origin, s - 1);
     if (!cfg_.burroughsKill) {
         OutQueue &prev_queue = prev_node.rev[prev_port].queue;
@@ -596,12 +707,16 @@ Network::departReverse(Copy &copy, unsigned s, std::uint32_t idx,
     }
     out.queue.dequeue();
     out.linkFreeAt = now_ + msg->packets;
-    if (msg->lat)
-        lat_->noteRevDepart(msg->lat, s, idx, now_, msg->packets, false);
+    if (msg->lat) {
+        runit.departWaits.push_back(
+            {false, s, idx,
+             lat_->stampRevDepart(msg->lat, s, now_, msg->packets,
+                                  false)});
+    }
     if (trace_) {
-        trace_->complete(revTrack_[copy.index][s], traceLane(idx, port),
-                         mem::opName(msg->op), now_, msg->packets,
-                         msg->id);
+        stageComplete(runit, revTrack_[copy.index][s],
+                      traceLane(idx, port), mem::opName(msg->op),
+                      msg->packets, msg->id);
     }
     prev_node.revInbox.push_back({msg, now_ + 1});
     activateNode(copy, s - 1, prev_idx);
@@ -684,6 +799,156 @@ Network::arrivalPhase()
 }
 
 void
+Network::buildPullLists(unsigned start)
+{
+    // Sequential pre-pass: walk the EXACT legacy sender sweep (per
+    // sender stage: groups ascending, the sorted active-column prefix,
+    // ports in this cycle's rotation) and append every eligible
+    // (switch, port) to the RECEIVING unit's pull list.  Eligibility
+    // (link idle, queue non-empty) is stable until the window reaches
+    // it: a listed port's state is mutated only by its own single
+    // pull, and the sequential sub-phases (final forward stage,
+    // reverse stage 0) touch no hop port.  Each output port feeds
+    // exactly one next-stage switch, so replaying a unit's list in
+    // order reproduces the sweep's per-queue claim order, per-inbox
+    // push order and activation order byte for byte.
+    const unsigned stages = topo_.stages();
+    const unsigned groups = plan_.groupsPerStage();
+    for (auto &copy : copies_) {
+        for (unsigned s = 0; s + 1 < stages; ++s) {
+            for (unsigned g = 0; g < groups; ++g) {
+                const std::size_t u =
+                    (static_cast<std::size_t>(copy.index) * stages + s) *
+                        groups +
+                    g;
+                Unit &unit = units_[u];
+                for (std::size_t i = 0; i < mergeLen_[u]; ++i) {
+                    const std::uint32_t idx = unit.active[i];
+                    Node &node = copy.stage[s][idx];
+                    for (unsigned p = 0; p < cfg_.k; ++p) {
+                        const unsigned port = (start + p) % cfg_.k;
+                        const OutPort &out = node.fwd[port];
+                        if (out.linkFreeAt > now_ ||
+                            out.queue.empty()) {
+                            continue;
+                        }
+                        const OmegaTopology::Port next = topo_.intoStage(
+                            topo_.lineFrom(idx, port), s + 1);
+                        units_[plan_.unitOf(copy.index, s + 1, next.sw)]
+                            .fwdPull.push_back({idx, port});
+                    }
+                }
+            }
+        }
+        for (unsigned s = 1; s < stages; ++s) {
+            for (unsigned g = 0; g < groups; ++g) {
+                const std::size_t u =
+                    (static_cast<std::size_t>(copy.index) * stages + s) *
+                        groups +
+                    g;
+                Unit &unit = units_[u];
+                for (std::size_t i = 0; i < mergeLen_[u]; ++i) {
+                    const std::uint32_t idx = unit.active[i];
+                    Node &node = copy.stage[s][idx];
+                    for (unsigned p = 0; p < cfg_.k; ++p) {
+                        const unsigned port = (start + p) % cfg_.k;
+                        const OutPort &out = node.rev[port];
+                        if (out.linkFreeAt > now_ ||
+                            out.queue.empty()) {
+                            continue;
+                        }
+                        const std::uint32_t prev_idx =
+                            topo_.unshuffle(topo_.lineFrom(idx, port)) >>
+                            log2Exact(cfg_.k);
+                        units_[plan_.unitOf(copy.index, s - 1, prev_idx)]
+                            .revPull.push_back({idx, port});
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+Network::execPulls(Unit &unit, bool forward)
+{
+    Copy &copy = copies_[unit.copy];
+    if (forward) {
+        const unsigned s = unit.stage - 1;
+        for (const PullWire &w : unit.fwdPull)
+            departForwardHop(copy, s, w.sw, static_cast<unsigned>(w.port));
+        unit.fwdPull.clear();
+    } else {
+        const unsigned s = unit.stage + 1;
+        for (const PullWire &w : unit.revPull)
+            departReverseHop(copy, s, w.sw, static_cast<unsigned>(w.port));
+        unit.revPull.clear();
+    }
+}
+
+void
+Network::departWindow(bool forward)
+{
+    const unsigned stages = topo_.stages();
+    const unsigned groups = plan_.groupsPerStage();
+    // Receiving stages in ripple order: forward rs = stages-1 .. 1
+    // (sender stage descending), reverse rs = 0 .. stages-2.
+    const unsigned n_rs = stages - 1;
+    if (n_rs == 0)
+        return;
+
+    if (engine_ != nullptr && engine_->threads() > 1) {
+        ULTRA_CHECK_NET_DEPART_BEGIN(now_);
+        try {
+            engine_->forEachShard([this, forward, stages, groups,
+                                   n_rs](unsigned shard) {
+                const par::ShardRange r = departShards_.range(shard);
+                unsigned step = 0;
+                try {
+                    for (; step < n_rs; ++step) {
+                        const unsigned rs =
+                            forward ? stages - 1 - step : step;
+                        for (std::size_t slot = r.begin; slot < r.end;
+                             ++slot) {
+                            const std::size_t c = slot / groups;
+                            const std::size_t g = slot % groups;
+                            execPulls(
+                                units_[(c * stages + rs) * groups + g],
+                                forward);
+                        }
+                        // One stage completes everywhere before the
+                        // next starts: stage rs-1's own-queue space
+                        // mutations must not race stage rs's pulls.
+                        if (step + 1 < n_rs)
+                            engine_->stageBarrier().arriveAndWait();
+                    }
+                } catch (...) {
+                    // Keep this shard arriving at the remaining stage
+                    // barriers so the other shards can finish instead
+                    // of deadlocking; the engine rethrows after join.
+                    for (unsigned b = step; b + 1 < n_rs; ++b)
+                        engine_->stageBarrier().arriveAndWait();
+                    throw;
+                }
+            });
+        } catch (...) {
+            ULTRA_CHECK_NET_DEPART_END();
+            throw;
+        }
+        ULTRA_CHECK_NET_DEPART_END();
+        return;
+    }
+    // Inline window: identical order, all slots in slot order.
+    for (unsigned step = 0; step < n_rs; ++step) {
+        const unsigned rs = forward ? stages - 1 - step : step;
+        for (unsigned c = 0; c < cfg_.d; ++c) {
+            for (unsigned g = 0; g < groups; ++g)
+                execPulls(unitAt(c, rs, g), forward);
+        }
+    }
+}
+
+void
 Network::mergePhase()
 {
     // Rotate the service order across cycles so no output port (and
@@ -701,42 +966,49 @@ Network::mergePhase()
     for (std::size_t u = 0; u < units_.size(); ++u)
         mergeLen_[u] = units_[u].active.size();
 
-    // Forward departures in stage-descending order: a downstream
-    // dequeue at stage s+1 frees space before the stage-s sender tries
-    // to claim it, so a full pipeline ripples forward without bubbles.
-    for (auto &copy : copies_) {
-        for (unsigned s = stages; s-- > 0;) {
-            for (unsigned g = 0; g < groups; ++g) {
-                const std::size_t u =
-                    (static_cast<std::size_t>(copy.index) * stages + s) *
-                        groups +
-                    g;
-                Unit &unit = units_[u];
-                for (std::size_t i = 0; i < mergeLen_[u]; ++i) {
-                    const std::uint32_t idx = unit.active[i];
-                    for (unsigned p = 0; p < cfg_.k; ++p)
-                        departForward(copy, s, idx,
-                                      (start + p) % cfg_.k);
+    auto sweepStage = [&](Copy &copy, unsigned s, bool forward) {
+        for (unsigned g = 0; g < groups; ++g) {
+            const std::size_t u =
+                (static_cast<std::size_t>(copy.index) * stages + s) *
+                    groups +
+                g;
+            Unit &unit = units_[u];
+            for (std::size_t i = 0; i < mergeLen_[u]; ++i) {
+                const std::uint32_t idx = unit.active[i];
+                for (unsigned p = 0; p < cfg_.k; ++p) {
+                    if (forward)
+                        departForward(copy, s, idx, (start + p) % cfg_.k);
+                    else
+                        departReverse(copy, s, idx, (start + p) % cfg_.k);
                 }
             }
         }
-    }
-    // Reverse departures ripple the other way: stage-ascending.
-    for (auto &copy : copies_) {
-        for (unsigned s = 0; s < stages; ++s) {
-            for (unsigned g = 0; g < groups; ++g) {
-                const std::size_t u =
-                    (static_cast<std::size_t>(copy.index) * stages + s) *
-                        groups +
-                    g;
-                Unit &unit = units_[u];
-                for (std::size_t i = 0; i < mergeLen_[u]; ++i) {
-                    const std::uint32_t idx = unit.active[i];
-                    for (unsigned p = 0; p < cfg_.k; ++p)
-                        departReverse(copy, s, idx,
-                                      (start + p) % cfg_.k);
-                }
-            }
+    };
+
+    if (cfg_.parallelDeparture && stages > 1) {
+        // Receiver-pull schedule (byte-identical to the sender sweep,
+        // see buildPullLists): the hop stages run as parallel windows;
+        // only the MNI handoff and the PE deliveries stay sequential.
+        buildPullLists(start);
+        for (auto &copy : copies_)
+            sweepStage(copy, stages - 1, true);
+        departWindow(true);
+        for (auto &copy : copies_)
+            sweepStage(copy, 0, false);
+        departWindow(false);
+    } else {
+        // Forward departures in stage-descending order: a downstream
+        // dequeue at stage s+1 frees space before the stage-s sender
+        // tries to claim it, so a full pipeline ripples forward
+        // without bubbles.
+        for (auto &copy : copies_) {
+            for (unsigned s = stages; s-- > 0;)
+                sweepStage(copy, s, true);
+        }
+        // Reverse departures ripple the other way: stage-ascending.
+        for (auto &copy : copies_) {
+            for (unsigned s = 0; s < stages; ++s)
+                sweepStage(copy, s, false);
         }
     }
 
@@ -751,12 +1023,33 @@ Network::drainUnitStaging()
     // the same samples land in the same accumulator order no matter how
     // the arrival phase was scheduled.
     for (Unit &unit : units_) {
+        const UnitStats &d = unit.delta;
+        if (unit.traces.empty() && unit.kills.empty() &&
+            unit.dead.empty() && unit.queueLenSamples.empty() &&
+            unit.departWaits.empty() && d.combined == 0 &&
+            d.decombined == 0 && d.killed == 0 &&
+            d.revOverflowPackets == 0 && d.stageCombines == 0) {
+            continue; // idle unit: nothing staged this cycle
+        }
         if (trace_) {
-            for (const StagedTrace &t : unit.traces)
-                trace_->instant(t.track, t.tid, t.name, t.at, t.id,
-                                t.link);
+            for (const StagedTrace &t : unit.traces) {
+                if (t.span) {
+                    trace_->complete(t.track, t.tid, t.name, t.at,
+                                     t.dur, t.id);
+                } else {
+                    trace_->instant(t.track, t.tid, t.name, t.at, t.id,
+                                    t.link);
+                }
+            }
         }
         unit.traces.clear();
+
+        // Departure-window queue waits: pure integer folds, so the
+        // unit-order replay yields the exact aggregates the legacy
+        // in-sweep noteFwdDepart/noteRevDepart calls produced.
+        for (const DepartWait &w : unit.departWaits)
+            lat_->foldDepartWait(w.fwd, w.stage, w.sw, w.wait);
+        unit.departWaits.clear();
 
         for (Message *msg : unit.kills) {
             if (msg->lat) {

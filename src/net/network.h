@@ -93,6 +93,21 @@ struct NetSimConfig
     unsigned shardGroupTarget = 8;
 
     /**
+     * Use the receiver-pull parallel departure window instead of the
+     * legacy sequential sender sweep.  A sequential pre-pass lists
+     * every eligible (switch, port) in canonical sweep order on the
+     * *receiving* unit's pull list; the window then processes one
+     * stage at a time with all receiving units of that stage in
+     * parallel.  Because each output port is wired to exactly one
+     * next-stage switch, per-queue claim order and per-node inbox
+     * order are identical to the sender sweep, so output is
+     * byte-identical with the knob on or off (pinned by the departure
+     * identity sweep in net_shard_test).  A pure scheduling knob; off
+     * reproduces the pre-overhaul sequential merge.
+     */
+    bool parallelDeparture = true;
+
+    /**
      * Ideal-paracomputer mode (section 2.1): bypass the switches
      * entirely and satisfy every request in one cycle with unlimited
      * concurrency -- the unrealizable reference model the network
@@ -265,6 +280,14 @@ class Network
      */
     std::string mniJson(unsigned copy, MMId mm) const;
 
+    /**
+     * Slab accounting snapshot of every per-unit message pool, in unit
+     * order (for the conservation tests): each pool's capacity must
+     * equal its live + free slots at any sequential point, and with no
+     * messages in flight every pool must report live == 0.
+     */
+    std::vector<MessagePool::Audit> poolAudits() const;
+
   private:
     struct OutPort
     {
@@ -317,8 +340,10 @@ class Network
         std::vector<MMId> activeMnis;
     };
 
-    /** A trace event staged during the parallel arrival phase and
-     *  flushed to the (shared) EventTrace in the merge phase. */
+    /** A trace event staged during a parallel phase (arrival or
+     *  departure window) and flushed to the (shared) EventTrace in the
+     *  merge phase.  span == false is an instant event; span == true a
+     *  complete event of duration dur. */
     struct StagedTrace
     {
         std::uint32_t track;
@@ -327,6 +352,8 @@ class Network
         Cycle at;
         std::uint64_t id;
         std::uint64_t link;
+        Cycle dur = 0;
+        bool span = false;
     };
 
     /** Statistic increments gathered by one unit during one arrival
@@ -351,6 +378,25 @@ class Network
      * sequential merge phase in unit order, which is what keeps output
      * bit-identical for any thread count.
      */
+    /** One eligible upstream (switch, port) on a receiving unit's pull
+     *  list for the departure window. */
+    struct PullWire
+    {
+        std::uint32_t sw;
+        std::uint32_t port;
+    };
+
+    /** A queue-wait observation staged during the departure window and
+     *  folded into the latency observatory's histograms/heatmap at
+     *  drain time (integer folds: order-independent). */
+    struct DepartWait
+    {
+        bool fwd;
+        unsigned stage;
+        std::uint32_t sw;
+        Cycle wait;
+    };
+
     struct Unit
     {
         unsigned copy = 0;
@@ -364,6 +410,11 @@ class Network
         std::vector<Message *> kills; //!< Burroughs arrival kills
         std::vector<StagedTrace> traces;
         std::vector<WaitEntry> matchScratch;
+        /** Departure-window worklists: eligible upstream ports wired to
+         *  this unit's columns, in canonical sweep order. */
+        std::vector<PullWire> fwdPull;
+        std::vector<PullWire> revPull;
+        std::vector<DepartWait> departWaits;
     };
 
     Node &nodeAt(Copy &copy, unsigned s, std::uint32_t idx)
@@ -386,6 +437,9 @@ class Network
     void stageInstant(Unit &unit, std::uint32_t track, std::uint32_t tid,
                       const char *name, std::uint64_t id,
                       std::uint64_t link = 0);
+    void stageComplete(Unit &unit, std::uint32_t track,
+                       std::uint32_t tid, const char *name, Cycle dur,
+                       std::uint64_t id);
 
     /**
      * Commit half of a cycle: publish last cycle's staged results to
@@ -408,17 +462,31 @@ class Network
     void arrivalPhaseUnit(Unit &unit);
 
     /**
-     * Sequential second half: departures sweep the units in fixed
-     * order — forward in stage-descending order, reverse in
-     * stage-ascending order, so a downstream dequeue frees space
-     * before the upstream sender tries to claim it (bubble-free
+     * Second half: departures — forward in stage-descending order,
+     * reverse in stage-ascending order, so a downstream dequeue frees
+     * space before the upstream sender tries to claim it (bubble-free
      * ripple) — then per-unit staging (frees, kills, traces, stat
      * deltas) drains in unit order.  Claim order on downstream queue
-     * space is therefore a pure function of the topology sweep, which
-     * is what makes the cycle deterministic for any thread count.
+     * space is a pure function of the topology sweep, which is what
+     * makes the cycle deterministic for any thread count.
+     *
+     * With cfg_.parallelDeparture the per-hop departures run as a
+     * receiver-pull window: buildPullLists() lists every eligible
+     * (switch, port) on the *receiving* unit in canonical sweep order,
+     * then departWindow() processes one stage at a time with that
+     * stage's receiving units spread over the engine shards (stage
+     * barrier between stages).  Each output port is wired to exactly
+     * one next-stage switch, so a receiving unit's pulls touch only
+     * its own queues/inboxes plus upstream port state no other unit
+     * touches — race-free, and byte-identical to the sender sweep.
+     * The final forward stage (into the MNIs) and reverse stage 0
+     * (deliveries) stay sequential either way.
      */
     void mergePhase();
     void drainUnitStaging();
+    void buildPullLists(unsigned start);
+    void departWindow(bool forward);
+    void execPulls(Unit &unit, bool forward);
 
     void processMnis(Copy &copy);
 
@@ -428,6 +496,13 @@ class Network
                        unsigned port);
     void departReverse(Copy &copy, unsigned s, std::uint32_t idx,
                        unsigned port);
+    /** Non-final forward hop: stage s -> s + 1 (staged observability;
+     *  callable from the departure window's owning shard). */
+    void departForwardHop(Copy &copy, unsigned s, std::uint32_t idx,
+                          unsigned port);
+    /** Reverse hop: stage s -> s - 1 (s >= 1). */
+    void departReverseHop(Copy &copy, unsigned s, std::uint32_t idx,
+                          unsigned port);
 
     /** Attempt combining; true when @p msg was absorbed. */
     bool tryCombine(Unit &unit, Node &node, std::uint32_t idx,
@@ -482,6 +557,10 @@ class Network
     par::TickEngine *engine_ = nullptr;
     /** Distribution of units over the engine's shards. */
     par::ShardPlan unitShards_;
+    /** Distribution of one stage's (copy, group) slots over the
+     *  engine's shards for the departure window; stage-agnostic, so a
+     *  unit is driven by the same shard in every per-stage dispatch. */
+    par::ShardPlan departShards_;
     /** Per-unit active-list length snapshot taken at merge start (so
      *  merge-time activations depart next cycle). */
     std::vector<std::size_t> mergeLen_;

@@ -10,6 +10,14 @@
  * the queue remain associatively searchable, which is what enables the
  * combining of section 3.3 (the hardware realization is the systolic
  * queue of section 3.3.1, modeled separately in systolic_queue.h).
+ *
+ * Storage is struct-of-arrays: the message pointers and their *combine
+ * keys* (the physical address each queued request targets) live in two
+ * parallel flat arrays behind a ring head.  The combining search — the
+ * single hottest loop of a saturated run — then scans a contiguous
+ * array of addresses without dereferencing a Message until a key
+ * matches, and enqueue/dequeue never allocate in steady state (a deque
+ * would allocate and free node blocks on every few operations).
  */
 
 #ifndef ULTRA_NET_OUT_QUEUE_H
@@ -18,6 +26,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "check/phase_check.h"
 #include "common/log.h"
@@ -40,6 +49,26 @@ namespace ultra::net
 class OutQueue
 {
   public:
+    /** Lightweight oldest-first view over the queued messages. */
+    class View
+    {
+      public:
+        View(Message *const *begin, Message *const *end)
+            : begin_(begin), end_(end)
+        {}
+        Message *const *begin() const { return begin_; }
+        Message *const *end() const { return end_; }
+        std::size_t size() const
+        {
+            return static_cast<std::size_t>(end_ - begin_);
+        }
+        Message *operator[](std::size_t i) const { return begin_[i]; }
+
+      private:
+        Message *const *begin_;
+        Message *const *end_;
+    };
+
     /** @param capacity_packets 0 means unbounded. */
     explicit OutQueue(std::uint32_t capacity_packets = 0)
         : capacity_(capacity_packets)
@@ -54,6 +83,15 @@ class OutQueue
      * compute phase.  Unset (the default) the queue is sequential-only.
      */
     void setCheckOwner(std::uint64_t unit) { checkOwner_ = unit; }
+
+    /**
+     * Bind the unit that *dequeues* from this queue during the parallel
+     * departure window (the downstream receiver pulling the head; see
+     * DESIGN.md "Paying for parallelism").  Space-side mutators keep
+     * the arrival owner above; head-side mutators are checked against
+     * this owner while the departure phase runs.
+     */
+    void setDepartOwner(std::uint64_t unit) { departOwner_ = unit; }
 
     /** Free space check including reservations and granted claims. */
     bool
@@ -158,7 +196,7 @@ class OutQueue
                      "enqueue without prior reservation");
         reserved_ -= msg->packets;
         used_ += msg->packets;
-        entries_.push_back(msg);
+        push(msg);
     }
 
     /** Append without a reservation (reply fission; may overflow). */
@@ -167,7 +205,7 @@ class OutQueue
     {
         ULTRA_CHECK_NET_MUTATE("net.out_queue.enqueue", checkOwner_);
         used_ += msg->packets;
-        entries_.push_back(msg);
+        push(msg);
     }
 
     /**
@@ -190,31 +228,59 @@ class OutQueue
         return true;
     }
 
-    bool empty() const { return entries_.empty(); }
-    std::size_t sizeMessages() const { return entries_.size(); }
+    bool empty() const { return head_ == msgs_.size(); }
+    std::size_t sizeMessages() const { return msgs_.size() - head_; }
     std::uint32_t usedPackets() const { return used_; }
     std::uint32_t reservedPackets() const { return reserved_; }
     std::uint32_t capacityPackets() const { return capacity_; }
 
-    Message *head() const { return entries_.front(); }
+    Message *head() const { return msgs_[head_]; }
 
     /** Remove and return the head message. */
     Message *
     dequeue()
     {
-        ULTRA_CHECK_NET_MUTATE("net.out_queue.dequeue", checkOwner_);
-        Message *msg = entries_.front();
-        entries_.pop_front();
+        ULTRA_CHECK_NET_DEQUEUE("net.out_queue.dequeue", checkOwner_,
+                                departOwner_);
+        Message *msg = msgs_[head_];
+        ++head_;
         ULTRA_ASSERT(used_ >= msg->packets);
         used_ -= msg->packets;
+        if (head_ == msgs_.size()) {
+            msgs_.clear();
+            keys_.clear();
+            head_ = 0;
+        } else if (head_ >= 32 && head_ * 2 >= msgs_.size()) {
+            // Compact the consumed prefix once it dominates the array;
+            // amortized O(1) per dequeue, and the backing storage is
+            // recycled rather than reallocated.
+            msgs_.erase(msgs_.begin(),
+                        msgs_.begin() + static_cast<std::ptrdiff_t>(head_));
+            keys_.erase(keys_.begin(),
+                        keys_.begin() + static_cast<std::ptrdiff_t>(head_));
+            head_ = 0;
+        }
         // The message leaves this switch: it may combine again later.
         msg->combinedAtThisQueue = 0;
         return msg;
     }
 
-    /** Queued messages, oldest first, for the combining search. */
-    std::deque<Message *> &entries() { return entries_; }
-    const std::deque<Message *> &entries() const { return entries_; }
+    /** Queued messages, oldest first, for dumps and iteration. */
+    View
+    entries() const
+    {
+        return View(msgs_.data() + head_, msgs_.data() + msgs_.size());
+    }
+
+    /**
+     * The combine-key lane: keys()[i] is the physical address of
+     * entries()[i].  Contiguous, so the combining search scans it
+     * without touching Message memory (struct-of-arrays hot path).
+     */
+    const Addr *keys() const { return keys_.data() + head_; }
+
+    /** Message at oldest-first position @p i (pairs with keys()). */
+    Message *msgAt(std::size_t i) const { return msgs_[head_ + i]; }
 
   private:
     struct Claim
@@ -223,6 +289,13 @@ class OutQueue
         std::uint32_t needed;
         std::uint32_t granted;
     };
+
+    void
+    push(Message *msg)
+    {
+        msgs_.push_back(msg);
+        keys_.push_back(msg->paddr);
+    }
 
     /** Grant freed space to the oldest claim (strict age order). */
     void
@@ -243,12 +316,17 @@ class OutQueue
 
     std::uint32_t capacity_;
     std::uint64_t checkOwner_ = ~0ULL; //!< phase-checker unit (kNoOwner)
+    std::uint64_t departOwner_ = ~0ULL; //!< departure-window puller
     std::uint32_t used_ = 0;
     std::uint32_t reserved_ = 0;
     std::uint32_t grantedTotal_ = 0;
     std::deque<Claim> claims_;
     std::uint64_t nextClaimId_ = 1;
-    std::deque<Message *> entries_;
+    /** Ring storage (struct-of-arrays): live entries are
+     *  [head_, msgs_.size()); keys_ mirrors msgs_ index-for-index. */
+    std::vector<Message *> msgs_;
+    std::vector<Addr> keys_;
+    std::size_t head_ = 0;
 };
 
 } // namespace ultra::net

@@ -89,24 +89,30 @@ class WaitBuffer
 
     /**
      * Remove every entry whose waitKey is @p key, appending them to
-     * @p out in insertion (serialization) order.
+     * @p out in insertion (serialization) order.  Single pass: matches
+     * are moved out and survivors compacted in place, so a miss (the
+     * common case) never shifts anything and a hit is O(n) total
+     * rather than O(n) per match.
      * @return number of matches.
      */
     std::size_t
     takeMatches(std::uint64_t key, std::vector<WaitEntry> &out)
     {
         ULTRA_CHECK_NET_MUTATE("net.wait_buffer.take", checkOwner_);
+        std::size_t keep = 0;
         std::size_t found = 0;
-        for (std::size_t i = 0; i < entries_.size();) {
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
             if (entries_[i].waitKey == key) {
                 out.push_back(entries_[i]);
-                entries_.erase(entries_.begin() +
-                               static_cast<std::ptrdiff_t>(i));
                 ++found;
             } else {
-                ++i;
+                if (keep != i)
+                    entries_[keep] = entries_[i];
+                ++keep;
             }
         }
+        if (found != 0)
+            entries_.resize(keep);
         return found;
     }
 

@@ -95,14 +95,8 @@ LatencyObservatory::noteFwdDepart(LatencyRecord *rec, unsigned s,
                                   std::uint32_t sw, Cycle now,
                                   std::uint32_t packets, bool final_stage)
 {
-    const Cycle wait = now - rec->fwdArrive[s];
-    rec->fwdDepart[s] = now;
-    fwdWaitHist_[s].add(wait);
-    HeatCell &c = cell(true, s, sw);
-    ++c.visits;
-    c.waitCycles += wait;
-    if (final_stage)
-        rec->reqPackets = packets;
+    foldDepartWait(true, s, sw,
+                   stampFwdDepart(rec, s, now, packets, final_stage));
 }
 
 void
@@ -136,14 +130,8 @@ LatencyObservatory::noteRevDepart(LatencyRecord *rec, unsigned s,
                                   std::uint32_t sw, Cycle now,
                                   std::uint32_t packets, bool last_stage)
 {
-    const Cycle wait = now - rec->revArrive[s];
-    rec->revDepart[s] = now;
-    revWaitHist_[s].add(wait);
-    HeatCell &c = cell(false, s, sw);
-    ++c.visits;
-    c.waitCycles += wait;
-    if (last_stage)
-        rec->replyPackets = packets;
+    foldDepartWait(false, s, sw,
+                   stampRevDepart(rec, s, now, packets, last_stage));
 }
 
 Cycle

@@ -117,6 +117,51 @@ class LatencyObservatory
                        Cycle now, std::uint32_t packets,
                        bool final_stage);
 
+    /**
+     * Record-only half of noteFwdDepart, safe from the network shard
+     * that owns the departing message during the parallel departure
+     * window.  Returns the queue wait; the caller stages it and folds
+     * it later (sequentially) via foldDepartWait.
+     */
+    Cycle
+    stampFwdDepart(LatencyRecord *rec, unsigned s, Cycle now,
+                   std::uint32_t packets, bool final_stage)
+    {
+        const Cycle wait = now - rec->fwdArrive[s];
+        rec->fwdDepart[s] = now;
+        if (final_stage)
+            rec->reqPackets = packets;
+        return wait;
+    }
+
+    /** Record-only half of noteRevDepart (see stampFwdDepart). */
+    Cycle
+    stampRevDepart(LatencyRecord *rec, unsigned s, Cycle now,
+                   std::uint32_t packets, bool last_stage)
+    {
+        const Cycle wait = now - rec->revArrive[s];
+        rec->revDepart[s] = now;
+        if (last_stage)
+            rec->replyPackets = packets;
+        return wait;
+    }
+
+    /**
+     * Aggregate half of a departure stamp: fold one staged queue wait
+     * into the stage histogram and heatmap cell.  Pure integer adds,
+     * so any fold order yields identical aggregates.  Sequential phase
+     * only.
+     */
+    void
+    foldDepartWait(bool forward, unsigned s, std::uint32_t sw,
+                   Cycle wait)
+    {
+        (forward ? fwdWaitHist_ : revWaitHist_)[s].add(wait);
+        HeatCell &c = cell(forward, s, sw);
+        ++c.visits;
+        c.waitCycles += wait;
+    }
+
     void
     noteMniArrive(LatencyRecord *rec, Cycle at)
     {

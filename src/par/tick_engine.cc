@@ -11,7 +11,8 @@ namespace ultra::par
 {
 
 TickEngine::TickEngine(unsigned threads)
-    : threads_(threads), start_(threads), finish_(threads)
+    : threads_(threads), start_(threads), finish_(threads),
+      stage_(threads)
 {
     ULTRA_ASSERT(threads >= 1);
     workers_.reserve(threads_ - 1);

@@ -62,6 +62,18 @@ class TickEngine
     unsigned threads() const { return threads_; }
 
     /**
+     * Barrier for synchronizing sub-phases *inside* one forEachShard
+     * episode (e.g. the network departure window processes one switch
+     * stage at a time: every shard must finish stage s+1 before any
+     * shard starts stage s).  Every shard of the episode must arrive
+     * the same number of times, or the stragglers deadlock — a shard
+     * that fails mid-episode must keep arriving for the barriers it
+     * skipped before letting its exception propagate.  With
+     * threads() == 1 arrival returns immediately.
+     */
+    PhaseBarrier &stageBarrier() { return stage_; }
+
+    /**
      * Run fn(shard) once for every shard in [0, threads()), shard 0 on
      * the calling thread, and return after all shards finish.  Shard
      * exceptions are rethrown here (after the join, so the machine is
@@ -80,6 +92,7 @@ class TickEngine
     const unsigned threads_;
     PhaseBarrier start_;
     PhaseBarrier finish_;
+    PhaseBarrier stage_;
     const std::function<void(unsigned)> *task_ = nullptr;
     bool stop_ = false;
     std::mutex failureMutex_;

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The par_speedup small-host honesty guard, driven as a subprocess:
+ *
+ *   - writing the canonical artifact name BENCH_par.json on a host
+ *     with < 4 usable cores is REFUSED (exit 3, explicit message,
+ *     nothing written) — the committed artifact must come from a host
+ *     that can actually exercise the parallelism it quotes;
+ *   - --force-cores is the test hook on both sides of the guard: a
+ *     forced small host is still refused, a forced large host
+ *     proceeds but the artifact is watermarked "forced_cores": true
+ *     so a fabricated BENCH_par.json is self-identifying;
+ *   - non-canonical output names are never refused (local numbers
+ *     stay possible on any host).
+ *
+ * The passing-side runs use --iterations 1 to keep the battery fast;
+ * the guard decision itself happens before any simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json_lite.h"
+
+#ifndef PAR_SPEEDUP_BIN
+#error "build must define PAR_SPEEDUP_BIN (see tests/CMakeLists.txt)"
+#endif
+
+namespace
+{
+
+std::string
+tmpPath(const std::string &name)
+{
+    const char *dir = std::getenv("TMPDIR");
+    return std::string(dir != nullptr ? dir : "/tmp") +
+           "/ultra_bench_guard_" + name;
+}
+
+/** Run par_speedup with @p args; capture exit status and stderr. */
+int
+runBench(const std::string &args, std::string *err_text = nullptr)
+{
+    const std::string err = tmpPath("stderr.txt");
+    const int rc = std::system((std::string(PAR_SPEEDUP_BIN) + " " +
+                                args + " > /dev/null 2> " + err)
+                                   .c_str());
+    if (err_text != nullptr) {
+        std::ifstream in(err);
+        std::ostringstream os;
+        os << in.rdbuf();
+        *err_text = os.str();
+    }
+    std::remove(err.c_str());
+    return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST(BenchGuardTest, RefusesCanonicalArtifactOnSmallHost)
+{
+    // The guard keys on the artifact's basename, so park a real
+    // BENCH_par.json path inside a scratch directory.
+    const std::string dir = tmpPath("refused");
+    ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+    const std::string out = dir + "/BENCH_par.json";
+    std::remove(out.c_str());
+    std::string err;
+    EXPECT_EQ(runBench("--force-cores 2 " + out, &err), 3);
+    EXPECT_NE(err.find("REFUSED"), std::string::npos)
+        << "stderr was: " << err;
+    EXPECT_NE(err.find(">= 4"), std::string::npos);
+    // Nothing may have been written.
+    std::ifstream in(out);
+    EXPECT_FALSE(in.good());
+}
+
+TEST(BenchGuardTest, ForcedLargeHostProceedsButIsWatermarked)
+{
+    const std::string out = tmpPath("forced_BENCH.json");
+    ASSERT_EQ(runBench("--force-cores 8 --iterations 1 " + out), 0);
+    const std::ifstream probe(out);
+    ASSERT_TRUE(probe.good());
+    std::ifstream in(out);
+    std::ostringstream os;
+    os << in.rdbuf();
+    const jsonlite::JsonValue doc = jsonlite::parse(os.str());
+    EXPECT_TRUE(doc["forced_cores"].boolean)
+        << "a --force-cores artifact must be self-identifying";
+    EXPECT_EQ(doc["host_cores"].number, 8.0);
+    EXPECT_TRUE(doc["deterministic"].boolean);
+    ASSERT_FALSE(doc["runs"].array.empty());
+    std::remove(out.c_str());
+}
+
+TEST(BenchGuardTest, NonCanonicalNameIsNeverRefused)
+{
+    const std::string out = tmpPath("local_numbers.json");
+    ASSERT_EQ(runBench("--force-cores 1 --iterations 1 " + out), 0);
+    std::ifstream in(out);
+    ASSERT_TRUE(in.good());
+    std::ostringstream os;
+    os << in.rdbuf();
+    const jsonlite::JsonValue doc = jsonlite::parse(os.str());
+    EXPECT_EQ(doc["host_cores"].number, 1.0);
+    EXPECT_TRUE(doc["forced_cores"].boolean);
+    std::remove(out.c_str());
+}
+
+} // namespace

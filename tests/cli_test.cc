@@ -222,6 +222,34 @@ TEST(CliTest, HeatmapCsvCoversBothDirections)
     std::remove(out.c_str());
 }
 
+TEST(CliTest, SerialDeparturesAreByteIdenticalAndDriftClean)
+{
+    // The receiver-pull departure window is a pure timing knob: stats
+    // must be byte-identical with it disabled, and the Kruskal-Snir
+    // drift gate must reach the same verdict either way.
+    const std::string window = tmpPath("dep_window.json");
+    const std::string sweep = tmpPath("dep_sweep.json");
+    ASSERT_EQ(runTool("net --ports 64 --k 2 --rate 0.15 --hot 0.2 "
+                      "--threads 4 --cycles 800 --stats-json " +
+                      window),
+              0);
+    ASSERT_EQ(runTool("net --ports 64 --k 2 --rate 0.15 --hot 0.2 "
+                      "--threads 4 --cycles 800 --serial-departures "
+                      "--stats-json " +
+                      sweep),
+              0);
+    const std::string window_text = readFile(window);
+    ASSERT_FALSE(window_text.empty());
+    EXPECT_EQ(window_text, readFile(sweep));
+    EXPECT_EQ(runTool("net --ports 256 --k 4 --m 4 --uniform "
+                      "--policy none --queue 0 --rate 0.15 "
+                      "--cycles 3000 --serial-departures "
+                      "--check-drift"),
+              0);
+    std::remove(window.c_str());
+    std::remove(sweep.c_str());
+}
+
 TEST(CliTest, CheckDriftPassesOnConformingConfig)
 {
     // A Fig-7-style model-conforming configuration must track the

@@ -33,6 +33,7 @@
 #include "net/network.h"
 #include "net/pni.h"
 #include "net/traffic.h"
+#include "obs/latency.h"
 #include "obs/registry.h"
 #include "par/shard.h"
 #include "par/tick_engine.h"
@@ -370,6 +371,216 @@ TEST(NetShardTest, TwoHundredSeedThreadIdentitySweep)
                 << ": serial arrival sweep diverged from sharded";
         }
     }
+}
+
+// ------------------------------------------------------------------
+// Slab-pool accounting: every packet dies in its home slab
+// ------------------------------------------------------------------
+
+namespace
+{
+
+/** Drive @p network through a traffic episode and then audit every
+ *  unit's slab pool: live + free must equal capacity (no double free,
+ *  no foreign-slab free corrupted the accounting) and nothing may be
+ *  live once the network drained. */
+void
+auditPools(const Network &network, const char *what)
+{
+    std::size_t live = 0;
+    const auto audits = network.poolAudits();
+    ASSERT_FALSE(audits.empty());
+    for (std::size_t u = 0; u < audits.size(); ++u) {
+        const MessagePool::Audit &a = audits[u];
+        EXPECT_TRUE(a.consistent())
+            << what << ": unit " << u << " slab accounting broke ("
+            << a.live << " live + " << a.freeSlots << " free != "
+            << a.capacity << " capacity)";
+        live += a.live;
+    }
+    EXPECT_EQ(live, 0u)
+        << what << ": messages leaked across unit pools at teardown";
+}
+
+} // namespace
+
+TEST(NetShardTest, SlabPoolsConserveUnderCombiningStorm)
+{
+    // Combined-away messages die in units far from the slab that
+    // allocated them; the home-slab discipline must route every free
+    // back (MessagePool::free asserts the pool identity, poolAudits
+    // exposes the ledger).  Exercised at 1, 2 and 8 threads with the
+    // departure window both on and off.
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        for (const bool window : {true, false}) {
+            NetSimConfig cfg;
+            cfg.numPorts = 64;
+            cfg.k = 2;
+            cfg.combinePolicy = CombinePolicy::Full;
+            cfg.shardGroupTarget = 4;
+            cfg.parallelDeparture = window;
+            mem::MemoryConfig mc;
+            mc.numModules = cfg.numPorts;
+            mc.wordsPerModule = 256;
+            mem::MemorySystem memory(mc);
+            Network network(cfg, memory);
+            par::TickEngine engine(threads);
+            network.setTickEngine(&engine);
+
+            for (int burst = 0; burst < 3; ++burst) {
+                for (PEId pe = 0; pe < cfg.numPorts; ++pe) {
+                    while (!network.tryInject(pe, Op::FetchAdd, 5, 1,
+                                              pe)) {
+                        network.tick();
+                    }
+                }
+                ASSERT_TRUE(network.drain(200000));
+            }
+            EXPECT_GT(network.stats().combined, 0u);
+            auditPools(network, window ? "storm/window"
+                                       : "storm/sweep");
+        }
+    }
+}
+
+TEST(NetShardTest, SlabPoolsConserveUnderBurroughsKills)
+{
+    // Burroughs kill-on-conflict frees messages from both the staged
+    // arrival path and the sequential MNI handoff; every kill must
+    // land in its home slab at 1, 2 and 8 threads.
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        NetSimConfig cfg;
+        cfg.numPorts = 64;
+        cfg.k = 2;
+        cfg.burroughsKill = true;
+        cfg.combinePolicy = CombinePolicy::None;
+        cfg.shardGroupTarget = 4;
+        mem::MemoryConfig mc;
+        mc.numModules = cfg.numPorts;
+        mc.wordsPerModule = 256;
+        mem::MemorySystem memory(mc);
+        Network network(cfg, memory);
+        par::TickEngine engine(threads);
+        network.setTickEngine(&engine);
+
+        std::uint64_t attempted = 0;
+        for (int burst = 0; burst < 4; ++burst) {
+            for (PEId pe = 0; pe < cfg.numPorts; ++pe) {
+                // Everyone storms the same module: plenty of kills.
+                if (network.tryInject(pe, Op::Load, 7, 0, pe))
+                    ++attempted;
+            }
+            network.tick();
+        }
+        ASSERT_TRUE(network.drain(200000));
+        ASSERT_GT(attempted, 0u);
+        EXPECT_GT(network.stats().killed, 0u);
+        auditPools(network, "burroughs");
+    }
+}
+
+// ------------------------------------------------------------------
+// 200-seed serial-vs-parallel-departure identity sweep
+// ------------------------------------------------------------------
+
+TEST(NetShardTest, TwoHundredSeedDepartureWindowIdentitySweep)
+{
+    // The receiver-pull departure window must be byte-identical to the
+    // legacy sender sweep for every seed, thread count and traffic
+    // shape (mirrors the arrival-phase sweep above): randomized load,
+    // hot-spot fraction, combining policy, and Burroughs-kill
+    // episodes.  The baseline runs the legacy sweep single-threaded;
+    // each seed pins the window against it at a rotating thread count.
+    const unsigned alts[] = {1, 2, 8};
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+        NetSimConfig ncfg;
+        ncfg.numPorts = 64;
+        ncfg.k = 4;
+        ncfg.sizing = PacketSizing::ByContent;
+        ncfg.dataPackets = 3;
+        ncfg.queueCapacityPackets = 15;
+        ncfg.mmPendingCapacityPackets = 15;
+        ncfg.combinePolicy = seed % 3 == 2 ? CombinePolicy::Homogeneous
+                                           : CombinePolicy::Full;
+        if (seed % 11 == 10) {
+            ncfg.burroughsKill = true;
+            ncfg.combinePolicy = CombinePolicy::None;
+        }
+        TrafficConfig tcfg;
+        tcfg.activePes = ncfg.numPorts;
+        tcfg.rate = 0.05 + 0.05 * static_cast<double>(seed % 7);
+        tcfg.hotFraction = 0.1 * static_cast<double>(seed % 5);
+        tcfg.hotAddr = 13;
+        tcfg.addrSpaceWords = 1 << 10;
+        tcfg.seed = seed;
+
+        ncfg.parallelDeparture = false;
+        const std::string sweep = runTraffic(ncfg, tcfg, 1, true, 60);
+        ASSERT_FALSE(sweep.empty());
+        ncfg.parallelDeparture = true;
+        const unsigned alt = alts[seed % 3];
+        ASSERT_EQ(sweep, runTraffic(ncfg, tcfg, alt, true, 60))
+            << "seed " << seed << ": departure window at --threads "
+            << alt << " diverged from the serial sender sweep";
+    }
+}
+
+TEST(NetShardTest, DepartureWindowKeepsLatencyInvariantOnHotspot)
+{
+    // Hot-spot combining traffic with the full latency observatory
+    // attached: the per-stage depart stamps staged by the window must
+    // still satisfy the decomposition invariant (lat.violations == 0)
+    // and fold to byte-identical aggregates in both departure modes.
+    auto run = [](bool window, unsigned threads) {
+        NetSimConfig ncfg;
+        ncfg.numPorts = 64;
+        ncfg.k = 2;
+        ncfg.combinePolicy = CombinePolicy::Full;
+        ncfg.parallelDeparture = window;
+        mem::MemoryConfig mc;
+        mc.numModules = ncfg.numPorts;
+        mc.wordsPerModule = 1 << 10;
+        mc.accessTime = ncfg.mmAccessTime;
+        mem::MemorySystem memory(mc);
+        Network network(ncfg, memory);
+        mem::AddressHash hash(log2Exact(memory.totalWords()), true);
+        PniConfig pcfg;
+        pcfg.maxOutstanding = 8;
+        PniArray pni(pcfg, network, hash);
+        obs::LatencyShape shape;
+        shape.stages = network.topology().stages();
+        shape.switchesPerStage = network.topology().switchesPerStage();
+        shape.mmAccessTime = ncfg.mmAccessTime;
+        obs::LatencyObservatory latency(shape);
+        network.setLatencyObservatory(&latency);
+
+        TrafficConfig tcfg;
+        tcfg.activePes = ncfg.numPorts;
+        tcfg.rate = 0.2;
+        tcfg.hotFraction = 0.5;
+        tcfg.hotAddr = 21;
+        tcfg.addrSpaceWords = 1 << 10;
+        tcfg.seed = 77;
+        TrafficGenerator traffic(tcfg, pni, network);
+
+        par::TickEngine engine(threads);
+        network.setTickEngine(&engine);
+        for (Cycle c = 0; c < 600; ++c) {
+            traffic.tickRange(0, static_cast<PEId>(tcfg.activePes));
+            pni.tick();
+            network.tick();
+        }
+        network.drain(5000);
+        EXPECT_EQ(latency.violations(), 0u)
+            << (window ? "window" : "sweep") << " @" << threads
+            << " threads broke the decomposition invariant";
+        EXPECT_GT(latency.delivered(), 0u);
+        EXPECT_GT(latency.combinedDelivered(), 0u);
+        return latency.summaryJson();
+    };
+    const std::string sweep = run(false, 1);
+    EXPECT_EQ(sweep, run(true, 1));
+    EXPECT_EQ(sweep, run(true, 8));
 }
 
 // ------------------------------------------------------------------

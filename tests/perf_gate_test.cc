@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tier-2 performance gate (ctest label "perf"): runs the fixed
+ * Table-1 workload — 1024 engaged PEs on the 4096-port k=4 machine,
+ * each looping compute(16) + fetchAdd — with the serial engine and
+ * with the sharded engine at the thread counts listed in the
+ * committed tolerance envelope (tests/perf_envelope.json), and fails
+ * when a measured wall-time ratio falls outside its envelope entry.
+ *
+ * Honesty rules, in order:
+ *   - sanitizer builds skip: instrumented wall time measures the
+ *     sanitizer, not the tick engine;
+ *   - hosts with fewer than 4 usable cores skip the ratio assertions
+ *     (a 1-core host cannot exercise parallelism) but still verify
+ *     byte-identical stats between the serial and sharded runs;
+ *   - envelope entries needing more threads than the host has cores
+ *     are measured and reported but not enforced;
+ *   - every run's measurement is written to a JSON artifact
+ *     (ULTRA_PERF_GATE_OUT, default perf_gate_measured.json) so CI can
+ *     upload what was actually measured alongside the pass/fail.
+ *
+ * Wall times use the best of `repeats` runs per configuration: the
+ * minimum is the right noise estimator for a gate (interference only
+ * ever adds time).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
+
+#include "common/json_lite.h"
+#include "core/machine.h"
+#include "pe/task.h"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define ULTRA_PERF_GATE_SANITIZED 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define ULTRA_PERF_GATE_SANITIZED 1
+#endif
+
+namespace ultra
+{
+namespace
+{
+
+constexpr std::uint32_t kPes = 1024;
+
+/** Honest usable-core count (matches bench/par_speedup.cc). */
+unsigned
+detectHostCores()
+{
+    unsigned cores = std::thread::hardware_concurrency();
+#ifdef __linux__
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof set, &set) == 0) {
+        cores = std::max(cores,
+                         static_cast<unsigned>(CPU_COUNT(&set)));
+    }
+#endif
+    return std::max(cores, 1u);
+}
+
+struct Measurement
+{
+    unsigned threads = 1;
+    bool sharded = true;
+    double seconds = 0.0;
+    std::string statsJson;
+};
+
+Measurement
+measure(unsigned threads, bool sharded, int iterations, int repeats)
+{
+    Measurement m;
+    m.threads = threads;
+    m.sharded = sharded;
+    m.seconds = 1e300;
+    for (int rep = 0; rep < repeats; ++rep) {
+        core::MachineConfig cfg = core::MachineConfig::paperTable1();
+        cfg.threads = threads;
+        cfg.shardedNetwork = sharded;
+        core::Machine machine(cfg);
+        const Addr counter = machine.allocShared(1, "counter");
+        machine.launchAll(kPes, [counter, iterations](pe::Pe &pe)
+                              -> pe::Task {
+            for (int i = 0; i < iterations; ++i) {
+                co_await pe.compute(16);
+                co_await pe.fetchAdd(counter, 1);
+            }
+        });
+        const auto start = std::chrono::steady_clock::now();
+        const bool finished = machine.run();
+        const auto stop = std::chrono::steady_clock::now();
+        EXPECT_TRUE(finished);
+        EXPECT_EQ(machine.peek(counter),
+                  static_cast<Word>(kPes) * iterations);
+        m.seconds = std::min(
+            m.seconds,
+            std::chrono::duration<double>(stop - start).count());
+        m.statsJson = machine.statsJson();
+    }
+    return m;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+TEST(PerfGateTest, WallTimeRatiosStayInsideEnvelope)
+{
+#ifdef ULTRA_PERF_GATE_SANITIZED
+    GTEST_SKIP() << "sanitizer build: wall time measures the "
+                    "instrumentation, not the engine";
+#endif
+    const std::string envelope_text =
+        readFile(ULTRA_PERF_ENVELOPE_PATH);
+    ASSERT_FALSE(envelope_text.empty())
+        << "cannot read " << ULTRA_PERF_ENVELOPE_PATH;
+    const jsonlite::JsonValue envelope =
+        jsonlite::parse(envelope_text);
+    const int iterations =
+        static_cast<int>(envelope["iterations"].number);
+    const int repeats = static_cast<int>(envelope["repeats"].number);
+    ASSERT_GT(iterations, 0);
+    ASSERT_GT(repeats, 0);
+
+    const unsigned host_cores = detectHostCores();
+    const bool enforce = host_cores >= 4;
+    // A small host only runs the determinism ride-along, so don't
+    // burn minutes on statistically meaningless timings there.
+    const int eff_iterations =
+        enforce ? iterations : std::min(iterations, 10);
+    const int eff_repeats = enforce ? repeats : 1;
+
+    // Serial-engine baseline: every ratio is quoted against it.
+    const Measurement serial =
+        measure(1, false, eff_iterations, eff_repeats);
+
+    struct Row
+    {
+        Measurement m;
+        double minSpeedup = 0.0;
+        bool enforced = false;
+        bool passed = true;
+    };
+    std::vector<Row> rows;
+    for (const jsonlite::JsonValue &entry :
+         envelope["entries"].array) {
+        Row row;
+        const unsigned threads =
+            static_cast<unsigned>(entry["threads"].number);
+        row.m = measure(threads, entry["net_sharded"].boolean,
+                        eff_iterations, eff_repeats);
+        row.minSpeedup = entry["min_speedup"].number;
+        // Determinism rides along on every measured run, cores or not.
+        EXPECT_EQ(row.m.statsJson, serial.statsJson)
+            << "stats diverged at " << threads << " threads";
+        row.enforced = enforce && host_cores >= threads;
+        const double speedup = serial.seconds / row.m.seconds;
+        if (row.enforced && speedup < row.minSpeedup) {
+            row.passed = false;
+            ADD_FAILURE() << "threads=" << threads << ": speedup "
+                          << speedup << " below envelope floor "
+                          << row.minSpeedup << " ("
+                          << entry["why"].string << ")";
+        }
+        rows.push_back(std::move(row));
+    }
+
+    // The measured artifact: what CI uploads next to the verdict.
+    const char *out_env = std::getenv("ULTRA_PERF_GATE_OUT");
+    const std::string out_path =
+        out_env != nullptr ? out_env : "perf_gate_measured.json";
+    std::ofstream out(out_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << out_path;
+    out << "{\n  \"workload\": " << '"'
+        << envelope["workload"].string << '"' << ",\n"
+        << "  \"host_cores\": " << host_cores << ",\n"
+        << "  \"iterations\": " << eff_iterations << ",\n"
+        << "  \"repeats\": " << eff_repeats << ",\n"
+        << "  \"serial_seconds\": " << serial.seconds << ",\n"
+        << "  \"enforced\": " << (enforce ? "true" : "false")
+        << ",\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        out << "    {\"threads\": " << row.m.threads
+            << ", \"net_sharded\": "
+            << (row.m.sharded ? "true" : "false")
+            << ", \"wall_seconds\": " << row.m.seconds
+            << ", \"speedup_vs_serial\": "
+            << serial.seconds / row.m.seconds
+            << ", \"min_speedup\": " << row.minSpeedup
+            << ", \"enforced\": " << (row.enforced ? "true" : "false")
+            << ", \"passed\": " << (row.passed ? "true" : "false")
+            << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+
+    if (!enforce) {
+        GTEST_SKIP() << "ratio envelope needs >= 4 usable host cores "
+                        "(have "
+                     << host_cores
+                     << "); determinism verified, measurements "
+                        "written to "
+                     << out_path;
+    }
+}
+
+} // namespace
+} // namespace ultra

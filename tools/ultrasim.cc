@@ -44,6 +44,9 @@
  * Host-parallelism options (`net` and `app`):
  *   --net-serial   keep the network's arrival phase on one thread
  *                  (output is byte-identical; A/B timing knob)
+ *   --serial-departures  replace the receiver-pull departure window
+ *                  with the legacy sender sweep (byte-identical; A/B
+ *                  timing knob)
  *   --threads N    host threads for the compute phase (0 = all cores,
  *                  default 1); results are identical for every N
  *
@@ -289,6 +292,7 @@ netConfigFrom(const Args &args)
                                      : net::PacketSizing::ByContent;
     cfg.burroughsKill = args.has("burroughs");
     cfg.idealParacomputer = args.has("ideal");
+    cfg.parallelDeparture = !args.has("serial-departures");
     const std::string policy = args.getString("policy", "full");
     cfg.combinePolicy = policy == "none" ? net::CombinePolicy::None
                         : policy == "homo"
@@ -307,7 +311,7 @@ netConfigFrom(const Args &args)
 #define ULTRASIM_OBS_FLAGS                                              \
     "stats-json", "stats-pretty", "sample-every", "sample-out",         \
         "trace-events", "latency-json", "heatmap-csv", "check-drift",   \
-        "threads", "net-serial", "inspect"
+        "threads", "net-serial", "serial-departures", "inspect"
 
 /**
  * Create the inspection server + engine for --inspect ADDR (exit 2 on
@@ -611,6 +615,7 @@ cmdApp(const Args &args)
     mcfg.net.combinePolicy = net::CombinePolicy::Full;
     mcfg.threads = static_cast<unsigned>(args.getInt("threads", 1));
     mcfg.shardedNetwork = !args.has("net-serial");
+    mcfg.net.parallelDeparture = !args.has("serial-departures");
 
     Cycle cycles = 0;
     pe::PeStats totals;
