@@ -901,6 +901,275 @@ class BarrierModel final : public Model
     unsigned episodes_;
 };
 
+/**
+ * Receiver-pull departure window (see models.h).  Memory layout: cells
+ * [0,U) upstream queues a[u], [U,2U) stage queues b[u], [2U,3U) final
+ * landings c[u], then barrier count, barrier sense, and the message
+ * pool's free counter.
+ *
+ * Program per unit (pcs):
+ *   rank 0:  0 load a[u] / 1 store a[u]-1 / 2 load b[u] / 3 store
+ *            b[u]+1, stage a free, loop msgsPerWire times
+ *   barrier: 4..8 (sense-reversing FA barrier, as BarrierModel)
+ *   rank 1:  9 load b[prev] (spins while empty) / 10 store b[prev]-1 /
+ *            11 load c[u] / 12 store c[u]+1, stage a free, loop
+ *   barrier: 13..17
+ *   drain:   18 FA(pool, stagedFrees) -- drainUnitStaging, after the
+ *            window closes
+ *
+ * Registers: reg[0] = last loaded occupancy, reg[1] = barrier sense,
+ * reg[2] = messages left in the current rank, reg[3] = staged frees.
+ */
+class DepartWindowModel final : public Model
+{
+  public:
+    DepartWindowModel(unsigned units, unsigned msgs, bool barrier)
+        : units_(units), msgs_(msgs), barrier_(barrier)
+    {
+        ULTRA_ASSERT(units_ >= 2 && msgs_ >= 1);
+    }
+
+    std::string
+    name() const override
+    {
+        std::ostringstream os;
+        os << "depart[u=" << units_ << ",m=" << msgs_ << "]"
+           << (barrier_ ? "" : "+nobarrier");
+        return os.str();
+    }
+
+    unsigned numProcs() const override { return units_; }
+
+    SysState
+    initial() const override
+    {
+        SysState s;
+        s.mem.assign(3 * units_ + 3, 0);
+        for (unsigned u = 0; u < units_; ++u)
+            s.mem[cellA(u)] = msgs_;
+        s.procs.resize(units_);
+        for (ProcState &proc : s.procs)
+            proc.reg[2] = msgs_;
+        return s;
+    }
+
+    bool
+    enabled(const SysState &s, unsigned p) const override
+    {
+        const ProcState &proc = s.procs[p];
+        if (proc.done)
+            return false;
+        if (proc.pc == 8 || proc.pc == 17)
+            return s.mem[cellSense()] == proc.reg[1];
+        if (proc.pc == 9)
+            return s.mem[cellB(prev(p))] > 0; // eager pull: spin on empty
+        return true;
+    }
+
+    Footprint
+    footprint(const SysState &s, unsigned p) const override
+    {
+        switch (s.procs[p].pc) {
+          case 0:
+            return {cellA(p), false};
+          case 1:
+            return {cellA(p), true};
+          case 2:
+            return {cellB(p), false};
+          case 3:
+            return {cellB(p), true};
+          case 9:
+            return {cellB(prev(p)), false};
+          case 10:
+            return {cellB(prev(p)), true};
+          case 11:
+            return {cellC(p), false};
+          case 12:
+            return {cellC(p), true};
+          case 4:
+          case 8:
+          case 13:
+          case 17:
+            return {cellSense(), false};
+          case 7:
+          case 16:
+            return {cellSense(), true};
+          case 5:
+          case 6:
+          case 14:
+          case 15:
+            return {cellCount(), true};
+          case 18:
+            return {cellPool(), true};
+          default:
+            panic("depart: bad pc");
+        }
+    }
+
+    void
+    step(SysState &s, unsigned p) const override
+    {
+        ProcState &proc = s.procs[p];
+        switch (proc.pc) {
+          case 0: // dequeue my rank-0 wire: load upstream occupancy
+            proc.reg[0] = s.mem[cellA(p)];
+            proc.pc = 1;
+            break;
+          case 1: // ...store it back decremented (non-atomic pair)
+            s.mem[cellA(p)] = proc.reg[0] - 1;
+            proc.pc = 2;
+            break;
+          case 2: // enqueue into my own stage queue: load occupancy
+            proc.reg[0] = s.mem[cellB(p)];
+            proc.pc = 3;
+            break;
+          case 3: // ...store it back incremented; stage the slot free
+            s.mem[cellB(p)] = proc.reg[0] + 1;
+            ++proc.reg[3];
+            if (--proc.reg[2] > 0) {
+                proc.pc = 0;
+            } else {
+                proc.reg[2] = msgs_;
+                proc.pc = barrier_ ? 4 : 9;
+            }
+            break;
+          case 9: // rank 1: dequeue the cross-unit wire from prev's
+                  // stage queue (this is the receiver-pull ownership)
+            proc.reg[0] = s.mem[cellB(prev(p))];
+            proc.pc = 10;
+            break;
+          case 10:
+            s.mem[cellB(prev(p))] = proc.reg[0] - 1;
+            proc.pc = 11;
+            break;
+          case 11: // enqueue into my landing queue
+            proc.reg[0] = s.mem[cellC(p)];
+            proc.pc = 12;
+            break;
+          case 12:
+            s.mem[cellC(p)] = proc.reg[0] + 1;
+            ++proc.reg[3];
+            if (--proc.reg[2] > 0)
+                proc.pc = 9;
+            else
+                proc.pc = barrier_ ? 13 : 18;
+            break;
+          case 18: // drain staged frees into the pool (post-window)
+            s.mem[cellPool()] += proc.reg[3];
+            proc.done = true;
+            break;
+          default: // the two barrier instances
+            barrierStep(s, p);
+            break;
+        }
+    }
+
+    std::string
+    checkState(const SysState &s) const override
+    {
+        // The ownership window: at most one unit mid-update (loaded,
+        // not yet stored back) per queue cell.  The only cell two
+        // units can reach is a stage queue b[x]: its owner x enqueues
+        // at rank 0 (pc 3) and its downstream neighbor next(x)
+        // dequeues at rank 1 (pc 10).
+        for (unsigned x = 0; x < units_; ++x) {
+            const bool owner_mid = s.procs[x].pc == 3;
+            const bool puller_mid = s.procs[next(x)].pc == 10;
+            if (owner_mid && puller_mid) {
+                std::ostringstream os;
+                os << "units " << x << " and " << next(x)
+                   << " both mid-update on stage queue " << x
+                   << " (departure ownership window violated)";
+                return os.str();
+            }
+        }
+        return {};
+    }
+
+    std::string
+    checkOutcome(const SysState &s) const override
+    {
+        for (unsigned u = 0; u < units_; ++u) {
+            if (s.mem[cellA(u)] != 0 || s.mem[cellB(u)] != 0) {
+                std::ostringstream os;
+                os << "unit " << u << " queues not drained (a="
+                   << s.mem[cellA(u)] << ", b=" << s.mem[cellB(u)]
+                   << ")";
+                return os.str();
+            }
+            if (s.mem[cellC(u)] != static_cast<std::int64_t>(msgs_)) {
+                std::ostringstream os;
+                os << "unit " << u << " landed " << s.mem[cellC(u)]
+                   << " messages, expected " << msgs_;
+                return os.str();
+            }
+        }
+        if (s.mem[cellPool()] !=
+            2 * static_cast<std::int64_t>(units_) *
+                static_cast<std::int64_t>(msgs_)) {
+            return "staged frees lost: pool holds " +
+                   std::to_string(s.mem[cellPool()]);
+        }
+        if (s.mem[cellCount()] != 0)
+            return "stage barrier count not reset";
+        return {};
+    }
+
+  private:
+    int cellA(unsigned u) const { return static_cast<int>(u); }
+    int cellB(unsigned u) const { return static_cast<int>(units_ + u); }
+    int
+    cellC(unsigned u) const
+    {
+        return static_cast<int>(2 * units_ + u);
+    }
+    int cellCount() const { return static_cast<int>(3 * units_); }
+    int cellSense() const { return static_cast<int>(3 * units_ + 1); }
+    int cellPool() const { return static_cast<int>(3 * units_ + 2); }
+
+    unsigned prev(unsigned u) const { return (u + units_ - 1) % units_; }
+    unsigned next(unsigned u) const { return (u + 1) % units_; }
+
+    /** One step of the sense-reversing barrier at pcs 4..8 / 13..17. */
+    void
+    barrierStep(SysState &s, unsigned p) const
+    {
+        ProcState &proc = s.procs[p];
+        const int base = proc.pc < 9 ? 4 : 13;
+        const int cont = base == 4 ? 9 : 18;
+        switch (proc.pc - base) {
+          case 0: // my_sense = 1 - sense
+            proc.reg[1] = 1 - s.mem[cellSense()];
+            proc.pc = base + 1;
+            break;
+          case 1: { // arrived = FA(count, +1)
+            const std::int64_t arrived = s.mem[cellCount()]++;
+            proc.pc = arrived == static_cast<std::int64_t>(units_) - 1
+                          ? base + 2
+                          : base + 4;
+            break;
+          }
+          case 2: // last arriver resets the count...
+            s.mem[cellCount()] = 0;
+            proc.pc = base + 3;
+            break;
+          case 3: // ...then releases everyone by flipping the sense
+            s.mem[cellSense()] = proc.reg[1];
+            proc.pc = cont;
+            break;
+          case 4: // observed the sense flip (spin satisfied)
+            proc.pc = cont;
+            break;
+          default:
+            panic("depart: bad barrier pc");
+        }
+    }
+
+    unsigned units_;
+    unsigned msgs_;
+    bool barrier_;
+};
+
 } // namespace
 
 std::unique_ptr<Model>
@@ -931,6 +1200,14 @@ std::unique_ptr<Model>
 makeBarrierModel(unsigned procs, unsigned episodes)
 {
     return std::make_unique<BarrierModel>(procs, episodes);
+}
+
+std::unique_ptr<Model>
+makeDepartWindowModel(unsigned units, unsigned msgsPerWire,
+                      bool stageBarrier)
+{
+    return std::make_unique<DepartWindowModel>(units, msgsPerWire,
+                                               stageBarrier);
 }
 
 } // namespace ultra::check

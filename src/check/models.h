@@ -96,6 +96,33 @@ std::unique_ptr<Model> makeReadersWritersModel(const std::string &shape);
 std::unique_ptr<Model> makeBarrierModel(unsigned procs,
                                         unsigned episodes);
 
+/**
+ * The receiver-pull departure window (net::Network::departWindow, see
+ * DESIGN.md "Paying for parallelism"): each of @p units units owns a
+ * per-unit pull list built sequentially before the window opens -- at
+ * stage-rank 0 it pulls @p msgsPerWire messages from its own upstream
+ * queue into its own stage queue, and at stage-rank 1 it pulls from
+ * the *previous* unit's stage queue (the cross-unit wire that makes
+ * the ownership protocol interesting).  Queue occupancy updates are
+ * modeled as they really are -- non-atomic load-then-store pairs --
+ * so the protocol's whole safety argument is the stage-rank barrier
+ * between ranks plus the single-owner-per-wire assignment.  Staged
+ * frees accumulate per unit and drain into the shared pool only after
+ * the final barrier, mirroring drainUnitStaging.
+ *
+ * checkState pins the ownership window: no two units may ever sit
+ * mid-update (loaded, not yet stored) on the same queue cell.
+ * checkOutcome pins conservation: every message lands, every staged
+ * free reaches the pool.
+ *
+ * @param stageBarrier  false removes the stage-rank barrier steps --
+ *                      the demo-bug variant; the explorer must then
+ *                      find two units colliding on a stage queue.
+ */
+std::unique_ptr<Model> makeDepartWindowModel(unsigned units,
+                                             unsigned msgsPerWire,
+                                             bool stageBarrier);
+
 } // namespace ultra::check
 
 #endif // ULTRA_CHECK_MODELS_H

@@ -12,6 +12,8 @@ namespace
 {
 
 /** Shard the calling thread acts for during the compute phase. */
+// ultralint: allow(UL-DET-003): the checker itself must know which
+// shard a thread acts for; this never feeds committed state.
 thread_local int tlsShard = -1;
 
 const char *

@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/phase_check.h"
 #include "common/log.h"
 #include "common/types.h"
 #include "mem/fetch_phi.h"
@@ -126,6 +127,7 @@ class MessagePool
     void
     reserve(std::size_t slots)
     {
+        ULTRA_CHECK_NET_MUTATE("net.pool.reserve", unit_);
         while (capacity() < slots)
             addBlock();
     }
@@ -183,6 +185,7 @@ class MessagePool
 inline Message *
 MessagePool::alloc()
 {
+    ULTRA_CHECK_NET_MUTATE("net.pool.alloc", unit_);
     if (freeList_.empty())
         addBlock();
     Message *msg = freeList_.back();
@@ -198,6 +201,7 @@ MessagePool::alloc()
 inline void
 MessagePool::free(Message *msg)
 {
+    ULTRA_CHECK_NET_MUTATE("net.pool.free", unit_);
     ULTRA_ASSERT(msg->poolUnit == unit_,
                  "message freed to a foreign pool (home slab discipline)");
     ULTRA_ASSERT(live_ > 0, "pool free without a matching alloc");

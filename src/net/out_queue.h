@@ -138,6 +138,8 @@ class OutQueue
     bool
     claimReady(std::uint64_t id)
     {
+        // Not logically a write, but pump() advances grant state.
+        ULTRA_CHECK_NET_MUTATE("net.out_queue.claim", checkOwner_);
         pump();
         return !claims_.empty() && claims_.front().id == id &&
                claims_.front().granted == claims_.front().needed;
@@ -147,6 +149,7 @@ class OutQueue
     void
     consumeClaim(std::uint64_t id)
     {
+        ULTRA_CHECK_NET_MUTATE("net.out_queue.claim", checkOwner_);
         ULTRA_ASSERT(claimReady(id), "consuming a claim that is not "
                      "ready");
         const Claim front = claims_.front();
@@ -159,6 +162,7 @@ class OutQueue
     void
     cancelClaim(std::uint64_t id)
     {
+        ULTRA_CHECK_NET_MUTATE("net.out_queue.claim", checkOwner_);
         for (std::size_t i = 0; i < claims_.size(); ++i) {
             if (claims_[i].id == id) {
                 grantedTotal_ -= claims_[i].granted;
@@ -176,6 +180,7 @@ class OutQueue
     void
     reserve(std::uint32_t pkts)
     {
+        ULTRA_CHECK_NET_MUTATE("net.out_queue.reserve", checkOwner_);
         reserved_ += pkts;
     }
 
@@ -183,6 +188,7 @@ class OutQueue
     void
     cancelReservation(std::uint32_t pkts)
     {
+        ULTRA_CHECK_NET_MUTATE("net.out_queue.reserve", checkOwner_);
         ULTRA_ASSERT(reserved_ >= pkts);
         reserved_ -= pkts;
     }

@@ -349,8 +349,16 @@ LatencyObservatory::summaryJson() const
             }
         }
     }
+    // Total order: equal-wait cells tie-break on coordinates, so the
+    // top-five list is identical across library sort implementations.
     std::sort(hot.begin(), hot.end(), [](const Hot &a, const Hot &b) {
-        return a.c->waitCycles > b.c->waitCycles;
+        if (a.c->waitCycles != b.c->waitCycles)
+            return a.c->waitCycles > b.c->waitCycles;
+        if (a.fwd != b.fwd)
+            return a.fwd && !b.fwd;
+        if (a.s != b.s)
+            return a.s < b.s;
+        return a.sw < b.sw;
     });
     if (hot.size() > 5)
         hot.resize(5);

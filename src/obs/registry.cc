@@ -119,6 +119,8 @@ Registry::jsonDump(Cycle now, const DumpOptions &opts) const
     for (const Entry &entry : entries_)
         order.push_back(&entry);
     if (opts.sortKeys) {
+        // ultralint: allow(UL-DET-005): paths are unique (enforced at
+        // registration), so the single key is already a total order.
         std::sort(order.begin(), order.end(),
                   [](const Entry *a, const Entry *b) {
                       return a->path < b->path;

@@ -86,6 +86,8 @@ TickEngine::rethrowFailures()
     // Several shards failed in the same episode: losing all but an
     // arbitrary one hides the real fault (e.g. a cascade where shard 0
     // reports a symptom of shard 2's bug).  Report every one.
+    // ultralint: allow(UL-DET-005): shard ids are unique per episode,
+    // so the single key is already a total order.
     std::sort(failures.begin(), failures.end(),
               [](const auto &a, const auto &b) { return a.first < b.first; });
     std::ostringstream os;

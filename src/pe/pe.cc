@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "check/phase_check.h"
 #include "common/log.h"
 #include "obs/event_trace.h"
 

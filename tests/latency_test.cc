@@ -395,4 +395,37 @@ TEST(LatencyTest, SimTracksModelOnConformingConfig)
     EXPECT_EQ(rig.latency.violations(), 0u);
 }
 
+TEST(LatencyTest, HotCellsTieBreakOnCoordinates)
+{
+    // Regression for the hot_cells ranking: cells with *equal*
+    // accumulated wait must order by (direction, stage, switch), not by
+    // whatever the library sort leaves behind.  Seed four equal-wait
+    // cells in scrambled fold order and one strictly hotter cell.
+    obs::LatencyShape shape;
+    shape.stages = 2;
+    shape.switchesPerStage = 3;
+    obs::LatencyObservatory lat(shape);
+    lat.foldDepartWait(false, 1, 2, 7); // rev, equal block, folded first
+    lat.foldDepartWait(true, 1, 0, 7);
+    lat.foldDepartWait(true, 0, 2, 7);
+    lat.foldDepartWait(true, 0, 1, 9); // strictly hottest
+    lat.foldDepartWait(false, 0, 0, 7);
+    const std::string json = lat.summaryJson();
+    const std::size_t at = json.find("\"hot_cells\"");
+    ASSERT_NE(at, std::string::npos);
+    const std::vector<std::string> expect = {
+        "{\"direction\": \"fwd\", \"stage\": 0, \"switch\": 1",
+        "{\"direction\": \"fwd\", \"stage\": 0, \"switch\": 2",
+        "{\"direction\": \"fwd\", \"stage\": 1, \"switch\": 0",
+        "{\"direction\": \"rev\", \"stage\": 0, \"switch\": 0",
+        "{\"direction\": \"rev\", \"stage\": 1, \"switch\": 2",
+    };
+    std::size_t pos = at;
+    for (const std::string &cell : expect) {
+        const std::size_t next = json.find(cell, pos);
+        ASSERT_NE(next, std::string::npos) << cell << "\n" << json;
+        pos = next + cell.size();
+    }
+}
+
 } // namespace

@@ -248,6 +248,37 @@ TEST(ModelTest, BarrierReusesSafelyAtP3)
                                   : res.violations.front());
 }
 
+TEST(ModelTest, DepartWindowIsSafeWithStageBarrier)
+{
+    // The PR-7 receiver-pull protocol: per-unit pull lists + stage-rank
+    // barriers keep every queue single-owner and conserve messages and
+    // staged frees under every interleaving.
+    for (unsigned units : {2u, 3u}) {
+        for (unsigned msgs : {1u, 2u}) {
+            const ExploreResult res =
+                explore(*makeDepartWindowModel(units, msgs, true));
+            EXPECT_TRUE(res.ok())
+                << "u=" << units << " m=" << msgs << ": "
+                << (res.violations.empty() ? "truncated"
+                                           : res.violations.front());
+        }
+    }
+}
+
+TEST(ModelTest, DepartWindowWithoutBarrierIsCaught)
+{
+    // Remove the stage-rank barrier and the explorer must find two
+    // units mid-update on the same stage queue (the exact hazard the
+    // ownership window exists to exclude).
+    const ExploreResult res =
+        explore(*makeDepartWindowModel(2, 2, false));
+    ASSERT_FALSE(res.violations.empty());
+    EXPECT_NE(res.violations.front().find(
+                  "mid-update on stage queue"),
+              std::string::npos)
+        << res.violations.front();
+}
+
 // ------------------------------------------------------------------
 // randomWalks(): the sampling fallback
 // ------------------------------------------------------------------

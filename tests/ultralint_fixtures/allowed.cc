@@ -1,0 +1,13 @@
+// Fixture: inline suppression -- the same seeded UL-DET-003 violation
+// as det003.cc, silenced by an `ultralint: allow` marker with a
+// reason.  The tool must exit 0.
+
+// ultralint: allow(UL-DET-003): debug-only scratch depth, never feeds
+// committed state; kept per-thread so instrumented builds stay lock-free.
+thread_local int scratchDepth = 0;
+
+int
+enterScratch()
+{
+    return ++scratchDepth;
+}

@@ -1,0 +1,18 @@
+// Fixture: UL-COV-001 -- a net-domain class with a public mutating
+// method that carries no ULTRA_CHECK annotation.  Scanned, never
+// compiled.
+
+class OutQueue
+{
+  public:
+    void
+    enqueue(int pkts)
+    {
+        used_ += pkts;
+    }
+
+    int size() const { return used_; }
+
+  private:
+    int used_ = 0;
+};

@@ -1,0 +1,18 @@
+// Fixture: UL-COV-002 -- an annotation whose owner argument is a
+// numeric literal instead of a bound owner field.
+
+#include "check/phase_check.h"
+
+class OutQueue
+{
+  public:
+    void
+    enqueue(int pkts)
+    {
+        ULTRA_CHECK_NET_MUTATE("net.out_queue.enqueue", 7);
+        used_ += pkts;
+    }
+
+  private:
+    int used_ = 0;
+};

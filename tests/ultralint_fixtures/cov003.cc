@@ -1,0 +1,20 @@
+// Fixture: UL-COV-003 -- annotation macros used without a direct
+// include of "check/phase_check.h" (transitive includes rot when the
+// intermediate header is refactored).
+
+#include "net/out_queue_fwd.h"
+
+class OutQueue
+{
+  public:
+    void
+    enqueue(int pkts)
+    {
+        ULTRA_CHECK_NET_MUTATE("net.out_queue.enqueue", checkOwner_);
+        used_ += pkts;
+    }
+
+  private:
+    int used_ = 0;
+    unsigned long long checkOwner_ = ~0ULL;
+};

@@ -1,0 +1,16 @@
+// Fixture: UL-DET-001 -- iterating an unordered container (hash order
+// leaks into whatever consumes the loop).
+
+#include <string>
+#include <unordered_map>
+
+long
+sumCells(const std::unordered_map<int, long> &)
+{
+    std::unordered_map<int, long> cells;
+    cells[3] = 30;
+    long total = 0;
+    for (const auto &kv : cells)
+        total += kv.second;
+    return total;
+}

@@ -1,0 +1,9 @@
+// Fixture: UL-DET-002 -- raw entropy outside common/rng.
+
+#include <cstdlib>
+
+int
+pickVictim(int n)
+{
+    return std::rand() % n;
+}

@@ -1,0 +1,10 @@
+// Fixture: UL-DET-003 -- thread_local state in simulation code (its
+// value depends on which thread ran the shard).
+
+thread_local int scratchDepth = 0;
+
+int
+enterScratch()
+{
+    return ++scratchDepth;
+}

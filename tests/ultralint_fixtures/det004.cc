@@ -1,0 +1,19 @@
+// Fixture: UL-DET-004 -- sorting pointer elements with the default
+// comparator orders by address, which varies run to run.
+
+#include <algorithm>
+#include <vector>
+
+struct Cell
+{
+    long wait = 0;
+};
+
+void
+rankCells(std::vector<Cell> &storage)
+{
+    std::vector<Cell *> hot;
+    for (Cell &c : storage)
+        hot.push_back(&c);
+    std::sort(hot.begin(), hot.end());
+}

@@ -1,0 +1,20 @@
+// Fixture: UL-DET-005 -- std::sort with a single-key comparator: the
+// order of equal keys falls to the library implementation.
+
+#include <algorithm>
+#include <vector>
+
+struct Sample
+{
+    long wait = 0;
+    int sw = 0;
+};
+
+void
+rankSamples(std::vector<Sample> &samples)
+{
+    std::sort(samples.begin(), samples.end(),
+              [](const Sample &a, const Sample &b) {
+                  return a.wait > b.wait;
+              });
+}

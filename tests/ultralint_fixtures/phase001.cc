@@ -1,0 +1,30 @@
+// Fixture: UL-PHASE-001 -- a compute-phase entry point reaches a
+// COMMIT_ONLY-annotated mutator through a helper.
+
+#include "check/phase_check.h"
+
+struct Network
+{
+    void
+    arrivalPhaseUnit(int unit)
+    {
+        staged_ += unit;
+        flushHelper();
+    }
+
+    void
+    flushHelper()
+    {
+        publishStats();
+    }
+
+    void
+    publishStats()
+    {
+        ULTRA_CHECK_COMMIT_ONLY("net.stats");
+        committed_ += staged_;
+    }
+
+    int staged_ = 0;
+    int committed_ = 0;
+};

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Regression tests for tools/ultralint -- the static phase-discipline
+ * and determinism analyzer.  Runs the real binary as a subprocess
+ * against fixture sources, each seeding exactly one violation of one
+ * rule ID, and asserts *byte-exact* golden diagnostics plus exit
+ * codes.  The goldens are deliberately brittle: diagnostic text is
+ * part of the tool's contract (CI diffs depend on it being stable).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#ifndef ULTRALINT_BIN
+#error "build must define ULTRALINT_BIN (see tests/CMakeLists.txt)"
+#endif
+#ifndef ULTRALINT_FIXTURE_DIR
+#error "build must define ULTRALINT_FIXTURE_DIR"
+#endif
+#ifndef ULTRALINT_SOURCE_ROOT
+#error "build must define ULTRALINT_SOURCE_ROOT"
+#endif
+
+namespace
+{
+
+struct RunResult
+{
+    int exitCode = -1;
+    std::string output;
+};
+
+/** Run ultralint with @p args from the fixture directory, capturing
+ *  stdout+stderr. */
+RunResult
+runLint(const std::string &args)
+{
+    const std::string cmd = std::string("cd ") + ULTRALINT_FIXTURE_DIR +
+                            " && " + ULTRALINT_BIN + " " + args + " 2>&1";
+    RunResult res;
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr)
+        return res;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = fread(buf, 1, sizeof buf, pipe)) > 0)
+        res.output.append(buf, n);
+    const int rc = pclose(pipe);
+    res.exitCode = WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+    return res;
+}
+
+/** Expect one fixture to yield exactly one golden diagnostic line. */
+void
+expectSingleDiag(const std::string &fixture, const std::string &golden)
+{
+    const RunResult res = runLint(fixture);
+    EXPECT_EQ(res.exitCode, 1) << res.output;
+    EXPECT_EQ(res.output, golden + "\nultralint: 1 diagnostic\n");
+}
+
+TEST(UltralintTest, Cov001MissingAnnotation)
+{
+    expectSingleDiag(
+        "cov001.cc",
+        "cov001.cc:9: [UL-COV-001] net-domain class 'OutQueue': public "
+        "mutating method 'enqueue' lacks an ULTRA_CHECK annotation (or "
+        "an allowlist entry)");
+}
+
+TEST(UltralintTest, Cov002LiteralOwnerArgument)
+{
+    expectSingleDiag(
+        "cov002.cc",
+        "cov002.cc:12: [UL-COV-002] annotation owner argument '7' is a "
+        "literal; bind the component's owner field instead");
+}
+
+TEST(UltralintTest, Cov003MissingDirectInclude)
+{
+    expectSingleDiag(
+        "cov003.cc",
+        "cov003.cc:13: [UL-COV-003] ULTRA_CHECK annotation used but "
+        "\"check/phase_check.h\" is not included directly");
+}
+
+TEST(UltralintTest, Phase001ComputeEntryReachesCommitOnly)
+{
+    expectSingleDiag(
+        "phase001.cc",
+        "phase001.cc:9: [UL-PHASE-001] compute-phase entry "
+        "'Network::arrivalPhaseUnit' reaches commit-only "
+        "'Network::publishStats' via: Network::arrivalPhaseUnit -> "
+        "Network::flushHelper -> Network::publishStats");
+}
+
+TEST(UltralintTest, Det001UnorderedIteration)
+{
+    expectSingleDiag(
+        "det001.cc",
+        "det001.cc:13: [UL-DET-001] iteration order of 'cells' "
+        "(std::unordered_*) is nondeterministic; iterate a sorted view "
+        "or use an ordered container");
+}
+
+TEST(UltralintTest, Det002RawEntropy)
+{
+    expectSingleDiag(
+        "det002.cc",
+        "det002.cc:8: [UL-DET-002] nondeterminism source 'rand' outside "
+        "common/rng; derive from the seeded ultra::Rng streams instead");
+}
+
+TEST(UltralintTest, Det003ThreadLocal)
+{
+    expectSingleDiag(
+        "det003.cc",
+        "det003.cc:4: [UL-DET-003] 'thread_local' state in simulation "
+        "code is thread-count-dependent; keep per-shard state in the "
+        "shard plan");
+}
+
+TEST(UltralintTest, Det004PointerSortKey)
+{
+    expectSingleDiag(
+        "det004.cc",
+        "det004.cc:18: [UL-DET-004] sorting pointer elements of 'hot' "
+        "without a comparator orders by address; sort a stable key "
+        "instead");
+}
+
+TEST(UltralintTest, Det005SingleKeyComparator)
+{
+    expectSingleDiag(
+        "det005.cc",
+        "det005.cc:16: [UL-DET-005] std::sort with a single-key "
+        "comparator: tie order falls to the library; use "
+        "std::stable_sort or add a total-order tie-break");
+}
+
+TEST(UltralintTest, Det006AtomicFloatReduction)
+{
+    expectSingleDiag(
+        "det006.cc",
+        "det006.cc:6: [UL-DET-006] atomic floating-point accumulation "
+        "is order-dependent; stage per-shard partials and fold them in "
+        "unit order");
+}
+
+TEST(UltralintTest, CleanFixturePasses)
+{
+    const RunResult res = runLint("clean.cc");
+    EXPECT_EQ(res.exitCode, 0) << res.output;
+    EXPECT_EQ(res.output, "ultralint: clean (1 files)\n");
+}
+
+TEST(UltralintTest, InlineAllowSuppresses)
+{
+    // allowed.cc seeds the det003 violation but carries an
+    // `ultralint: allow(UL-DET-003)` marker above it.
+    const RunResult res = runLint("allowed.cc");
+    EXPECT_EQ(res.exitCode, 0) << res.output;
+    EXPECT_EQ(res.output, "ultralint: clean (1 files)\n");
+}
+
+TEST(UltralintTest, AllowlistFileSuppresses)
+{
+    const std::string allow = std::string(ULTRALINT_FIXTURE_DIR) +
+                              "/tmp_allow.txt";
+    {
+        std::ofstream out(allow);
+        out << "UL-COV-001 OutQueue::enqueue fixture exception for the "
+               "suppression test\n";
+    }
+    const RunResult res = runLint("--allowlist tmp_allow.txt cov001.cc");
+    std::remove(allow.c_str());
+    EXPECT_EQ(res.exitCode, 0) << res.output;
+    EXPECT_EQ(res.output, "ultralint: clean (1 files)\n");
+}
+
+TEST(UltralintTest, MalformedAllowlistIsUsageError)
+{
+    const std::string allow = std::string(ULTRALINT_FIXTURE_DIR) +
+                              "/tmp_allow_bad.txt";
+    {
+        std::ofstream out(allow);
+        out << "UL-COV-001 OutQueue::enqueue\n"; // missing reason
+    }
+    const RunResult res =
+        runLint("--allowlist tmp_allow_bad.txt cov001.cc");
+    std::remove(allow.c_str());
+    EXPECT_EQ(res.exitCode, 2) << res.output;
+}
+
+TEST(UltralintTest, NoInputIsUsageError)
+{
+    EXPECT_EQ(runLint("").exitCode, 2);
+}
+
+TEST(UltralintTest, DiagnosticsAreByteStable)
+{
+    // Scanning every fixture at once must produce identical bytes on
+    // repeated runs, file:line sorted across files.
+    const std::string all = "allowed.cc clean.cc cov001.cc cov002.cc "
+                            "cov003.cc det001.cc det002.cc det003.cc "
+                            "det004.cc det005.cc det006.cc phase001.cc";
+    const RunResult a = runLint(all);
+    const RunResult b = runLint(all);
+    EXPECT_EQ(a.exitCode, 1);
+    EXPECT_EQ(a.output, b.output);
+    // Sorted: cov001 first, phase001 last among the diagnostics.
+    EXPECT_EQ(a.output.find("cov001.cc:9:"), 0u) << a.output;
+    EXPECT_NE(a.output.find("\nphase001.cc:9:"), std::string::npos);
+    EXPECT_NE(a.output.find("ultralint: 10 diagnostics\n"),
+              std::string::npos);
+}
+
+TEST(UltralintTest, TreeIsClean)
+{
+    // The acceptance gate: the simulator tree itself, under the
+    // committed allowlist, yields zero diagnostics.
+    const RunResult res =
+        runLint(std::string("--root ") + ULTRALINT_SOURCE_ROOT +
+                " --allowlist " + ULTRALINT_SOURCE_ROOT +
+                "/tools/ultralint.allow");
+    EXPECT_EQ(res.exitCode, 0) << res.output;
+}
+
+TEST(UltralintTest, CoverageReportIsDeterministic)
+{
+    const std::string rep = std::string(ULTRALINT_FIXTURE_DIR) +
+                            "/tmp_report.txt";
+    const std::string cmd = std::string("--root ") +
+                            ULTRALINT_SOURCE_ROOT + " --allowlist " +
+                            ULTRALINT_SOURCE_ROOT +
+                            "/tools/ultralint.allow --report " + rep;
+    ASSERT_EQ(runLint(cmd).exitCode, 0);
+    std::ifstream in(rep);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::remove(rep.c_str());
+    // Every net-domain component appears, and the queue's depart-side
+    // dequeue is visibly NET_DEQUEUE (not just any annotation).
+    for (const char *needle :
+         {"class MessagePool", "class OutQueue", "class SystolicQueue",
+          "class WaitBuffer", "dequeue: ULTRA_CHECK_NET_DEQUEUE",
+          "step: ULTRA_CHECK_COMMIT_ONLY", "diagnostics: 0"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+}
+
+} // namespace

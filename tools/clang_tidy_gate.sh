@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# clang-tidy regression gate: run run-clang-tidy over src/ and tools/,
+# normalize every diagnostic to a stable "<relative-file> [check]" key,
+# and fail on any key not present in the committed baseline
+# (tools/clang-tidy.baseline).  Line numbers are deliberately dropped
+# from the key so unrelated edits above a tolerated diagnostic do not
+# churn the baseline.
+#
+# Usage: tools/clang_tidy_gate.sh <build-dir-with-compile-commands>
+#
+# Exit status: 0 = no diagnostics beyond the baseline, 1 = regressions,
+# 2 = tooling error.  The raw clang-tidy output is preserved at
+# <build-dir>/clang-tidy.log for upload as a CI artifact.
+set -u -o pipefail
+
+build_dir="${1:?usage: tools/clang_tidy_gate.sh <build-dir>}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+baseline="$repo_root/tools/clang-tidy.baseline"
+log="$build_dir/clang-tidy.log"
+
+if ! command -v run-clang-tidy >/dev/null 2>&1; then
+    echo "clang_tidy_gate: run-clang-tidy not found" >&2
+    exit 2
+fi
+[ -f "$build_dir/compile_commands.json" ] || {
+    echo "clang_tidy_gate: no compile_commands.json in $build_dir" >&2
+    exit 2
+}
+
+# run-clang-tidy's own exit status only reflects *errors*; the gate
+# below judges warnings too, so the run itself is allowed to "fail".
+run-clang-tidy -p "$build_dir" -quiet \
+    "$repo_root/src/.*\.cc$" "$repo_root/tools/.*\.cc$" \
+    >"$log" 2>&1 || true
+
+# "path:line:col: warning: ... [check]" -> "relative-path [check]".
+current="$(
+    sed -n -E 's|^([^: ]+):[0-9]+:[0-9]+: (warning\|error): .* (\[[^]]+\])$|\1 \3|p' "$log" |
+        sed "s|^$repo_root/||" | sort -u
+)"
+allowed="$(sed -e 's/#.*//' -e '/^[[:space:]]*$/d' "$baseline" | sort -u)"
+
+regressions="$(comm -23 <(printf '%s\n' "$current" | sed '/^$/d') \
+                        <(printf '%s\n' "$allowed"))"
+stale="$(comm -13 <(printf '%s\n' "$current" | sed '/^$/d') \
+                  <(printf '%s\n' "$allowed"))"
+
+if [ -n "$stale" ]; then
+    echo "clang_tidy_gate: stale baseline entries (clean these up):"
+    printf '  %s\n' $stale
+fi
+if [ -n "$regressions" ]; then
+    echo "clang_tidy_gate: NEW diagnostics not in the baseline:"
+    printf '%s\n' "$regressions" | sed 's/^/  /'
+    echo "clang_tidy_gate: fix them, or (with review) record them in" \
+         "tools/clang-tidy.baseline"
+    exit 1
+fi
+echo "clang_tidy_gate: clean against baseline"

@@ -1,0 +1,1616 @@
+/**
+ * @file
+ * ultralint -- static phase-discipline and determinism analyzer for the
+ * compute/commit contract (DESIGN.md "Static phase-discipline
+ * verification").
+ *
+ * The runtime PhaseChecker (src/check/phase_check.h) verifies the
+ * contract only on paths that execute under -DULTRA_CHECK=ON, and only
+ * where an annotation was remembered.  ultralint closes the gap
+ * statically: it scans the simulator sources (no compiler headers
+ * needed -- a token-level C++ scanner keyed to this repo's idioms) and
+ * enforces three rule families:
+ *
+ *   annotation coverage
+ *     UL-COV-001  every public mutating method of a net-domain
+ *                 component (OutQueue, WaitBuffer, MessagePool,
+ *                 SystolicQueue, ...) carries an ULTRA_CHECK annotation
+ *     UL-COV-002  an annotation's owner argument is a bound owner
+ *                 field, never a literal
+ *     UL-COV-003  files using ULTRA_CHECK annotations include
+ *                 "check/phase_check.h" directly
+ *
+ *   phase-discipline reachability
+ *     UL-PHASE-001  a conservative call graph from the compute-phase
+ *                   entry points (network arrival units, the departure
+ *                   window, PE stepping) must not reach a
+ *                   COMMIT_ONLY-annotated mutator
+ *
+ *   determinism lint
+ *     UL-DET-001  iteration over std::unordered_{map,set}
+ *     UL-DET-002  rand()/time()/std::random_device and wall clocks
+ *                 outside common/rng
+ *     UL-DET-003  thread_local state in simulation code
+ *     UL-DET-004  sorting pointers by address
+ *     UL-DET-005  std::sort with a single-key comparator (tie order
+ *                 falls to the library)
+ *     UL-DET-006  unordered floating-point reductions
+ *
+ * Deliberate exceptions live in an allowlist file (--allowlist; one
+ * `RULE key reason` per line) or as an inline
+ * `// ultralint: allow(RULE): reason` comment on (or directly above)
+ * the flagged line.
+ *
+ * Usage:
+ *   ultralint [--compdb build/compile_commands.json | --root DIR |
+ *              FILE...] [--allowlist FILE] [--report FILE]
+ *
+ * Diagnostics are deterministic (file:line sorted, byte-stable).
+ * Exit status: 0 clean, 1 diagnostics emitted, 2 usage or I/O error.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------
+// Rule tables (the repo-specific knowledge lives here).
+// ---------------------------------------------------------------------
+
+/** Classes whose public mutating methods must carry an annotation. */
+const char *const kNetDomainClasses[] = {
+    "OutQueue", "WaitBuffer", "MessagePool", "Message", "SystolicQueue",
+};
+
+/** The annotation macros accepted by UL-COV-001. */
+const char *const kAnnotationMacros[] = {
+    "ULTRA_CHECK_NET_MUTATE",    "ULTRA_CHECK_NET_DEQUEUE",
+    "ULTRA_CHECK_COMPUTE_WRITE", "ULTRA_CHECK_COMPUTE_READ",
+    "ULTRA_CHECK_COMMIT_ONLY",
+};
+
+/** Compute-phase entry points for UL-PHASE-001 (Cls::method).  Any
+ *  function containing a COMPUTE_WRITE/COMPUTE_READ annotation is an
+ *  entry as well. */
+const char *const kComputeEntries[] = {
+    "Network::arrivalPhaseUnit", // parallel arrival phase, per unit
+    "Network::execPulls",        // departure-window stage ranks
+    "Pe::step",                  // PE compute phase
+};
+
+/** Nondeterminism sources for UL-DET-002 (callable identifiers). */
+const char *const kRawEntropy[] = {
+    "rand",         "srand",        "random_device",
+    "system_clock", "high_resolution_clock",
+};
+
+/** Files exempt from UL-DET-002: the seeded RNG wrapper itself. */
+const char *const kEntropyHome = "common/rng";
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+enum class TokKind : std::uint8_t { Ident, Punct, Num, Str };
+
+struct Tok
+{
+    TokKind kind;
+    std::string text;
+    int line;
+};
+
+struct SourceFile
+{
+    std::string path;    //!< as diagnosed (relative when possible)
+    std::vector<Tok> toks;
+    std::vector<std::string> rawLines;
+    std::map<int, std::string> comments; //!< line -> comment text
+};
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Tokenize C++ source.  Comments are recorded per line (for inline
+ *  allow markers); preprocessor directives are skipped whole (macro
+ *  *definitions* must not look like uses). */
+void
+lex(const std::string &text, SourceFile &out)
+{
+    std::size_t i = 0;
+    int line = 1;
+    const std::size_t n = text.size();
+    bool at_line_start = true;
+
+    auto record_comment = [&out](int at, const std::string &c) {
+        std::string &slot = out.comments[at];
+        slot += c;
+    };
+
+    while (i < n) {
+        const char c = text[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            at_line_start = true;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '#' && at_line_start) {
+            // Preprocessor directive: skip to end of line, honoring
+            // continuations and trailing comments.
+            while (i < n && text[i] != '\n') {
+                if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+                    ++line;
+                    i += 2;
+                    continue;
+                }
+                if (text[i] == '/' && i + 1 < n && text[i + 1] == '/') {
+                    const std::size_t start = i;
+                    while (i < n && text[i] != '\n')
+                        ++i;
+                    record_comment(line, text.substr(start, i - start));
+                    break;
+                }
+                ++i;
+            }
+            continue;
+        }
+        at_line_start = false;
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+            const std::size_t start = i;
+            while (i < n && text[i] != '\n')
+                ++i;
+            record_comment(line, text.substr(start, i - start));
+            continue;
+        }
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+            const int start_line = line;
+            const std::size_t start = i;
+            i += 2;
+            while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+                if (text[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            i = i + 2 <= n ? i + 2 : n;
+            record_comment(start_line, text.substr(start, i - start));
+            continue;
+        }
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            std::size_t j = i + 1;
+            while (j < n && text[j] != quote) {
+                if (text[j] == '\\')
+                    ++j;
+                if (text[j] == '\n')
+                    ++line;
+                ++j;
+            }
+            out.toks.push_back(
+                {TokKind::Str, text.substr(i, j + 1 - i), line});
+            i = j + 1;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < n && (isIdentChar(text[j]) || text[j] == '.' ||
+                             ((text[j] == '+' || text[j] == '-') &&
+                              (text[j - 1] == 'e' || text[j - 1] == 'E'))))
+                ++j;
+            out.toks.push_back({TokKind::Num, text.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        if (isIdentChar(c)) {
+            std::size_t j = i;
+            while (j < n && isIdentChar(text[j]))
+                ++j;
+            out.toks.push_back(
+                {TokKind::Ident, text.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        // Multi-char punctuators the passes care about.
+        static const char *const two[] = {"::", "->", "<<", ">>", "<=",
+                                          ">=", "==", "!=", "&&", "||"};
+        bool matched = false;
+        for (const char *p : two) {
+            if (i + 1 < n && text[i] == p[0] && text[i + 1] == p[1]) {
+                out.toks.push_back({TokKind::Punct, p, line});
+                i += 2;
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+        out.toks.push_back({TokKind::Punct, std::string(1, c), line});
+        ++i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structural pass: classes, methods, functions, declarations
+// ---------------------------------------------------------------------
+
+struct Method
+{
+    std::string cls;  //!< empty for free functions
+    std::string name;
+    int line = 0;
+    int fileIdx = -1;
+    bool isConst = false;
+    bool isStatic = false;
+    bool isPublic = true;
+    bool isCtorDtor = false;
+    long bodyBegin = -1; //!< token index of '{', -1 = declaration only
+    long bodyEnd = -1;   //!< token index one past the matching '}'
+    std::string annotation; //!< first ULTRA_CHECK_* macro in the body
+};
+
+struct ClassInfo
+{
+    std::string name;
+    int line = 0;
+    int fileIdx = -1;
+    std::vector<Method> methods; //!< in-class declarations/definitions
+    std::map<std::string, std::string> memberTypes; //!< name -> type
+};
+
+struct ParsedFile
+{
+    SourceFile src;
+    std::vector<ClassInfo> classes;
+    std::vector<Method> functions; //!< all defs with bodies (free + methods)
+    std::map<std::string, std::string> declTypes; //!< container decls
+};
+
+const std::set<std::string> kKeywords = {
+    "if",       "for",      "while",    "switch",   "return",
+    "sizeof",   "catch",    "new",      "delete",   "do",
+    "else",     "case",     "goto",     "static_cast",
+    "dynamic_cast", "const_cast", "reinterpret_cast", "alignof",
+    "decltype", "noexcept", "throw",    "assert",   "defined",
+};
+
+long
+matchBrace(const std::vector<Tok> &toks, long open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Punct)
+            continue;
+        if (toks[i].text == "{")
+            ++depth;
+        else if (toks[i].text == "}" && --depth == 0)
+            return static_cast<long>(i) + 1;
+    }
+    return static_cast<long>(toks.size());
+}
+
+/** Skip a balanced <...> starting at toks[i] == "<"; returns the index
+ *  one past the closing ">".  Bails out (returns i + 1) when the angle
+ *  run hits ';' or '{' -- it was a comparison, not a template. */
+std::size_t
+skipAngles(const std::vector<Tok> &toks, std::size_t i)
+{
+    int depth = 0;
+    for (std::size_t j = i; j < toks.size(); ++j) {
+        const std::string &t = toks[j].text;
+        if (t == "<")
+            ++depth;
+        else if (t == ">" && --depth == 0)
+            return j + 1;
+        else if (t == ">>" && (depth -= 2) <= 0)
+            return j + 1;
+        else if (t == ";" || t == "{")
+            return i + 1;
+    }
+    return i + 1;
+}
+
+/** Record template-container declarations (vector<...> name, map<...>
+ *  name, unordered_map<...> name, ...) for the determinism rules. */
+void
+collectDecls(const std::vector<Tok> &toks,
+             std::map<std::string, std::string> &out)
+{
+    static const std::set<std::string> containers = {
+        "vector", "deque",         "array",         "span",
+        "map",    "set",           "unordered_map", "unordered_set",
+        "multimap", "unordered_multimap",
+    };
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Ident || !containers.count(toks[i].text))
+            continue;
+        if (toks[i + 1].text != "<")
+            continue;
+        const std::size_t end = skipAngles(toks, i + 1);
+        if (end <= i + 2 || end >= toks.size())
+            continue;
+        // Template argument text (for pointer-element detection).
+        std::string args;
+        for (std::size_t j = i + 2; j + 1 < end; ++j)
+            args += toks[j].text;
+        std::size_t j = end;
+        while (j < toks.size() &&
+               (toks[j].text == "&" || toks[j].text == "*"))
+            ++j;
+        if (j < toks.size() && toks[j].kind == TokKind::Ident &&
+            !kKeywords.count(toks[j].text)) {
+            out[toks[j].text] = toks[i].text + "<" + args + ">";
+        }
+    }
+}
+
+/**
+ * Parse one statement's worth of tokens starting at @p i inside a class
+ * body or at namespace scope, appending found methods/members, and
+ * return the index one past the statement.
+ */
+std::size_t
+parseStatement(const std::vector<Tok> &toks, std::size_t i, int fileIdx,
+               ClassInfo *cls, int access, std::vector<Method> &defs,
+               std::vector<ClassInfo> &classes);
+
+/** Parse a class/struct body given the token index of its '{'. */
+void
+parseClassBody(const std::vector<Tok> &toks, long open, long close,
+               int fileIdx, ClassInfo &info,
+               std::vector<Method> &defs, std::vector<ClassInfo> &classes,
+               bool is_struct)
+{
+    int access = is_struct ? 0 : 2; // 0 = public, 2 = private
+    std::size_t i = open + 1;
+    while (static_cast<long>(i) < close - 1) {
+        const Tok &t = toks[i];
+        if (t.kind == TokKind::Ident &&
+            (t.text == "public" || t.text == "private" ||
+             t.text == "protected") &&
+            i + 1 < toks.size() && toks[i + 1].text == ":") {
+            access = t.text == "public" ? 0 : t.text == "protected" ? 1 : 2;
+            i += 2;
+            continue;
+        }
+        i = parseStatement(toks, i, fileIdx, &info, access, defs, classes);
+    }
+}
+
+std::size_t
+parseStatement(const std::vector<Tok> &toks, std::size_t i, int fileIdx,
+               ClassInfo *cls, int access, std::vector<Method> &defs,
+               std::vector<ClassInfo> &classes)
+{
+    const std::size_t n = toks.size();
+    if (i >= n)
+        return n;
+
+    // Skip stray punctuation.
+    if (toks[i].kind == TokKind::Punct) {
+        if (toks[i].text == "{")
+            return matchBrace(toks, static_cast<long>(i));
+        return i + 1;
+    }
+
+    // template <...> prefix.
+    if (toks[i].text == "template" && i + 1 < n &&
+        toks[i + 1].text == "<") {
+        return parseStatement(toks, skipAngles(toks, i + 1), fileIdx, cls,
+                              access, defs, classes);
+    }
+
+    // using / typedef / friend / static_assert: skip to ';'.
+    if (toks[i].text == "using" || toks[i].text == "typedef" ||
+        toks[i].text == "friend" || toks[i].text == "static_assert") {
+        while (i < n && toks[i].text != ";")
+            ++i;
+        return i + 1;
+    }
+
+    // namespace N { ... }: recurse transparently.
+    if (toks[i].text == "namespace") {
+        std::size_t j = i + 1;
+        while (j < n && toks[j].text != "{" && toks[j].text != ";")
+            ++j;
+        if (j >= n || toks[j].text == ";")
+            return j + 1;
+        const long close = matchBrace(toks, static_cast<long>(j));
+        std::size_t k = j + 1;
+        while (static_cast<long>(k) < close - 1)
+            k = parseStatement(toks, k, fileIdx, nullptr, 0, defs, classes);
+        return static_cast<std::size_t>(close);
+    }
+
+    // enum [class] ...: skip body.
+    if (toks[i].text == "enum") {
+        std::size_t j = i;
+        while (j < n && toks[j].text != "{" && toks[j].text != ";")
+            ++j;
+        if (j < n && toks[j].text == "{")
+            j = matchBrace(toks, static_cast<long>(j));
+        while (j < n && toks[j].text != ";")
+            ++j;
+        return j + 1;
+    }
+
+    // class/struct/union definition (possibly nested).
+    if (toks[i].text == "class" || toks[i].text == "struct" ||
+        toks[i].text == "union") {
+        const bool is_struct = toks[i].text != "class";
+        std::size_t j = i + 1;
+        std::string name;
+        while (j < n && toks[j].kind == TokKind::Ident) {
+            name = toks[j].text; // last ident before { / : / ; wins
+            ++j;
+            if (j < n && toks[j].text == "<")
+                j = skipAngles(toks, j); // specializations
+        }
+        // Find the body '{' at angle depth 0 (base clause may carry
+        // templates), or ';' for a forward declaration / member decl.
+        while (j < n && toks[j].text != "{" && toks[j].text != ";") {
+            if (toks[j].text == "<") {
+                j = skipAngles(toks, j);
+                continue;
+            }
+            ++j;
+        }
+        if (j >= n || toks[j].text == ";")
+            return j + 1;
+        const long close = matchBrace(toks, static_cast<long>(j));
+        ClassInfo info;
+        info.name = name;
+        info.line = toks[i].line;
+        info.fileIdx = fileIdx;
+        parseClassBody(toks, static_cast<long>(j), close, fileIdx, info,
+                       defs, classes, is_struct);
+        classes.push_back(std::move(info));
+        // Trailing declarator (`} name;`) -- treat as a member.
+        std::size_t k = static_cast<std::size_t>(close);
+        while (k < n && toks[k].text != ";" && toks[k].text != "{")
+            ++k;
+        return k + 1;
+    }
+
+    // Generic statement: scan to ';' or a body '{' at depth 0, tracking
+    // whether a top-level parameter list was seen (function-ness).
+    const std::size_t start = i;
+    int paren = 0;
+    long paren_open = -1, paren_close = -1;
+    bool saw_params = false;
+    std::size_t j = i;
+    for (; j < n; ++j) {
+        const std::string &t = toks[j].text;
+        if (toks[j].kind != TokKind::Punct) {
+            if (t == "operator") {
+                // operator<, operator(), ...: consume the symbol so its
+                // punctuation is not mistaken for structure.
+                ++j;
+                while (j < n && toks[j].text != "(")
+                    ++j;
+                --j;
+            }
+            continue;
+        }
+        if (t == "(") {
+            if (paren == 0 && paren_open < 0) {
+                paren_open = static_cast<long>(j);
+                saw_params = true;
+            }
+            ++paren;
+        } else if (t == ")") {
+            --paren;
+            if (paren == 0 && paren_close < 0 &&
+                paren_open >= 0) {
+                paren_close = static_cast<long>(j);
+            }
+        } else if (t == "<" && paren == 0 && paren_close < 0) {
+            const std::size_t after = skipAngles(toks, j);
+            if (after > j + 1) {
+                j = after - 1;
+                continue;
+            }
+        } else if (t == ";" && paren == 0) {
+            break;
+        } else if (t == "{" && paren == 0) {
+            if (!saw_params || paren_close < 0) {
+                // Brace initializer (`Histogram h{2, 256};`): consume
+                // and continue to the ';'.
+                j = static_cast<std::size_t>(
+                        matchBrace(toks, static_cast<long>(j))) -
+                    1;
+                saw_params = false;
+                continue;
+            }
+            break;
+        } else if (t == "=" && paren == 0 && paren_close >= 0) {
+            // `= default` / `= delete` / `= 0`: declaration, not body.
+            saw_params = false;
+            while (j < n && toks[j].text != ";")
+                ++j;
+            break;
+        }
+    }
+    if (j >= n)
+        return n;
+
+    const bool has_body = toks[j].text == "{" && saw_params;
+    if (paren_open > 0 && paren_close > paren_open) {
+        // Function declaration or definition.  Name = ident before '('.
+        Method m;
+        m.fileIdx = fileIdx;
+        long name_idx = paren_open - 1;
+        if (toks[name_idx].kind == TokKind::Ident ||
+            toks[name_idx].kind == TokKind::Punct) {
+            // operatorX: name is "operator" + symbol(s).
+            long k = name_idx;
+            while (k > static_cast<long>(start) &&
+                   toks[k].kind == TokKind::Punct &&
+                   toks[k].text != "::" && toks[k].text != "*" &&
+                   toks[k].text != "&")
+                --k;
+            if (toks[k].kind == TokKind::Ident &&
+                toks[k].text == "operator") {
+                m.name = "operator";
+                for (long q = k + 1; q <= name_idx; ++q)
+                    m.name += toks[q].text;
+                name_idx = k;
+            }
+        }
+        if (m.name.empty()) {
+            if (toks[name_idx].kind != TokKind::Ident)
+                return j + 1; // not a function shape we model
+            m.name = toks[name_idx].text;
+        }
+        m.line = toks[name_idx].line;
+        // Qualification: `Cls :: name (` -> out-of-line method.
+        if (name_idx >= 2 && toks[name_idx - 1].text == "::" &&
+            toks[name_idx - 2].kind == TokKind::Ident) {
+            m.cls = toks[name_idx - 2].text;
+        } else if (cls != nullptr) {
+            m.cls = cls->name;
+        }
+        // Ctor/dtor.
+        if (!m.cls.empty() &&
+            (m.name == m.cls ||
+             (name_idx >= 1 && toks[name_idx - 1].text == "~"))) {
+            m.isCtorDtor = true;
+        }
+        for (std::size_t q = start; static_cast<long>(q) < paren_open;
+             ++q) {
+            if (toks[q].text == "static")
+                m.isStatic = true;
+        }
+        for (long q = paren_close + 1; q < static_cast<long>(j); ++q) {
+            if (toks[q].text == "const")
+                m.isConst = true;
+        }
+        m.isPublic = access == 0;
+        if (has_body) {
+            m.bodyBegin = static_cast<long>(j);
+            m.bodyEnd = matchBrace(toks, static_cast<long>(j));
+            for (long q = m.bodyBegin; q < m.bodyEnd; ++q) {
+                if (toks[q].kind == TokKind::Ident &&
+                    toks[q].text.rfind("ULTRA_CHECK_", 0) == 0 &&
+                    m.annotation.empty()) {
+                    for (const char *macro : kAnnotationMacros) {
+                        if (toks[q].text == macro)
+                            m.annotation = macro;
+                    }
+                }
+            }
+        }
+        if (cls != nullptr)
+            cls->methods.push_back(m);
+        if (has_body)
+            defs.push_back(m);
+        return has_body ? static_cast<std::size_t>(m.bodyEnd) : j + 1;
+    }
+
+    // Data member / plain declaration: record `name` for the class.
+    if (cls != nullptr && toks[j].text == ";") {
+        long name_idx = static_cast<long>(j) - 1;
+        // `Type name = init;` / `Type name{init};`: walk back to the
+        // declarator.
+        for (long q = static_cast<long>(start); q < static_cast<long>(j);
+             ++q) {
+            if (toks[q].text == "=" || toks[q].text == "{") {
+                name_idx = q - 1;
+                break;
+            }
+        }
+        if (name_idx >= static_cast<long>(start) &&
+            toks[name_idx].kind == TokKind::Ident) {
+            std::string type;
+            for (long q = static_cast<long>(start); q < name_idx; ++q) {
+                type += toks[q].text;
+                type += ' ';
+            }
+            cls->memberTypes[toks[name_idx].text] = type;
+        }
+    }
+    return j + 1;
+}
+
+void
+parseFile(ParsedFile &pf)
+{
+    std::size_t i = 0;
+    const int fileIdx = 0; // per-file parse; index fixed up by caller
+    while (i < pf.src.toks.size()) {
+        i = parseStatement(pf.src.toks, i, fileIdx, nullptr, 0,
+                           pf.functions, pf.classes);
+    }
+    collectDecls(pf.src.toks, pf.declTypes);
+    for (const ClassInfo &c : pf.classes) {
+        for (const auto &[name, type] : c.memberTypes) {
+            if (pf.declTypes.count(name) == 0 &&
+                type.find('<') != std::string::npos) {
+                // Re-derive container element info from the member type.
+                std::map<std::string, std::string> tmp;
+                SourceFile sf;
+                lex(type + " " + name + " ;", sf);
+                collectDecls(sf.toks, tmp);
+                for (auto &kv : tmp)
+                    pf.declTypes.insert(kv);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Diagnostics and allowlist
+// ---------------------------------------------------------------------
+
+struct Diag
+{
+    std::string file;
+    int line;
+    std::string rule;
+    std::string msg;
+
+    bool
+    operator<(const Diag &o) const
+    {
+        if (file != o.file)
+            return file < o.file;
+        if (line != o.line)
+            return line < o.line;
+        if (rule != o.rule)
+            return rule < o.rule;
+        return msg < o.msg;
+    }
+};
+
+struct Allowlist
+{
+    /** rule -> set of keys (Cls::method, Entry->Target, file:ident). */
+    std::map<std::string, std::map<std::string, std::string>> entries;
+
+    bool
+    allows(const std::string &rule, const std::string &key) const
+    {
+        auto it = entries.find(rule);
+        return it != entries.end() && it->second.count(key) > 0;
+    }
+
+    const std::string *
+    reason(const std::string &rule, const std::string &key) const
+    {
+        auto it = entries.find(rule);
+        if (it == entries.end())
+            return nullptr;
+        auto jt = it->second.find(key);
+        return jt == it->second.end() ? nullptr : &jt->second;
+    }
+};
+
+bool
+loadAllowlist(const std::string &path, Allowlist &out, std::string &err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        err = "cannot open allowlist '" + path + "'";
+        return false;
+    }
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        std::istringstream is(line);
+        std::string rule, key;
+        is >> rule >> key;
+        std::string reason;
+        std::getline(is, reason);
+        const std::size_t r = reason.find_first_not_of(" \t");
+        reason = r == std::string::npos ? "" : reason.substr(r);
+        if (rule.rfind("UL-", 0) != 0 || key.empty() || reason.empty()) {
+            err = path + ":" + std::to_string(lineno) +
+                  ": malformed allowlist entry (want: RULE key reason)";
+            return false;
+        }
+        out.entries[rule][key] = reason;
+    }
+    return true;
+}
+
+/** Inline `ultralint: allow(RULE...)` on the line or the line above. */
+bool
+inlineAllowed(const SourceFile &src, int line, const std::string &rule)
+{
+    auto has_marker = [&rule](const std::string &text) {
+        const std::size_t at = text.find("ultralint: allow(");
+        if (at == std::string::npos)
+            return false;
+        const std::size_t close = text.find(')', at);
+        if (close == std::string::npos)
+            return false;
+        return text.substr(at, close - at).find(rule) != std::string::npos;
+    };
+    // The flagged line itself, then the contiguous comment block
+    // directly above it (a marker may open a multi-line comment).
+    auto it = src.comments.find(line);
+    if (it != src.comments.end() && has_marker(it->second))
+        return true;
+    for (int l = line - 1; l >= 1; --l) {
+        it = src.comments.find(l);
+        if (it == src.comments.end())
+            break;
+        if (has_marker(it->second))
+            return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------
+
+struct Analysis
+{
+    std::vector<ParsedFile> files;
+    Allowlist allow;
+    std::vector<Diag> diags;
+    /** Coverage-report lines, keyed (class, method) for determinism. */
+    std::map<std::string, std::map<std::string, std::string>> coverage;
+
+    void
+    emit(const ParsedFile &pf, int line, const std::string &rule,
+         const std::string &msg, const std::string &allow_key = "")
+    {
+        if (!allow_key.empty() && allow.allows(rule, allow_key))
+            return;
+        if (inlineAllowed(pf.src, line, rule))
+            return;
+        diags.push_back({pf.src.path, line, rule, msg});
+    }
+};
+
+bool
+isNetDomainClass(const std::string &name)
+{
+    for (const char *c : kNetDomainClasses) {
+        if (name == c)
+            return true;
+    }
+    return false;
+}
+
+/** UL-COV-001 + the coverage report. */
+void
+ruleAnnotationCoverage(Analysis &a)
+{
+    // Index out-of-line definitions: Cls::name -> annotation/body info.
+    std::map<std::string, const Method *> defs;
+    for (const ParsedFile &pf : a.files) {
+        for (const Method &m : pf.functions) {
+            if (!m.cls.empty())
+                defs.emplace(m.cls + "::" + m.name, &m);
+        }
+    }
+
+    for (const ParsedFile &pf : a.files) {
+        for (const ClassInfo &c : pf.classes) {
+            if (!isNetDomainClass(c.name))
+                continue;
+            auto &report = a.coverage[c.name];
+            if (c.methods.empty()) {
+                report["(no methods)"] =
+                    "data-only; covered by its owner's annotations";
+                continue;
+            }
+            for (const Method &m : c.methods) {
+                const std::string key = c.name + "::" + m.name;
+                if (m.isCtorDtor || m.isStatic)
+                    continue;
+                if (m.isConst) {
+                    report[m.name] = "const (not checked)";
+                    continue;
+                }
+                if (!m.isPublic) {
+                    report[m.name] = "private (reached via public "
+                                     "annotated methods)";
+                    continue;
+                }
+                // Resolve the body: in-class or out-of-line.
+                std::string annotation = m.annotation;
+                bool has_body = m.bodyBegin >= 0;
+                if (!has_body) {
+                    auto it = defs.find(key);
+                    if (it != defs.end()) {
+                        has_body = true;
+                        annotation = it->second->annotation;
+                    }
+                }
+                if (const std::string *why =
+                        a.allow.reason("UL-COV-001", key)) {
+                    report[m.name] = "allowlisted: " + *why;
+                    continue;
+                }
+                if (!has_body) {
+                    report[m.name] = "no definition found (not checked)";
+                    continue;
+                }
+                if (!annotation.empty()) {
+                    report[m.name] = annotation;
+                    continue;
+                }
+                report[m.name] = "MISSING";
+                a.emit(pf, m.line, "UL-COV-001",
+                       "net-domain class '" + c.name +
+                           "': public mutating method '" + m.name +
+                           "' lacks an ULTRA_CHECK annotation (or an "
+                           "allowlist entry)",
+                       key);
+            }
+        }
+    }
+}
+
+/** UL-COV-002: annotation owner arguments must be bound fields. */
+void
+ruleOwnerArguments(Analysis &a)
+{
+    for (const ParsedFile &pf : a.files) {
+        const std::vector<Tok> &toks = pf.src.toks;
+        for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+            if (toks[i].kind != TokKind::Ident)
+                continue;
+            const bool mutate = toks[i].text == "ULTRA_CHECK_NET_MUTATE";
+            const bool dequeue =
+                toks[i].text == "ULTRA_CHECK_NET_DEQUEUE";
+            if ((!mutate && !dequeue) || toks[i + 1].text != "(")
+                continue;
+            // Owner args = every top-level arg after the first.
+            int depth = 0;
+            int arg = 0;
+            for (std::size_t j = i + 1; j < toks.size(); ++j) {
+                const std::string &t = toks[j].text;
+                if (t == "(") {
+                    ++depth;
+                } else if (t == ")") {
+                    if (--depth == 0)
+                        break;
+                } else if (t == "," && depth == 1) {
+                    ++arg;
+                    if (toks[j + 1].kind == TokKind::Num) {
+                        a.emit(pf, toks[j + 1].line, "UL-COV-002",
+                               "annotation owner argument '" +
+                                   toks[j + 1].text +
+                                   "' is a literal; bind the "
+                                   "component's owner field instead");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/** UL-COV-003: annotation users include check/phase_check.h directly. */
+void
+ruleAnnotationInclude(Analysis &a)
+{
+    for (const ParsedFile &pf : a.files) {
+        if (pf.src.path.find("check/phase_check.") != std::string::npos)
+            continue;
+        int first_use = 0;
+        for (const Tok &t : pf.src.toks) {
+            if (t.kind != TokKind::Ident)
+                continue;
+            for (const char *macro : kAnnotationMacros) {
+                if (t.text == macro) {
+                    first_use = t.line;
+                    break;
+                }
+            }
+            if (first_use != 0)
+                break;
+        }
+        if (first_use == 0)
+            continue;
+        bool included = false;
+        for (const std::string &line : pf.src.rawLines) {
+            if (line.find("#include") != std::string::npos &&
+                line.find("\"check/phase_check.h\"") != std::string::npos) {
+                included = true;
+                break;
+            }
+        }
+        if (!included) {
+            a.emit(pf, first_use, "UL-COV-003",
+                   "ULTRA_CHECK annotation used but "
+                   "\"check/phase_check.h\" is not included directly");
+        }
+    }
+}
+
+/** UL-PHASE-001: compute entries must not reach commit-only mutators. */
+void
+rulePhaseReachability(Analysis &a)
+{
+    struct Def
+    {
+        const ParsedFile *pf;
+        const Method *m;
+        std::string qual; //!< Cls::name or name
+        bool commitOnly = false;
+        bool entry = false;
+    };
+    std::vector<Def> defs;
+    std::map<std::string, std::vector<std::size_t>> byName;
+    for (const ParsedFile &pf : a.files) {
+        for (const Method &m : pf.functions) {
+            Def d;
+            d.pf = &pf;
+            d.m = &m;
+            d.qual = m.cls.empty() ? m.name : m.cls + "::" + m.name;
+            d.commitOnly = m.annotation == "ULTRA_CHECK_COMMIT_ONLY";
+            d.entry = m.annotation == "ULTRA_CHECK_COMPUTE_WRITE" ||
+                      m.annotation == "ULTRA_CHECK_COMPUTE_READ";
+            for (const char *e : kComputeEntries) {
+                if (d.qual == e)
+                    d.entry = true;
+            }
+            byName[m.name].push_back(defs.size());
+            defs.push_back(d);
+        }
+    }
+
+    // Conservative edges: an identifier followed by '(' inside a body
+    // calls every known function of that name -- except that when the
+    // caller's own class has one, C++ lookup picks it.
+    auto edges = [&](std::size_t from) {
+        std::vector<std::size_t> out;
+        const Def &d = defs[from];
+        const std::vector<Tok> &toks = d.pf->src.toks;
+        for (long i = d.m->bodyBegin; i + 1 < d.m->bodyEnd; ++i) {
+            if (toks[i].kind != TokKind::Ident ||
+                toks[i + 1].text != "(" || kKeywords.count(toks[i].text))
+                continue;
+            auto it = byName.find(toks[i].text);
+            if (it == byName.end())
+                continue;
+            // Qualified call: Cls::name(...) resolves exactly.
+            std::string qual_cls;
+            if (i >= 2 && toks[i - 1].text == "::" &&
+                toks[i - 2].kind == TokKind::Ident)
+                qual_cls = toks[i - 2].text;
+            bool same_class = false;
+            for (std::size_t t : it->second) {
+                if (!qual_cls.empty()) {
+                    if (defs[t].m->cls == qual_cls)
+                        out.push_back(t);
+                } else if (defs[t].m->cls == d.m->cls) {
+                    same_class = true;
+                }
+            }
+            if (!qual_cls.empty())
+                continue;
+            for (std::size_t t : it->second) {
+                if (!same_class || defs[t].m->cls == d.m->cls)
+                    out.push_back(t);
+            }
+        }
+        return out;
+    };
+
+    for (std::size_t e = 0; e < defs.size(); ++e) {
+        if (!defs[e].entry)
+            continue;
+        // BFS with parents for path reporting.
+        std::map<std::size_t, std::size_t> parent;
+        std::vector<std::size_t> queue{e};
+        parent[e] = e;
+        for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+            const std::size_t cur = queue[qi];
+            for (std::size_t nxt : edges(cur)) {
+                if (parent.count(nxt))
+                    continue;
+                parent[nxt] = cur;
+                if (defs[nxt].commitOnly) {
+                    // Allowlist key: Entry->Target (qualified).
+                    const std::string key =
+                        defs[e].qual + "->" + defs[nxt].qual;
+                    std::vector<std::string> path;
+                    for (std::size_t p = nxt;; p = parent[p]) {
+                        path.push_back(defs[p].qual);
+                        if (p == e)
+                            break;
+                    }
+                    std::reverse(path.begin(), path.end());
+                    std::string via;
+                    for (std::size_t p = 0; p < path.size(); ++p) {
+                        if (p)
+                            via += " -> ";
+                        via += path[p];
+                    }
+                    a.emit(*defs[e].pf, defs[e].m->line, "UL-PHASE-001",
+                           "compute-phase entry '" + defs[e].qual +
+                               "' reaches commit-only '" +
+                               defs[nxt].qual + "' via: " + via,
+                           key);
+                    continue; // do not traverse past a commit-only def
+                }
+                queue.push_back(nxt);
+            }
+        }
+    }
+}
+
+/** UL-DET-001: iteration over unordered containers. */
+void
+ruleUnorderedIteration(Analysis &a)
+{
+    for (const ParsedFile &pf : a.files) {
+        std::set<std::string> unordered;
+        for (const auto &[name, type] : pf.declTypes) {
+            if (type.rfind("unordered_", 0) == 0)
+                unordered.insert(name);
+        }
+        if (unordered.empty())
+            continue;
+        const std::vector<Tok> &toks = pf.src.toks;
+        for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+            // Range-for: `for ( ... : expr )` with an unordered name in
+            // the range expression.
+            if (toks[i].text == "for" && toks[i + 1].text == "(") {
+                int depth = 0;
+                long colon = -1;
+                std::size_t close = i + 1;
+                for (std::size_t j = i + 1; j < toks.size(); ++j) {
+                    if (toks[j].text == "(")
+                        ++depth;
+                    else if (toks[j].text == ")" && --depth == 0) {
+                        close = j;
+                        break;
+                    } else if (toks[j].text == ":" && depth == 1)
+                        colon = static_cast<long>(j);
+                }
+                if (colon > 0) {
+                    for (std::size_t j = colon + 1; j < close; ++j) {
+                        if (toks[j].kind == TokKind::Ident &&
+                            unordered.count(toks[j].text)) {
+                            a.emit(pf, toks[j].line, "UL-DET-001",
+                                   "iteration order of '" + toks[j].text +
+                                       "' (std::unordered_*) is "
+                                       "nondeterministic; iterate a "
+                                       "sorted view or use an ordered "
+                                       "container");
+                        }
+                    }
+                }
+            }
+            // Explicit begin(): `x.begin()` on an unordered container
+            // (hash-order traversal however it is consumed).
+            if (toks[i].kind == TokKind::Ident &&
+                unordered.count(toks[i].text) &&
+                (toks[i + 1].text == "." || toks[i + 1].text == "->") &&
+                toks[i + 2].text == "begin") {
+                a.emit(pf, toks[i].line, "UL-DET-001",
+                       "iteration order of '" + toks[i].text +
+                           "' (std::unordered_*) is nondeterministic; "
+                           "iterate a sorted view or use an ordered "
+                           "container");
+            }
+        }
+    }
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+callArgs(const std::vector<Tok> &toks, std::size_t open);
+
+/** UL-DET-002: raw entropy / wall-clock sources outside common/rng. */
+void
+ruleRawEntropy(Analysis &a)
+{
+    for (const ParsedFile &pf : a.files) {
+        if (pf.src.path.find(kEntropyHome) != std::string::npos)
+            continue;
+        const std::vector<Tok> &toks = pf.src.toks;
+        for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+            if (toks[i].kind != TokKind::Ident)
+                continue;
+            const std::string &t = toks[i].text;
+            bool hit = false;
+            for (const char *src : kRawEntropy) {
+                if (t == src)
+                    hit = true;
+            }
+            // `time(...)` / `clock()` only in their libc entropy
+            // shapes -- time(nullptr)/time(0)/clock() -- the words are
+            // too common as member names otherwise.
+            if ((t == "time" || t == "clock") && toks[i + 1].text == "(" &&
+                (i == 0 || (toks[i - 1].text != "." &&
+                            toks[i - 1].text != "->" &&
+                            toks[i - 1].text != "::"))) {
+                const auto args = callArgs(toks, i + 1);
+                const bool entropy_shape =
+                    args.empty() ||
+                    (args.size() == 1 &&
+                     args[0].second == args[0].first + 1 &&
+                     (toks[args[0].first].text == "nullptr" ||
+                      toks[args[0].first].text == "NULL" ||
+                      toks[args[0].first].text == "0"));
+                if (entropy_shape)
+                    hit = true;
+            }
+            if (!hit)
+                continue;
+            if (t != "time" && t != "clock" && toks[i + 1].text != "(" &&
+                toks[i + 1].text != "::" && toks[i + 1].text != ";" &&
+                toks[i + 1].kind != TokKind::Ident)
+                continue;
+            a.emit(pf, toks[i].line, "UL-DET-002",
+                   "nondeterminism source '" + t +
+                       "' outside common/rng; derive from the seeded "
+                       "ultra::Rng streams instead");
+        }
+    }
+}
+
+/** UL-DET-003: thread_local state. */
+void
+ruleThreadLocal(Analysis &a)
+{
+    for (const ParsedFile &pf : a.files) {
+        for (const Tok &t : pf.src.toks) {
+            if (t.kind == TokKind::Ident && t.text == "thread_local") {
+                a.emit(pf, t.line, "UL-DET-003",
+                       "'thread_local' state in simulation code is "
+                       "thread-count-dependent; keep per-shard state in "
+                       "the shard plan");
+            }
+        }
+    }
+}
+
+/** Split the top-level arguments of a call whose '(' is at @p open. */
+std::vector<std::pair<std::size_t, std::size_t>>
+callArgs(const std::vector<Tok> &toks, std::size_t open)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> args;
+    int depth = 0;
+    int brackets = 0;
+    std::size_t arg_start = open + 1;
+    for (std::size_t j = open; j < toks.size(); ++j) {
+        const std::string &t = toks[j].text;
+        if (t == "(" || t == "{")
+            ++depth;
+        else if (t == ")" || t == "}") {
+            if (--depth == 0) {
+                if (j > arg_start)
+                    args.emplace_back(arg_start, j);
+                break;
+            }
+        } else if (t == "[")
+            ++brackets;
+        else if (t == "]")
+            --brackets;
+        else if (t == "," && depth == 1 && brackets == 0) {
+            args.emplace_back(arg_start, j);
+            arg_start = j + 1;
+        }
+    }
+    return args;
+}
+
+/** UL-DET-004 / UL-DET-005: sort-order hazards. */
+void
+ruleSortHazards(Analysis &a)
+{
+    for (const ParsedFile &pf : a.files) {
+        const std::vector<Tok> &toks = pf.src.toks;
+        for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+            if (toks[i].kind != TokKind::Ident || toks[i].text != "sort" ||
+                toks[i + 1].text != "(")
+                continue;
+            if (i >= 1 && (toks[i - 1].text == "." ||
+                           toks[i - 1].text == "->"))
+                continue; // member .sort() of something else
+            const auto args = callArgs(toks, i + 1);
+            if (args.size() < 2)
+                continue;
+            const int line = toks[i].line;
+
+            // UL-DET-004: two-arg sort of a pointer-element container.
+            if (args.size() == 2 &&
+                toks[args[0].first].kind == TokKind::Ident) {
+                const std::string &name = toks[args[0].first].text;
+                auto it = pf.declTypes.find(name);
+                if (it != pf.declTypes.end() &&
+                    it->second.find('*') != std::string::npos) {
+                    a.emit(pf, line, "UL-DET-004",
+                           "sorting pointer elements of '" + name +
+                               "' without a comparator orders by "
+                               "address; sort a stable key instead");
+                }
+            }
+
+            // UL-DET-005: lambda comparator over a single key.
+            if (args.size() == 3 && toks[args[2].first].text == "[") {
+                const std::size_t lb = args[2].first;
+                // [caps] ( p1 , p2 ) { return L OP R ; }
+                std::size_t j = lb;
+                while (j < args[2].second && toks[j].text != "]")
+                    ++j;
+                if (j + 1 >= args[2].second || toks[j + 1].text != "(")
+                    continue;
+                const auto params = callArgs(toks, j + 1);
+                if (params.size() != 2)
+                    continue;
+                auto param_name = [&](int which) {
+                    // Last identifier of the parameter declaration.
+                    std::string name;
+                    for (std::size_t q = params[which].first;
+                         q < params[which].second; ++q) {
+                        if (toks[q].kind == TokKind::Ident &&
+                            !kKeywords.count(toks[q].text))
+                            name = toks[q].text;
+                    }
+                    return name;
+                };
+                const std::string p1 = param_name(0), p2 = param_name(1);
+                if (p1.empty() || p2.empty())
+                    continue;
+                // Find the lambda body.
+                std::size_t body = params[1].second;
+                while (body < args[2].second && toks[body].text != "{")
+                    ++body;
+                if (body >= args[2].second)
+                    continue;
+                // Single `return L OP R ;` statement?
+                std::vector<std::string> stmt;
+                std::size_t q = body + 1;
+                for (; q < args[2].second && toks[q].text != "}"; ++q)
+                    stmt.push_back(toks[q].kind == TokKind::Ident &&
+                                           (toks[q].text == p1 ||
+                                            toks[q].text == p2)
+                                       ? "@param"
+                                       : toks[q].text);
+                if (stmt.size() < 4 || stmt.front() != "return" ||
+                    stmt.back() != ";")
+                    continue;
+                // Exactly one top-level comparison.
+                long op = -1;
+                int depth = 0;
+                for (std::size_t s = 1; s + 1 < stmt.size(); ++s) {
+                    if (stmt[s] == "(")
+                        ++depth;
+                    else if (stmt[s] == ")")
+                        --depth;
+                    else if (depth == 0 &&
+                             (stmt[s] == "<" || stmt[s] == ">")) {
+                        if (op >= 0) {
+                            op = -2;
+                            break;
+                        }
+                        op = static_cast<long>(s);
+                    }
+                }
+                if (op <= 0)
+                    continue;
+                const std::vector<std::string> lhs(stmt.begin() + 1,
+                                                   stmt.begin() + op);
+                const std::vector<std::string> rhs(stmt.begin() + op + 1,
+                                                   stmt.end() - 1);
+                if (lhs == rhs) {
+                    a.emit(pf, line, "UL-DET-005",
+                           "std::sort with a single-key comparator: "
+                           "tie order falls to the library; use "
+                           "std::stable_sort or add a total-order "
+                           "tie-break");
+                }
+            }
+        }
+    }
+}
+
+/** UL-DET-006: unordered floating-point reductions. */
+void
+ruleFpReduction(Analysis &a)
+{
+    for (const ParsedFile &pf : a.files) {
+        const std::vector<Tok> &toks = pf.src.toks;
+        for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+            if (toks[i].kind != TokKind::Ident)
+                continue;
+            const std::string &t = toks[i].text;
+            if (t == "execution" && toks[i + 1].text == "::" &&
+                (toks[i + 2].text == "par" ||
+                 toks[i + 2].text == "par_unseq" ||
+                 toks[i + 2].text == "unseq")) {
+                a.emit(pf, toks[i].line, "UL-DET-006",
+                       "parallel execution policy reorders reductions; "
+                       "floating-point sums become "
+                       "schedule-dependent");
+            }
+            if (t == "atomic" && toks[i + 1].text == "<" &&
+                (toks[i + 2].text == "double" ||
+                 toks[i + 2].text == "float")) {
+                a.emit(pf, toks[i].line, "UL-DET-006",
+                       "atomic floating-point accumulation is "
+                       "order-dependent; stage per-shard partials and "
+                       "fold them in unit order");
+            }
+            if ((t == "reduce" || t == "transform_reduce") &&
+                toks[i + 1].text == "(" && i >= 1 &&
+                toks[i - 1].text == "::") {
+                a.emit(pf, toks[i].line, "UL-DET-006",
+                       "std::" + t +
+                           " makes no ordering guarantee; use "
+                           "std::accumulate or a unit-order fold");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// File collection and driver
+// ---------------------------------------------------------------------
+
+bool
+readFile(const fs::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+void
+splitLines(const std::string &text, std::vector<std::string> &out)
+{
+    std::string cur;
+    for (char c : text) {
+        if (c == '\n') {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out.push_back(cur);
+}
+
+/** Collect *.h / *.cc under root/src (sorted, relative paths). */
+std::vector<fs::path>
+collectTree(const fs::path &root)
+{
+    std::vector<fs::path> files;
+    const fs::path src = root / "src";
+    const fs::path base = fs::exists(src) ? src : root;
+    for (const auto &entry : fs::recursive_directory_iterator(base)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".h" || ext == ".cc")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+/** Root deduced from compile_commands.json: the directory holding the
+ *  first "file" entry's `src/` ancestor. */
+bool
+rootFromCompdb(const fs::path &compdb, fs::path &root, std::string &err)
+{
+    std::string text;
+    if (!readFile(compdb, text)) {
+        err = "cannot open compilation database '" + compdb.string() + "'";
+        return false;
+    }
+    // Minimal extraction: every `"file": "..."` value.
+    std::size_t at = 0;
+    while ((at = text.find("\"file\"", at)) != std::string::npos) {
+        const std::size_t q1 = text.find('"', at + 6 + 1);
+        const std::size_t q2 =
+            q1 == std::string::npos ? q1 : text.find('"', q1 + 1);
+        if (q2 == std::string::npos)
+            break;
+        const fs::path f = text.substr(q1 + 1, q2 - q1 - 1);
+        for (fs::path p = f.parent_path(); !p.empty();
+             p = p.parent_path()) {
+            if (p.filename() == "src") {
+                root = p.parent_path();
+                return true;
+            }
+            if (p == p.parent_path())
+                break;
+        }
+        at = q2;
+    }
+    err = "no src/ translation units in '" + compdb.string() + "'";
+    return false;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: ultralint [--compdb compile_commands.json | --root DIR |"
+        " FILE...]\n"
+        "                 [--allowlist FILE] [--report FILE]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string compdb, rootArg, allowPath, reportPath;
+    std::vector<std::string> explicitFiles;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](std::string &slot) {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            slot = argv[++i];
+        };
+        if (arg == "--compdb")
+            next(compdb);
+        else if (arg == "--root")
+            next(rootArg);
+        else if (arg == "--allowlist")
+            next(allowPath);
+        else if (arg == "--report")
+            next(reportPath);
+        else if (arg == "--help") {
+            usage();
+            return 0;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            usage();
+            return 2;
+        } else {
+            explicitFiles.push_back(arg);
+        }
+    }
+
+    std::string err;
+    fs::path root;
+    std::vector<fs::path> files;
+    if (!explicitFiles.empty()) {
+        for (const std::string &f : explicitFiles)
+            files.emplace_back(f);
+        std::sort(files.begin(), files.end());
+    } else if (!rootArg.empty() || !compdb.empty()) {
+        if (!rootArg.empty()) {
+            root = rootArg;
+        } else if (!rootFromCompdb(compdb, root, err)) {
+            std::fprintf(stderr, "ultralint: %s\n", err.c_str());
+            return 2;
+        }
+        if (!fs::exists(root)) {
+            std::fprintf(stderr, "ultralint: no such root '%s'\n",
+                         root.string().c_str());
+            return 2;
+        }
+        files = collectTree(root);
+    } else {
+        usage();
+        return 2;
+    }
+
+    Analysis a;
+    if (!allowPath.empty() &&
+        !loadAllowlist(allowPath, a.allow, err)) {
+        std::fprintf(stderr, "ultralint: %s\n", err.c_str());
+        return 2;
+    }
+
+    for (const fs::path &p : files) {
+        std::string text;
+        if (!readFile(p, text)) {
+            std::fprintf(stderr, "ultralint: cannot read '%s'\n",
+                         p.string().c_str());
+            return 2;
+        }
+        ParsedFile pf;
+        pf.src.path =
+            root.empty()
+                ? p.generic_string()
+                : fs::relative(p, root).generic_string();
+        splitLines(text, pf.src.rawLines);
+        lex(text, pf.src);
+        parseFile(pf);
+        a.files.push_back(std::move(pf));
+    }
+
+    ruleAnnotationCoverage(a);
+    ruleOwnerArguments(a);
+    ruleAnnotationInclude(a);
+    rulePhaseReachability(a);
+    ruleUnorderedIteration(a);
+    ruleRawEntropy(a);
+    ruleThreadLocal(a);
+    ruleSortHazards(a);
+    ruleFpReduction(a);
+
+    std::sort(a.diags.begin(), a.diags.end());
+    a.diags.erase(std::unique(a.diags.begin(), a.diags.end(),
+                              [](const Diag &x, const Diag &y) {
+                                  return x.file == y.file &&
+                                         x.line == y.line &&
+                                         x.rule == y.rule &&
+                                         x.msg == y.msg;
+                              }),
+                  a.diags.end());
+    for (const Diag &d : a.diags) {
+        std::printf("%s:%d: [%s] %s\n", d.file.c_str(), d.line,
+                    d.rule.c_str(), d.msg.c_str());
+    }
+
+    if (!reportPath.empty()) {
+        std::ofstream rep(reportPath);
+        if (!rep) {
+            std::fprintf(stderr, "ultralint: cannot write report '%s'\n",
+                         reportPath.c_str());
+            return 2;
+        }
+        rep << "ultralint annotation-coverage report\n";
+        for (const auto &[cls, methods] : a.coverage) {
+            rep << "\nclass " << cls << "\n";
+            for (const auto &[name, status] : methods)
+                rep << "  " << name << ": " << status << "\n";
+        }
+        rep << "\ndiagnostics: " << a.diags.size() << "\n";
+    }
+
+    if (a.diags.empty()) {
+        std::printf("ultralint: clean (%zu files)\n", a.files.size());
+        return 0;
+    }
+    std::printf("ultralint: %zu diagnostic%s\n", a.diags.size(),
+                a.diags.size() == 1 ? "" : "s");
+    return 1;
+}
