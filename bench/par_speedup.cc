@@ -266,6 +266,32 @@ main(int argc, char **argv)
                 "(stats identical)\n",
                 results.back().seconds);
 
+    // One extra prof-instrumented pass at the widest engine, outside
+    // the timed reps (lap timers are cheap but not free): the artifact
+    // then records *why* the speedup stops where it does -- serial
+    // fraction, barrier wait, shard imbalance -- not just that it
+    // does.  `ultrascope --prof` renders the embedded report.
+    std::string prof_report;
+    {
+        core::MachineConfig cfg = core::MachineConfig::paperTable1();
+        cfg.threads = 8;
+        core::Machine machine(cfg);
+        machine.enableProfiling();
+        const Addr counter = machine.allocShared(1, "counter");
+        machine.launchAll(kPes, [counter, iterations](pe::Pe &pe)
+                              -> pe::Task {
+            for (int i = 0; i < iterations; ++i) {
+                co_await pe.compute(16);
+                co_await pe.fetchAdd(counter, 1);
+            }
+        });
+        if (!machine.run()) {
+            std::fprintf(stderr, "profiled run did not finish\n");
+            return 1;
+        }
+        prof_report = machine.profiler()->reportJson();
+    }
+
     TextTable table;
     table.setHeader({"host threads", "network", "departures",
                      "wall (s)", "self-speedup"});
@@ -309,7 +335,7 @@ main(int argc, char **argv)
                       i + 1 < results.size() ? "," : "");
         out << line;
     }
-    out << "  ]\n}\n";
+    out << "  ],\n  \"prof_8_threads\": " << prof_report << "\n}\n";
     std::printf("\nwrote %s\n", out_path.c_str());
     return 0;
 }

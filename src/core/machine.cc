@@ -55,6 +55,11 @@ memoryConfigFor(const MachineConfig &cfg)
     return mc;
 }
 
+/** Simulated cycles between prof counter rows on an event trace:
+ *  frequent enough to see phase-cost drift in the viewer, rare enough
+ *  to stay invisible in the run's wall clock. */
+constexpr Cycle kProfCounterPeriod = 64;
+
 } // namespace
 
 Machine::Machine(const MachineConfig &cfg)
@@ -194,6 +199,10 @@ Machine::prepareShards()
     }
     network_.setTickEngine(cfg_.shardedNetwork ? engine_.get()
                                                : nullptr);
+    if (prof_) {
+        engine_->setProfiler(prof_.get());
+        network_.setProfiler(prof_.get());
+    }
     shardPlan_ = par::ShardPlan::contiguous(shardPes_.size(), threads);
     shardDone_.assign(threads, 0);
 
@@ -234,6 +243,21 @@ bool
 Machine::run(Cycle max_cycles)
 {
     prepareShards();
+    prof::Profiler *const prof = prof_.get();
+    if (prof != nullptr)
+        prof->runBegin();
+    // Lap clock for phase attribution: each boundary stamps once and
+    // charges the span since the previous stamp, so the phase times
+    // tile the loop's wall clock with no double counting.  The network
+    // laps its own sub-phases internally; we only re-stamp after it.
+    std::uint64_t mark = prof != nullptr ? prof::Profiler::nowNs() : 0;
+    const auto lap = [&](prof::Phase p) {
+        if (prof == nullptr)
+            return;
+        const std::uint64_t next = prof::Profiler::nowNs();
+        prof->phaseAdd(p, next - mark);
+        mark = next;
+    };
     const Cycle deadline = now() + max_cycles;
     bool finished_all = false;
     while (now() < deadline) {
@@ -243,11 +267,14 @@ Machine::run(Cycle max_cycles)
         // consistent state and may block here indefinitely.
         if (cycleHook_)
             cycleHook_(now());
+        lap(prof::Phase::Hook);
         // Compute phase: step PE coroutines, one shard per thread.
         // Each shard touches only its own PEs' state and the PNI
         // staging its shard owns; everything else this phase reads
         // (now(), memory peeked before the run) is frozen.
         const Cycle cycle = now();
+        if (prof != nullptr)
+            prof->setEpisodePhase(prof::Phase::PeCompute);
         ULTRA_CHECK_COMPUTE_BEGIN(cycle);
         try {
             engine_->forEachShard([this, cycle](unsigned shard) {
@@ -258,6 +285,7 @@ Machine::run(Cycle max_cycles)
             throw;
         }
         ULTRA_CHECK_COMPUTE_END();
+        lap(prof::Phase::PeCompute);
         finished_all = true;
         for (unsigned char done : shardDone_)
             finished_all = finished_all && done != 0;
@@ -266,13 +294,23 @@ Machine::run(Cycle max_cycles)
         // Commit phase (sequential): staged requests issue in PE-id
         // order, the network and memory advance, observers sample.
         pni_.tick();
+        lap(prof::Phase::Pni);
         network_.tick();
+        if (prof != nullptr)
+            mark = prof::Profiler::nowNs();
         if (samplePeriod_ != 0 && now() % samplePeriod_ == 0) {
             sampler_.sample(now());
             lastSampleAt_ = now();
         }
+        lap(prof::Phase::Sampler);
+        if (prof != nullptr && eventTrace_ != nullptr &&
+            now() % kProfCounterPeriod == 0)
+            prof->flushCounters(*eventTrace_, now());
     }
     flushObservers();
+    lap(prof::Phase::Sampler);
+    if (prof != nullptr)
+        prof->runEnd(now());
     return finished_all;
 }
 
@@ -318,6 +356,16 @@ Machine::enableLatency()
     latency_->registerStats(registry_, "lat");
 }
 
+void
+Machine::enableProfiling()
+{
+    if (prof_)
+        return;
+    prof_ = std::make_unique<prof::Profiler>();
+    // Wiring to the engine and network happens in prepareShards(),
+    // which also re-runs on thread-count changes between runs.
+}
+
 std::string
 Machine::latencyJson() const
 {
@@ -338,6 +386,7 @@ Machine::latencyJson() const
 void
 Machine::attachEventTrace(obs::EventTrace *trace)
 {
+    eventTrace_ = trace;
     network_.setEventTrace(trace);
     const std::uint32_t pe_track = trace ? trace->track("pe") : 0;
     for (auto &pe : pes_)

@@ -33,6 +33,7 @@
 #include "obs/sampler.h"
 #include "par/shard.h"
 #include "par/tick_engine.h"
+#include "prof/profiler.h"
 #include "pe/pe.h"
 #include "pe/task.h"
 
@@ -219,10 +220,29 @@ class Machine
     std::string latencyJson() const;
 
     /**
+     * Attach a wall-clock self-profiler (see src/prof): per-phase lap
+     * timers around the run() loop and the network tick, per-thread
+     * work/barrier-wait accounting inside the tick engine, and per-unit
+     * load counters.  Call before run(); idempotent.  Opt-in: profiling
+     * reads the host clock but writes only to its own report channel,
+     * so an unprofiled run (and the simulation content of a profiled
+     * one) stays byte-identical.
+     */
+    void enableProfiling();
+    bool profilingEnabled() const { return prof_ != nullptr; }
+
+    /** The profiler, or nullptr until enableProfiling(). */
+    prof::Profiler *profiler() { return prof_.get(); }
+    const prof::Profiler *profiler() const { return prof_.get(); }
+
+    /**
      * Attach (or detach, with nullptr) a Chrome-trace-event recorder to
      * the network and every PE: message injects, per-stage hops,
      * combines, decombines, MM service, reply deliveries and
-     * per-context memory waits all land on it.
+     * per-context memory waits all land on it.  When a profiler is also
+     * enabled, run() rides periodic prof counter tracks on the same
+     * trace (phase seconds, barrier wait) so wall-clock cost lines up
+     * with simulated activity in the viewer.
      */
     void attachEventTrace(obs::EventTrace *trace);
 
@@ -244,6 +264,10 @@ class Machine
     /** Destroyed before network_ (declared later); safe because the
      *  network emits no stamps during destruction. */
     std::unique_ptr<obs::LatencyObservatory> latency_;
+    /** Wall-clock self-profiler; null unless enableProfiling(). */
+    std::unique_ptr<prof::Profiler> prof_;
+    /** Trace last attached via attachEventTrace() (prof counters). */
+    obs::EventTrace *eventTrace_ = nullptr;
     Cycle samplePeriod_ = 0;
     Cycle lastSampleAt_ = static_cast<Cycle>(-1);
     /** Cycle-boundary yield point (live inspection pause fence). */

@@ -10,13 +10,15 @@
 #include "obs/json.h"
 #include "obs/latency.h"
 #include "obs/registry.h"
+#include "prof/profiler.h"
 
 namespace ultra::inspect
 {
 
 Inspector::Inspector(InspectServer &server, Targets targets,
                      bool start_paused)
-    : server_(server), targets_(targets), paused_(start_paused)
+    : server_(server), targets_(targets),
+      startNs_(prof::Profiler::nowNs()), paused_(start_paused)
 {
 }
 
@@ -136,12 +138,24 @@ Inspector::handleLine(const std::string &line, Cycle now)
 std::string
 Inspector::statusJson(Cycle now) const
 {
+    // Wall section: host-side progress (elapsed seconds since attach
+    // setup, simulated cycles per host second).  Host-dependent by
+    // nature, so the values vary run to run -- only the shape is
+    // pinned by inspect_test.
+    const double elapsed =
+        static_cast<double>(prof::Profiler::nowNs() - startNs_) * 1e-9;
+    const double cps =
+        elapsed > 0.0 ? static_cast<double>(now) / elapsed : 0.0;
     std::ostringstream os;
     os << "{\"ok\": true, \"cycle\": " << now << ", \"paused\": "
        << (paused_ ? "true" : "false") << ", \"finished\": "
        << (finished_ ? "true" : "false") << ", \"in_flight\": "
        << targets_.network->inFlight() << ", \"watchpoints\": "
-       << armed_.size() << "}";
+       << armed_.size() << ", \"wall\": {\"cycles_per_second\": ";
+    obs::writeJsonNumber(os, cps);
+    os << ", \"elapsed_seconds\": ";
+    obs::writeJsonNumber(os, elapsed);
+    os << "}}";
     return os.str();
 }
 
@@ -194,6 +208,12 @@ Inspector::execute(const Command &cmd, Cycle now)
                               "(run with --latency)");
         return "{\"ok\": true, \"latency\": " +
                targets_.latency->summaryJson() + "}";
+    case Command::Kind::Prof:
+        if (targets_.prof == nullptr)
+            return errorReply("no profiler attached "
+                              "(run with --prof-json)");
+        return "{\"ok\": true, \"prof\": " +
+               targets_.prof->reportJson() + "}";
     case Command::Kind::Heatmap: {
         if (targets_.latency == nullptr)
             return errorReply("no latency observatory attached "

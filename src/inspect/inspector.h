@@ -55,6 +55,11 @@ class LatencyObservatory;
 class Registry;
 } // namespace ultra::obs
 
+namespace ultra::prof
+{
+class Profiler;
+} // namespace ultra::prof
+
 namespace ultra::inspect
 {
 
@@ -68,6 +73,7 @@ struct Targets
     const mem::AddressHash *hash = nullptr;   //!< vaddr translation
     const obs::Registry *registry = nullptr;  //!< stats, stat watches
     const obs::LatencyObservatory *latency = nullptr;
+    const prof::Profiler *prof = nullptr;     //!< wall-clock profiler
 };
 
 /** Protocol engine; all methods run on the simulation thread. */
@@ -140,6 +146,11 @@ class Inspector
     InspectServer &server_;
     Targets targets_;
     std::function<double()> driftFn_;
+    /** Host-clock stamp at construction; status replies report wall
+     *  seconds and cycles/sec from it.  Read through the profiler's
+     *  sanctioned clock (UL-DET-007) -- the wall section describes the
+     *  host run, never the simulation, so byte-identity is untouched. */
+    std::uint64_t startNs_;
 
     bool paused_;
     Cycle stepTarget_ = kNeverCycle;

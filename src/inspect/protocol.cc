@@ -284,6 +284,8 @@ parseCommand(const std::string &line, Command &out, std::string &err)
             out.prefix = doc["prefix"].string;
     } else if (cmd == "latency") {
         out.kind = Command::Kind::Latency;
+    } else if (cmd == "prof") {
+        out.kind = Command::Kind::Prof;
     } else if (cmd == "heatmap") {
         out.kind = Command::Kind::Heatmap;
     } else if (cmd == "watch") {

@@ -24,6 +24,7 @@
  *   {"cmd":"poke","vaddr":64,"value":7}    write one word (steering!)
  *   {"cmd":"stats","prefix":"net."}        live registry snapshot
  *   {"cmd":"latency"}                      observatory summary JSON
+ *   {"cmd":"prof"}                         wall-clock profiler snapshot
  *   {"cmd":"heatmap"}                      congestion heatmap CSV
  *   {"cmd":"watch", ...spec...}            arm a watchpoint (below)
  *   {"cmd":"unwatch","id":1}               disarm one watchpoint
@@ -103,6 +104,7 @@ struct Command
         Poke,
         Stats,
         Latency,
+        Prof,
         Heatmap,
         Watch,
         Unwatch,

@@ -135,6 +135,9 @@ class MessagePool
     /** Messages currently live (allocated and not freed). */
     std::size_t liveCount() const { return live_; }
 
+    /** Total alloc() calls over the pool's lifetime (prof counter). */
+    std::uint64_t allocCount() const { return allocs_; }
+
     /** Total slots owned by this pool's slab blocks. */
     std::size_t capacity() const { return blocks_.size() * kBlockSize; }
 
@@ -178,6 +181,7 @@ class MessagePool
     std::vector<Message *> freeList_;
     std::uint64_t nextId_ = 1;
     std::uint64_t stride_ = 1;
+    std::uint64_t allocs_ = 0;
     std::uint32_t unit_ = 0;
     std::size_t live_ = 0;
 };
@@ -194,6 +198,7 @@ MessagePool::alloc()
     msg->id = nextId_;
     nextId_ += stride_;
     msg->poolUnit = unit_;
+    ++allocs_;
     ++live_;
     return msg;
 }

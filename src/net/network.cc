@@ -10,6 +10,7 @@
 #include "obs/latency.h"
 #include "obs/registry.h"
 #include "par/tick_engine.h"
+#include "prof/profiler.h"
 
 namespace ultra::net
 {
@@ -200,6 +201,21 @@ Network::setTickEngine(par::TickEngine *engine)
     ULTRA_CHECK_SET_NET_DEPART_OWNERS(threads,
                                       std::move(depart_shard_of));
     (void)depart_shard_of;
+}
+
+void
+Network::setProfiler(prof::Profiler *prof)
+{
+    prof_ = prof;
+    if (prof == nullptr)
+        return;
+    const unsigned groups = plan_.groupsPerStage();
+    prof->configureUnits(static_cast<std::uint32_t>(units_.size()));
+    for (std::size_t u = 0; u < units_.size(); ++u) {
+        prof->setUnitGeometry(static_cast<std::uint32_t>(u),
+                              units_[u].copy, units_[u].stage,
+                              static_cast<unsigned>(u % groups));
+    }
 }
 
 std::size_t
@@ -728,11 +744,13 @@ Network::arrivalPhaseUnit(Unit &unit)
     Copy &copy = copies_[unit.copy];
     auto &stage_nodes = copy.stage[unit.stage];
 
+    std::uint64_t consumed = 0; // arrivals taken (prof load counter)
     auto take_due = [&](std::vector<Arrival> &inbox, std::uint32_t idx,
                         bool forward) {
         std::size_t keep = 0;
         for (std::size_t i = 0; i < inbox.size(); ++i) {
             if (inbox[i].at <= now_) {
+                ++consumed;
                 if (forward)
                     arriveForward(unit, idx, inbox[i].msg);
                 else
@@ -772,6 +790,12 @@ Network::arrivalPhaseUnit(Unit &unit)
     // arbitration -- and with it every statistic -- is identical for
     // any shardGroupTarget.
     std::sort(unit.active.begin(), unit.active.end());
+    // One profiler call per unit per tick; the unit's slot has a
+    // single writer (whichever shard owns the unit this phase).
+    if (prof_ != nullptr && consumed != 0) {
+        prof_->unitMessages(
+            static_cast<std::uint32_t>(&unit - units_.data()), consumed);
+    }
 }
 
 void
@@ -900,8 +924,9 @@ Network::departWindow(bool forward)
     if (engine_ != nullptr && engine_->threads() > 1) {
         ULTRA_CHECK_NET_DEPART_BEGIN(now_);
         try {
+            prof::Profiler *const prof = prof_;
             engine_->forEachShard([this, forward, stages, groups,
-                                   n_rs](unsigned shard) {
+                                   n_rs, prof](unsigned shard) {
                 const par::ShardRange r = departShards_.range(shard);
                 unsigned step = 0;
                 try {
@@ -919,8 +944,13 @@ Network::departWindow(bool forward)
                         // One stage completes everywhere before the
                         // next starts: stage rs-1's own-queue space
                         // mutations must not race stage rs's pulls.
-                        if (step + 1 < n_rs)
+                        if (step + 1 < n_rs) {
+                            if (prof != nullptr)
+                                prof->stageWaitBegin(shard);
                             engine_->stageBarrier().arriveAndWait();
+                            if (prof != nullptr)
+                                prof->stageWaitEnd(shard);
+                        }
                     }
                 } catch (...) {
                     // Keep this shard arriving at the remaining stage
@@ -985,17 +1015,35 @@ Network::mergePhase()
         }
     };
 
+    std::uint64_t mark = prof_ != nullptr ? prof::Profiler::nowNs() : 0;
+    const auto lap = [&](prof::Phase p) {
+        if (prof_ == nullptr)
+            return;
+        const std::uint64_t next = prof::Profiler::nowNs();
+        prof_->phaseAdd(p, next - mark);
+        mark = next;
+    };
+
     if (cfg_.parallelDeparture && stages > 1) {
         // Receiver-pull schedule (byte-identical to the sender sweep,
         // see buildPullLists): the hop stages run as parallel windows;
         // only the MNI handoff and the PE deliveries stay sequential.
         buildPullLists(start);
+        lap(prof::Phase::NetPrePass);
         for (auto &copy : copies_)
             sweepStage(copy, stages - 1, true);
+        lap(prof::Phase::NetSweepFwd);
+        if (prof_ != nullptr)
+            prof_->setEpisodePhase(prof::Phase::NetDepartFwd);
         departWindow(true);
+        lap(prof::Phase::NetDepartFwd);
         for (auto &copy : copies_)
             sweepStage(copy, 0, false);
+        lap(prof::Phase::NetSweepRev);
+        if (prof_ != nullptr)
+            prof_->setEpisodePhase(prof::Phase::NetDepartRev);
         departWindow(false);
+        lap(prof::Phase::NetDepartRev);
     } else {
         // Forward departures in stage-descending order: a downstream
         // dequeue at stage s+1 frees space before the stage-s sender
@@ -1005,14 +1053,17 @@ Network::mergePhase()
             for (unsigned s = stages; s-- > 0;)
                 sweepStage(copy, s, true);
         }
+        lap(prof::Phase::NetSweepFwd);
         // Reverse departures ripple the other way: stage-ascending.
         for (auto &copy : copies_) {
             for (unsigned s = 0; s < stages; ++s)
                 sweepStage(copy, s, false);
         }
+        lap(prof::Phase::NetSweepRev);
     }
 
     drainUnitStaging();
+    lap(prof::Phase::NetDrain);
 }
 
 void
@@ -1024,6 +1075,19 @@ Network::drainUnitStaging()
     // the arrival phase was scheduled.
     for (Unit &unit : units_) {
         const UnitStats &d = unit.delta;
+        if (prof_ != nullptr) {
+            // Observe staged sizes before the clears below; this is
+            // the sequential point where the whole tick's cross-unit
+            // staging is visible at once.
+            const std::uint32_t u =
+                static_cast<std::uint32_t>(&unit - units_.data());
+            prof_->unitStagingHighWater(
+                u, unit.traces.size() + unit.departWaits.size() +
+                       unit.kills.size() + unit.dead.size() +
+                       unit.queueLenSamples.size());
+            prof_->unitPool(u, unit.pool.allocCount(),
+                            unit.pool.capacity());
+        }
         if (unit.traces.empty() && unit.kills.empty() &&
             unit.dead.empty() && unit.queueLenSamples.empty() &&
             unit.departWaits.empty() && d.combined == 0 &&
@@ -1231,14 +1295,30 @@ void
 Network::tick()
 {
     ULTRA_CHECK_COMMIT_ONLY("net.network.tick");
+    // Chained phase stamps: each boundary is a single clock read, and
+    // with no profiler attached the whole ladder compiles down to null
+    // tests.  The phase times tile tick() wall time by construction.
+    std::uint64_t mark = prof_ != nullptr ? prof::Profiler::nowNs() : 0;
+    const auto lap = [&](prof::Phase p) {
+        if (prof_ == nullptr)
+            return;
+        const std::uint64_t next = prof::Profiler::nowNs();
+        prof_->phaseAdd(p, next - mark);
+        mark = next;
+    };
     commitPhase();
+    lap(prof::Phase::NetCommit);
     // MNIs are few, cheap and touch cross-unit state (last-stage rev
     // queues, the memory system): they stay sequential, before the
     // parallel arrival phase so every unit sees the same pre-arrival
     // queue state.
     for (auto &copy : copies_)
         processMnis(copy);
+    lap(prof::Phase::NetMni);
+    if (prof_ != nullptr)
+        prof_->setEpisodePhase(prof::Phase::NetArrival);
     arrivalPhase();
+    lap(prof::Phase::NetArrival);
     mergePhase();
     ++now_;
 }

@@ -48,6 +48,11 @@ namespace ultra::par
 class TickEngine;
 } // namespace ultra::par
 
+namespace ultra::prof
+{
+class Profiler;
+} // namespace ultra::prof
+
 namespace ultra::net
 {
 
@@ -247,6 +252,17 @@ class Network
      * aggregates are bit-identical for any host thread count.
      */
     void setLatencyObservatory(obs::LatencyObservatory *lat);
+
+    /**
+     * Attach (or detach, with nullptr) a wall-clock profiler
+     * (prof/profiler.h).  Times every tick sub-phase (commit, MNI,
+     * arrival, the departure pre-pass/sweeps/windows, the staging
+     * drain), the stage-rank barrier waits of the departure window,
+     * and per-unit load (messages consumed, pool allocations, staging
+     * high-water marks).  Purely observational: no simulation state is
+     * touched, so output stays byte-identical with it attached.
+     */
+    void setProfiler(prof::Profiler *prof);
 
     /** Packets queued right now across one stage's ToMM (or ToPE)
      *  output queues, summed over copies and switches. */
@@ -542,6 +558,7 @@ class Network
 
     obs::EventTrace *trace_ = nullptr;
     obs::LatencyObservatory *lat_ = nullptr;
+    prof::Profiler *prof_ = nullptr;
     /** Interned track ids, valid while trace_ != nullptr. */
     std::vector<std::vector<std::uint32_t>> fwdTrack_; //!< [copy][stage]
     std::vector<std::vector<std::uint32_t>> revTrack_; //!< [copy][stage]

@@ -6,6 +6,7 @@
 
 #include "check/phase_check.h"
 #include "common/log.h"
+#include "prof/profiler.h"
 
 namespace ultra::par
 {
@@ -35,12 +36,17 @@ void
 TickEngine::runShard(unsigned shard)
 {
     ULTRA_CHECK_BIND_SHARD(shard);
+    prof::Profiler *prof = prof_;
+    if (prof != nullptr)
+        prof->shardBegin(shard);
     try {
         (*task_)(shard);
     } catch (...) {
         std::lock_guard<std::mutex> lock(failureMutex_);
         failures_.emplace_back(shard, std::current_exception());
     }
+    if (prof != nullptr)
+        prof->shardEnd(shard);
     ULTRA_CHECK_UNBIND_SHARD();
 }
 
@@ -98,24 +104,48 @@ TickEngine::rethrowFailures()
 }
 
 void
+TickEngine::setProfiler(prof::Profiler *profiler)
+{
+    // Size the per-shard slots up front so shardBegin never resizes
+    // from a worker thread.
+    if (profiler != nullptr)
+        profiler->configureThreads(threads_);
+    prof_ = profiler;
+}
+
+void
 TickEngine::forEachShard(const std::function<void(unsigned)> &fn)
 {
     if (threads_ == 1) {
         ULTRA_CHECK_BIND_SHARD(0);
+        if (prof_ != nullptr) {
+            prof_->episodeBegin();
+            prof_->shardBegin(0);
+        }
         try {
             fn(0);
         } catch (...) {
             ULTRA_CHECK_UNBIND_SHARD();
             throw;
         }
+        if (prof_ != nullptr) {
+            prof_->shardEnd(0);
+            prof_->episodeEnd();
+        }
         ULTRA_CHECK_UNBIND_SHARD();
         return;
     }
+    if (prof_ != nullptr)
+        prof_->episodeBegin();
     task_ = &fn;
     start_.arriveAndWait();
     runShard(0);
     finish_.arriveAndWait();
     task_ = nullptr;
+    // The finish barrier has joined: every shard's slot writes are
+    // ordered before this read of the episode's work times.
+    if (prof_ != nullptr)
+        prof_->episodeEnd();
     rethrowFailures();
 }
 

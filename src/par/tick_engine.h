@@ -37,6 +37,11 @@
 
 #include "par/barrier.h"
 
+namespace ultra::prof
+{
+class Profiler;
+} // namespace ultra::prof
+
 namespace ultra::par
 {
 
@@ -84,6 +89,16 @@ class TickEngine
      */
     void forEachShard(const std::function<void(unsigned)> &fn);
 
+    /**
+     * Attach a wall-clock profiler (nullptr detaches).  Each episode
+     * is then bracketed (episodeBegin/episodeEnd on the caller) and
+     * each shard's task timed on its own thread, which is what turns
+     * into the per-thread work vs barrier-wait attribution.  Off by
+     * default; one branch per episode when detached.
+     */
+    void setProfiler(prof::Profiler *profiler);
+    prof::Profiler *profiler() const { return prof_; }
+
   private:
     void workerLoop(unsigned shard);
     void runShard(unsigned shard);
@@ -94,6 +109,7 @@ class TickEngine
     PhaseBarrier finish_;
     PhaseBarrier stage_;
     const std::function<void(unsigned)> *task_ = nullptr;
+    prof::Profiler *prof_ = nullptr;
     bool stop_ = false;
     std::mutex failureMutex_;
     std::vector<std::pair<unsigned, std::exception_ptr>> failures_;

@@ -140,6 +140,73 @@ TEST(CliTest, AppThreadsOutputByteIdentical)
     std::remove(dual.c_str());
 }
 
+TEST(CliTest, ProfJsonLeavesSimulationOutputByteIdentical)
+{
+    // The profiler's write-only-to-its-own-channel contract: the same
+    // workload with and without --prof-json dumps byte-identical
+    // stats, at one thread and at eight.
+    const std::string base = tmpPath("prof_off.json");
+    const std::string probed = tmpPath("prof_on.json");
+    const std::string prof = tmpPath("prof_report.json");
+    const std::string common =
+        "net --ports 64 --k 2 --rate 0.15 --hot 0.05 --cycles 1500 ";
+    for (const char *threads : {"--threads 1 ", "--threads 8 "}) {
+        ASSERT_EQ(runTool(common + threads + "--stats-json " + base),
+                  0);
+        ASSERT_EQ(runTool(common + threads + "--stats-json " + probed +
+                          " --prof-json " + prof),
+                  0);
+        const std::string base_text = readFile(base);
+        ASSERT_FALSE(base_text.empty());
+        EXPECT_EQ(base_text, readFile(probed))
+            << "--prof-json must not perturb simulation output at "
+            << threads;
+        EXPECT_FALSE(readFile(prof).empty());
+    }
+    std::remove(base.c_str());
+    std::remove(probed.c_str());
+    std::remove(prof.c_str());
+}
+
+TEST(CliTest, ProfJsonCoversMeasuredWallOnTable1)
+{
+    // The acceptance bar: on the Table-1 network at --threads 8 the
+    // per-phase wall timers must account for >= 95% of the measured
+    // elapsed time -- anything less means a phase boundary is missing
+    // a lap stamp.
+    const std::string prof = tmpPath("prof_table1.json");
+    ASSERT_EQ(runTool("net --ports 4096 --k 4 --queue 15 --rate 0.1 "
+                      "--cycles 300 --threads 8 --prof-json " +
+                      prof),
+              0);
+    const std::string text = readFile(prof);
+    ASSERT_FALSE(text.empty());
+    const jsonlite::JsonValue doc = jsonlite::parse(text);
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc["schema"].string, "ultra.prof.v1");
+    EXPECT_EQ(static_cast<unsigned>(doc["threads"].number), 8u);
+    // 6 stages x 8 column groups x 1 copy.
+    EXPECT_EQ(doc["units"].array.size(), 48u);
+
+    const double elapsed = doc["elapsed_seconds"].number;
+    ASSERT_GT(elapsed, 0.0);
+    double phase_sum = 0.0;
+    for (const auto &[name, phase] : doc["phases"].object) {
+        (void)name;
+        phase_sum += phase["seconds"].number;
+    }
+    EXPECT_GE(phase_sum, 0.95 * elapsed)
+        << "phase timers cover only " << (phase_sum / elapsed)
+        << " of the measured wall";
+    EXPECT_LE(phase_sum, elapsed * 1.001);
+    EXPECT_GE(doc["attribution"]["coverage"].number, 0.95);
+
+    // The stage-rank barrier steps of the departure window were
+    // actually timed (8 threads on the sharded departure path).
+    EXPECT_GT(doc["attribution"]["barrier_wait_seconds"].number, 0.0);
+    std::remove(prof.c_str());
+}
+
 TEST(CliTest, StatsJsonByteStableAcrossRunsAndSorted)
 {
     const std::string first = tmpPath("stable_a.json");

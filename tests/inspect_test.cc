@@ -72,6 +72,8 @@ TEST(InspectProtocol, ParsesBareCommands)
               Command::Kind::Resume);
     EXPECT_EQ(mustParse("{\"cmd\":\"watchpoints\"}").kind,
               Command::Kind::Watchpoints);
+    EXPECT_EQ(mustParse("{\"cmd\":\"prof\"}").kind,
+              Command::Kind::Prof);
     EXPECT_EQ(mustParse("{\"cmd\":\"detach\"}").kind,
               Command::Kind::Detach);
     // "quit" is a courtesy alias for detach.
@@ -292,11 +294,13 @@ constexpr int kIters = 40;
  *  test thread can play the attached client. */
 struct Harness
 {
-    explicit Harness(unsigned threads)
+    explicit Harness(unsigned threads, bool profiled = false)
     {
         core::MachineConfig cfg = core::MachineConfig::small(64, 2);
         cfg.threads = threads;
         machine = std::make_unique<core::Machine>(cfg);
+        if (profiled)
+            machine->enableProfiling();
         counter = machine->allocShared(1, "counter");
         const Addr c = counter;
         machine->launchAll(kPes, [c](pe::Pe &pe) -> pe::Task {
@@ -316,6 +320,7 @@ struct Harness
         targets.memory = &machine->memory();
         targets.hash = &machine->addressHash();
         targets.registry = &machine->registry();
+        targets.prof = machine->profiler();
         inspector =
             std::make_unique<Inspector>(*server, targets, true);
         machine->setCycleHook([this](Cycle now) {
@@ -405,6 +410,12 @@ TEST(InspectorTest, StartPausedThenResumeRunsToCompletion)
     EXPECT_TRUE(status["ok"].boolean);
     EXPECT_EQ(status["cycle"].number, 0.0);
     EXPECT_TRUE(status["paused"].boolean);
+    // Host-side progress: values are host-dependent, only the shape
+    // and sanity are pinned (elapsed grows from attach, rate is
+    // cycles / elapsed and cannot be negative).
+    ASSERT_TRUE(status["wall"].isObject());
+    EXPECT_GE(status["wall"]["elapsed_seconds"].number, 0.0);
+    EXPECT_GE(status["wall"]["cycles_per_second"].number, 0.0);
 
     jsonlite::JsonValue resumed =
         request(*client, "{\"cmd\":\"resume\"}");
@@ -513,6 +524,52 @@ TEST(InspectorTest, StepAdvancesExactlyNCycles)
     request(*client, "{\"cmd\":\"detach\"}");
     h.sim.join();
     EXPECT_TRUE(h.finished);
+}
+
+TEST(InspectorTest, ProfCommandSnapshotsTheProfiler)
+{
+    // A profiled machine serves live wall-clock snapshots mid-run; the
+    // report is the same schema-versioned JSON --prof-json writes.
+    Harness h(1, /*profiled=*/true);
+    auto client = h.attach();
+    ASSERT_NE(client, nullptr);
+
+    request(*client, "{\"cmd\":\"step\",\"n\":30}");
+    awaitEvent(*client, "paused");
+
+    jsonlite::JsonValue prof = request(*client, "{\"cmd\":\"prof\"}");
+    ASSERT_TRUE(prof.isObject());
+    EXPECT_TRUE(prof["ok"].boolean);
+    ASSERT_TRUE(prof["prof"].isObject());
+    EXPECT_EQ(prof["prof"]["schema"].string, "ultra.prof.v1");
+    // Mid-run: elapsed is measured to the call, phases accumulated so
+    // far cannot exceed it.
+    EXPECT_GT(prof["prof"]["elapsed_seconds"].number, 0.0);
+    ASSERT_TRUE(prof["prof"]["phases"].isObject());
+
+    request(*client, "{\"cmd\":\"resume\"}");
+    awaitEvent(*client, "finished");
+    request(*client, "{\"cmd\":\"detach\"}");
+    h.sim.join();
+    EXPECT_TRUE(h.finished);
+}
+
+TEST(InspectorTest, ProfCommandWithoutProfilerIsCleanError)
+{
+    Harness h(1);
+    auto client = h.attach();
+    ASSERT_NE(client, nullptr);
+
+    jsonlite::JsonValue prof = request(*client, "{\"cmd\":\"prof\"}");
+    ASSERT_TRUE(prof.isObject());
+    EXPECT_FALSE(prof["ok"].boolean);
+    EXPECT_NE(prof["error"].string.find("--prof-json"),
+              std::string::npos);
+
+    request(*client, "{\"cmd\":\"resume\"}");
+    awaitEvent(*client, "finished");
+    request(*client, "{\"cmd\":\"detach\"}");
+    h.sim.join();
 }
 
 TEST(InspectorTest, StatWatchpointFiresOnRealTraffic)

@@ -188,6 +188,35 @@ TEST(PerfGateTest, WallTimeRatiosStayInsideEnvelope)
         rows.push_back(std::move(row));
     }
 
+    // One prof-instrumented pass at the widest envelope entry (not a
+    // timed rep): the uploaded artifact then carries the speedup-loss
+    // attribution next to the ratios it explains, so a gate failure
+    // comes with its own diagnosis.  `ultrascope --prof` renders it.
+    unsigned widest = 1;
+    for (const jsonlite::JsonValue &entry :
+         envelope["entries"].array) {
+        widest = std::max(
+            widest, static_cast<unsigned>(entry["threads"].number));
+    }
+    std::string prof_report;
+    {
+        core::MachineConfig cfg = core::MachineConfig::paperTable1();
+        cfg.threads = widest;
+        core::Machine machine(cfg);
+        machine.enableProfiling();
+        const Addr counter = machine.allocShared(1, "counter");
+        machine.launchAll(kPes,
+                          [counter, eff_iterations](pe::Pe &pe)
+                              -> pe::Task {
+            for (int i = 0; i < eff_iterations; ++i) {
+                co_await pe.compute(16);
+                co_await pe.fetchAdd(counter, 1);
+            }
+        });
+        ASSERT_TRUE(machine.run());
+        prof_report = machine.profiler()->reportJson();
+    }
+
     // The measured artifact: what CI uploads next to the verdict.
     const char *out_env = std::getenv("ULTRA_PERF_GATE_OUT");
     const std::string out_path =
@@ -215,7 +244,7 @@ TEST(PerfGateTest, WallTimeRatiosStayInsideEnvelope)
             << ", \"passed\": " << (row.passed ? "true" : "false")
             << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
-    out << "  ]\n}\n";
+    out << "  ],\n  \"prof\": " << prof_report << "\n}\n";
 
     if (!enforce) {
         GTEST_SKIP() << "ratio envelope needs >= 4 usable host cores "

@@ -1,0 +1,9 @@
+// Fixture: UL-DET-007 -- raw wall-clock read in simulation code.
+
+#include <chrono>
+
+long
+stampNow()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -152,6 +152,17 @@ TEST(UltralintTest, Det006AtomicFloatReduction)
         "unit order");
 }
 
+TEST(UltralintTest, Det007WallClock)
+{
+    // One diagnostic even though std::chrono::steady_clock carries two
+    // trigger tokens on the line (per-line dedupe).
+    expectSingleDiag(
+        "det007.cc",
+        "det007.cc:8: [UL-DET-007] wall-clock source 'chrono' outside "
+        "src/prof, src/obs or bench; route host timing through "
+        "prof::Profiler::nowNs()");
+}
+
 TEST(UltralintTest, CleanFixturePasses)
 {
     const RunResult res = runLint("clean.cc");
@@ -208,7 +219,8 @@ TEST(UltralintTest, DiagnosticsAreByteStable)
     // repeated runs, file:line sorted across files.
     const std::string all = "allowed.cc clean.cc cov001.cc cov002.cc "
                             "cov003.cc det001.cc det002.cc det003.cc "
-                            "det004.cc det005.cc det006.cc phase001.cc";
+                            "det004.cc det005.cc det006.cc det007.cc "
+                            "phase001.cc";
     const RunResult a = runLint(all);
     const RunResult b = runLint(all);
     EXPECT_EQ(a.exitCode, 1);
@@ -216,7 +228,7 @@ TEST(UltralintTest, DiagnosticsAreByteStable)
     // Sorted: cov001 first, phase001 last among the diagnostics.
     EXPECT_EQ(a.output.find("cov001.cc:9:"), 0u) << a.output;
     EXPECT_NE(a.output.find("\nphase001.cc:9:"), std::string::npos);
-    EXPECT_NE(a.output.find("ultralint: 10 diagnostics\n"),
+    EXPECT_NE(a.output.find("ultralint: 11 diagnostics\n"),
               std::string::npos);
 }
 

@@ -185,6 +185,48 @@ TEST(UltrascopeTest, ScriptedAttachMatchesUnattachedRun)
     std::remove(log.c_str());
 }
 
+TEST(UltrascopeTest, ProfReportRendersAttribution)
+{
+    const std::string prof = tmpPath("prof.json");
+    const std::string report = tmpPath("prof_report.txt");
+    ASSERT_EQ(runCommand(std::string(ULTRASIM_BIN) +
+                         " net --ports 64 --k 2 --rate 0.15 --hot 0.05"
+                         " --cycles 1500 --threads 2 --prof-json " +
+                         prof + " > /dev/null 2>&1"),
+              0);
+    ASSERT_FALSE(readFile(prof).empty());
+
+    ASSERT_EQ(runCommand(std::string(ULTRASCOPE_BIN) + " --prof " +
+                         prof + " > " + report + " 2>&1"),
+              0);
+    const std::string text = readFile(report);
+    EXPECT_NE(text.find("ultra.prof.v1"), std::string::npos) << text;
+    EXPECT_NE(text.find("speedup-loss attribution"), std::string::npos);
+    EXPECT_NE(text.find("barrier wait"), std::string::npos);
+    EXPECT_NE(text.find("phase"), std::string::npos);
+    EXPECT_NE(text.find("busiest units"), std::string::npos);
+    std::remove(prof.c_str());
+    std::remove(report.c_str());
+}
+
+TEST(UltrascopeTest, ProfModeRejectsNonProfInput)
+{
+    // A trace-event file is valid JSON but not a prof report: the
+    // schema gate must refuse it rather than render garbage.
+    const std::string trace = tmpPath("notprof.json");
+    std::ofstream(trace) << "{\"traceEvents\": []}\n";
+    EXPECT_EQ(runCommand(std::string(ULTRASCOPE_BIN) + " --prof " +
+                         trace + " > /dev/null 2>&1"),
+              2);
+    EXPECT_EQ(runCommand(std::string(ULTRASCOPE_BIN) +
+                         " --prof /no/such/prof.json > /dev/null 2>&1"),
+              2);
+    EXPECT_EQ(runCommand(std::string(ULTRASCOPE_BIN) +
+                         " --prof > /dev/null 2>&1"),
+              2);
+    std::remove(trace.c_str());
+}
+
 TEST(UltrascopeTest, WatchModeFollowsRunToCompletion)
 {
     const std::string sock = tmpPath("watch.sock");

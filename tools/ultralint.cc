@@ -35,6 +35,9 @@
  *     UL-DET-005  std::sort with a single-key comparator (tie order
  *                 falls to the library)
  *     UL-DET-006  unordered floating-point reductions
+ *     UL-DET-007  raw std::chrono / clock_gettime wall-clock reads
+ *                 outside src/prof, src/obs and bench (host timing
+ *                 belongs behind prof::Profiler::nowNs())
  *
  * Deliberate exceptions live in an allowlist file (--allowlist; one
  * `RULE key reason` per line) or as an inline
@@ -100,6 +103,21 @@ const char *const kRawEntropy[] = {
 
 /** Files exempt from UL-DET-002: the seeded RNG wrapper itself. */
 const char *const kEntropyHome = "common/rng";
+
+/** Wall-clock sources for UL-DET-007 (identifier tokens).  `#include
+ *  <chrono>` is a preprocessor line and thus invisible to the lexer,
+ *  but any *use* carries the `chrono` namespace token.  system_clock /
+ *  high_resolution_clock already fall under UL-DET-002 (they are
+ *  entropy-grade, wrong even in profiling code). */
+const char *const kWallClock[] = {
+    "chrono", "steady_clock", "clock_gettime", "gettimeofday",
+};
+
+/** Path fragments where host timing is sanctioned (UL-DET-007): the
+ *  profiler itself, observability writers, and benchmark harnesses. */
+const char *const kWallClockHomes[] = {
+    "src/prof/", "src/obs/", "bench/",
+};
 
 // ---------------------------------------------------------------------
 // Lexer
@@ -1207,6 +1225,43 @@ ruleThreadLocal(Analysis &a)
     }
 }
 
+/** UL-DET-007: raw wall-clock reads in simulation code.  A host-time
+ *  read woven into simulation logic is a determinism hazard -- the run
+ *  would depend on the machine, not the seed -- and it dodges the
+ *  profiler's accounting.  One diagnostic per offending line (a single
+ *  `std::chrono::steady_clock::now()` carries two trigger tokens). */
+void
+ruleWallClock(Analysis &a)
+{
+    for (const ParsedFile &pf : a.files) {
+        bool exempt = false;
+        for (const char *home : kWallClockHomes) {
+            if (pf.src.path.find(home) != std::string::npos)
+                exempt = true;
+        }
+        if (exempt)
+            continue;
+        int last_line = -1;
+        for (const Tok &t : pf.src.toks) {
+            if (t.kind != TokKind::Ident)
+                continue;
+            bool hit = false;
+            for (const char *src : kWallClock) {
+                if (t.text == src)
+                    hit = true;
+            }
+            if (!hit || t.line == last_line)
+                continue;
+            last_line = t.line;
+            a.emit(pf, t.line, "UL-DET-007",
+                   "wall-clock source '" + t.text +
+                       "' outside src/prof, src/obs or bench; route "
+                       "host timing through prof::Profiler::nowNs()",
+                   pf.src.path + ":" + t.text);
+        }
+    }
+}
+
 /** Split the top-level arguments of a call whose '(' is at @p open. */
 std::vector<std::pair<std::size_t, std::size_t>>
 callArgs(const std::vector<Tok> &toks, std::size_t open)
@@ -1572,6 +1627,7 @@ main(int argc, char **argv)
     rulePhaseReachability(a);
     ruleUnorderedIteration(a);
     ruleRawEntropy(a);
+    ruleWallClock(a);
     ruleThreadLocal(a);
     ruleSortHazards(a);
     ruleFpReduction(a);

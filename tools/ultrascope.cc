@@ -18,6 +18,13 @@
  *
  * Usage: ultrascope TRACE.json [--top N] [--slowest N]
  *
+ * Profiler mode: `ultrascope --prof PROF.json` renders the wall-clock
+ * self-profile written by `ultrasim ... --prof-json` as "where did my
+ * wall-clock go?" -- the Amdahl loss attribution (serial fraction,
+ * barrier wait, imbalance, overhead), the phase-time table, per-thread
+ * work/wait balance, and the busiest (copy, stage, column-group)
+ * network units.
+ *
  * Live mode: `ultrascope --attach ADDR` connects to a running
  * `ultrasim ... --inspect ADDR` (see DESIGN.md "Live inspection").
  * With no further arguments it resumes the run and watches it: a
@@ -274,6 +281,158 @@ reportSlowest(const Analysis &a, std::size_t top)
 }
 
 // ------------------------------------------------------------------
+// Profiler-report mode (--prof)
+// ------------------------------------------------------------------
+
+double
+numAt(const jsonlite::JsonValue &obj, const std::string &key)
+{
+    return obj.has(key) && obj[key].isNumber() ? obj[key].number : 0.0;
+}
+
+/** Render an `ultrasim --prof-json` report ("where did my wall-clock
+ *  go?"): loss attribution, phase table, per-thread balance, busiest
+ *  units.  Exit 2 when the file is not an ultra.prof report. */
+int
+profMain(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "ultrascope: cannot read %s\n",
+                     path.c_str());
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    jsonlite::JsonValue doc;
+    try {
+        doc = jsonlite::parse(buf.str());
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "ultrascope: parse error in %s: %s\n",
+                     path.c_str(), err.what());
+        return 2;
+    }
+    if (!doc.isObject() || !doc.has("schema") ||
+        !doc["schema"].isString() ||
+        doc["schema"].string.rfind("ultra.prof.", 0) != 0) {
+        std::fprintf(stderr,
+                     "ultrascope: %s is not an ultra.prof report\n",
+                     path.c_str());
+        return 2;
+    }
+
+    const double elapsed = numAt(doc, "elapsed_seconds");
+    const double cycles = numAt(doc, "cycles");
+    const auto threads =
+        static_cast<unsigned long long>(numAt(doc, "threads"));
+    std::printf("%s: %s, %llu threads, %.0f cycles in %.3f s "
+                "(%.0f cycles/s)\n",
+                path.c_str(), doc["schema"].string.c_str(), threads,
+                cycles, elapsed,
+                elapsed > 0.0 ? cycles / elapsed : 0.0);
+
+    if (doc.has("attribution") && doc["attribution"].isObject()) {
+        const jsonlite::JsonValue &at = doc["attribution"];
+        std::printf("\nspeedup-loss attribution (fractions of "
+                    "elapsed wall):\n");
+        std::printf("  serial phases      %6.1f%%  (%.3f s)\n",
+                    100.0 * numAt(at, "serial_fraction"),
+                    numAt(at, "serial_seconds"));
+        std::printf("  barrier wait       %6.1f%%  (%.3f s summed "
+                    "over threads)\n",
+                    100.0 * numAt(at, "barrier_wait_fraction"),
+                    numAt(at, "barrier_wait_seconds"));
+        std::printf("  ... stage barriers %6.1f%%  (%.3f s, part of "
+                    "barrier wait)\n",
+                    100.0 * numAt(at, "stage_wait_fraction"),
+                    numAt(at, "stage_wait_seconds"));
+        std::printf("  shard imbalance    %6.1f%%  (max-mean work "
+                    "per episode)\n",
+                    100.0 * numAt(at, "imbalance_fraction"));
+        std::printf("  unattributed       %6.1f%%  (timer coverage "
+                    "%.1f%%)\n",
+                    100.0 * numAt(at, "overhead_fraction"),
+                    100.0 * numAt(at, "coverage"));
+    }
+
+    if (doc.has("phases") && doc["phases"].isObject()) {
+        std::vector<std::pair<std::string, const jsonlite::JsonValue *>>
+            order;
+        for (const auto &[name, val] : doc["phases"].object)
+            order.emplace_back(name, &val);
+        std::sort(order.begin(), order.end(),
+                  [](const auto &x, const auto &y) {
+                      return numAt(*x.second, "seconds") >
+                             numAt(*y.second, "seconds");
+                  });
+        std::printf("\nphase times (wall seconds, busiest first):\n");
+        std::printf("  %-16s %10s %8s %12s\n", "phase", "seconds",
+                    "share", "calls");
+        for (const auto &[name, val] : order) {
+            const double s = numAt(*val, "seconds");
+            if (s <= 0.0 && numAt(*val, "calls") == 0.0)
+                continue;
+            std::printf("  %-16s %10.4f %7.1f%% %12.0f\n",
+                        name.c_str(), s,
+                        elapsed > 0.0 ? 100.0 * s / elapsed : 0.0,
+                        numAt(*val, "calls"));
+        }
+    }
+
+    if (doc.has("thread_slots") && doc["thread_slots"].isArray()) {
+        std::printf("\nper-thread accounting (seconds):\n");
+        std::printf("  %5s %10s %12s %12s\n", "shard", "work",
+                    "barrier_wait", "stage_wait");
+        for (const jsonlite::JsonValue &slot :
+             doc["thread_slots"].array) {
+            std::printf("  %5.0f %10.4f %12.4f %12.4f\n",
+                        numAt(slot, "shard"),
+                        numAt(slot, "work_seconds"),
+                        numAt(slot, "barrier_wait_seconds"),
+                        numAt(slot, "stage_wait_seconds"));
+        }
+    }
+
+    if (doc.has("units") && doc["units"].isArray() &&
+        !doc["units"].array.empty()) {
+        std::vector<const jsonlite::JsonValue *> order;
+        double total = 0.0;
+        double busiest = 0.0;
+        for (const jsonlite::JsonValue &u : doc["units"].array) {
+            order.push_back(&u);
+            const double m = numAt(u, "messages");
+            total += m;
+            busiest = std::max(busiest, m);
+        }
+        std::sort(order.begin(), order.end(),
+                  [](const jsonlite::JsonValue *x,
+                     const jsonlite::JsonValue *y) {
+                      return numAt(*x, "messages") >
+                             numAt(*y, "messages");
+                  });
+        const double mean =
+            total / static_cast<double>(order.size());
+        std::printf("\nbusiest units (arrival messages; %zu units, "
+                    "max/mean = %.2f):\n",
+                    order.size(), mean > 0.0 ? busiest / mean : 0.0);
+        std::printf("  %5s %5s %6s %6s %10s %9s %9s %10s\n", "unit",
+                    "copy", "stage", "group", "messages", "allocs",
+                    "slab_cap", "staging_hw");
+        for (std::size_t i = 0; i < order.size() && i < 10; ++i) {
+            const jsonlite::JsonValue &u = *order[i];
+            std::printf("  %5.0f %5.0f %6.0f %6.0f %10.0f %9.0f "
+                        "%9.0f %10.0f\n",
+                        numAt(u, "unit"), numAt(u, "copy"),
+                        numAt(u, "stage"), numAt(u, "group"),
+                        numAt(u, "messages"), numAt(u, "allocs"),
+                        numAt(u, "capacity"),
+                        numAt(u, "staging_high_water"));
+        }
+    }
+    return 0;
+}
+
+// ------------------------------------------------------------------
 // Live mode (--attach)
 // ------------------------------------------------------------------
 
@@ -524,6 +683,14 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::string(argv[i]) == "--attach")
             return attachMain(argc, argv);
+        if (std::string(argv[i]) == "--prof") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "usage: ultrascope --prof PROF.json\n");
+                return 2;
+            }
+            return profMain(argv[i + 1]);
+        }
     }
     std::string path;
     std::size_t top = 10;

@@ -35,6 +35,11 @@
  *   --trace-events FILE    Chrome trace-event JSON (load in Perfetto)
  *   --latency-json FILE    packet-lifecycle latency report (per-stage
  *                          waits, combining effectiveness, model drift)
+ *   --prof-json FILE       wall-clock self-profile of the host run:
+ *                          per-phase times, per-thread barrier waits,
+ *                          per-unit load, Amdahl loss attribution
+ *                          (simulation output stays byte-identical;
+ *                          read with `ultrascope --prof FILE`)
  *   --heatmap-csv FILE     stage x switch congestion heatmap
  *   --check-drift [TOL]    net only: fail (exit 3) when the measured
  *                          transit drifts more than TOL (default 0.15)
@@ -117,6 +122,7 @@
 #include "obs/registry.h"
 #include "obs/sampler.h"
 #include "par/shard.h"
+#include "prof/profiler.h"
 #include "par/tick_engine.h"
 
 namespace
@@ -211,6 +217,7 @@ struct ObsOptions
     std::string sampleOut;
     std::string traceEvents;
     std::string latencyJson;
+    std::string profJson;
     std::string heatmapCsv;
     bool checkDrift = false;
     double driftTolerance = analytic::kDefaultDriftTolerance;
@@ -225,6 +232,7 @@ struct ObsOptions
         o.sampleOut = args.getString("sample-out", "");
         o.traceEvents = args.getString("trace-events", "");
         o.latencyJson = args.getString("latency-json", "");
+        o.profJson = args.getString("prof-json", "");
         o.heatmapCsv = args.getString("heatmap-csv", "");
         o.checkDrift = args.has("check-drift");
         o.driftTolerance = args.getDouble(
@@ -310,8 +318,9 @@ netConfigFrom(const Args &args)
 /** Flags shared by `net` and `app` (observability + parallelism). */
 #define ULTRASIM_OBS_FLAGS                                              \
     "stats-json", "stats-pretty", "sample-every", "sample-out",         \
-        "trace-events", "latency-json", "heatmap-csv", "check-drift",   \
-        "threads", "net-serial", "serial-departures", "inspect"
+        "trace-events", "latency-json", "prof-json", "heatmap-csv",     \
+        "check-drift", "threads", "net-serial", "serial-departures",    \
+        "inspect"
 
 /**
  * Create the inspection server + engine for --inspect ADDR (exit 2 on
@@ -428,6 +437,16 @@ cmdNet(const Args &args)
         shard_of[pe] = plan.shardOf(pe);
     pni.setShardMap(threads, std::move(shard_of));
 
+    // Wall-clock self-profiler (opt-in): times the injection episodes
+    // and the network's sub-phases; the simulated run is byte-identical
+    // with or without it.
+    std::unique_ptr<prof::Profiler> prof;
+    if (!obs.profJson.empty()) {
+        prof = std::make_unique<prof::Profiler>();
+        engine.setProfiler(prof.get());
+        network.setProfiler(prof.get());
+    }
+
     // Kruskal-Snir cross-check (also backing live drift watchpoints):
     // the model applies only to configurations matching its
     // assumptions; everything static about that is known before the
@@ -452,6 +471,7 @@ cmdNet(const Args &args)
     itargets.hash = &hash;
     itargets.registry = &registry;
     itargets.latency = latency.get();
+    itargets.prof = prof.get();
     std::unique_ptr<inspect::Inspector> inspector =
         makeInspector(args, iserver, itargets);
     Cycle statsResetAt = 0;
@@ -472,6 +492,20 @@ cmdNet(const Args &args)
     }
 
     const Cycle cycles = args.getInt("cycles", 10000);
+    prof::Profiler *const pr = prof.get();
+    if (pr != nullptr)
+        pr->runBegin();
+    // Lap clock for phase attribution; the network laps its own
+    // sub-phases, so the tick only re-stamps after it (see
+    // core::Machine::run for the same pattern).
+    std::uint64_t mark = pr != nullptr ? prof::Profiler::nowNs() : 0;
+    const auto lap = [&](prof::Phase p) {
+        if (pr == nullptr)
+            return;
+        const std::uint64_t next = prof::Profiler::nowNs();
+        pr->phaseAdd(p, next - mark);
+        mark = next;
+    };
     // Sampling covers the warmup too, so the series shows queues
     // ramping from cold (the hot-spot tree-saturation onset).
     auto runSampled = [&](Cycle count) {
@@ -480,16 +514,30 @@ cmdNet(const Args &args)
             // so the inspector may block, dump and watch here.
             if (inspector)
                 inspector->atCycleBoundary(network.now());
+            lap(prof::Phase::Hook);
+            if (pr != nullptr)
+                pr->setEpisodePhase(prof::Phase::Inject);
             engine.forEachShard([&](unsigned shard) {
                 const par::ShardRange r = plan.range(shard);
                 traffic.tickRange(static_cast<PEId>(r.begin),
                                   static_cast<PEId>(r.end));
             });
+            lap(prof::Phase::Inject);
             pni.tick();
+            lap(prof::Phase::Pni);
             network.tick();
+            if (pr != nullptr)
+                mark = prof::Profiler::nowNs();
             if (obs.sampling() &&
                 network.now() % obs.sampleEvery == 0) {
                 sampler.sample(network.now());
+            }
+            lap(prof::Phase::Sampler);
+            // Wall-time counter tracks next to the simulated-time
+            // timeline (same cadence as core::Machine::run).
+            if (pr != nullptr && !obs.traceEvents.empty() &&
+                network.now() % 64 == 0) {
+                pr->flushCounters(trace, network.now());
             }
         }
     };
@@ -498,6 +546,8 @@ cmdNet(const Args &args)
     pni.resetStats();
     statsResetAt = network.now();
     runSampled(cycles);
+    if (pr != nullptr)
+        pr->runEnd(network.now());
 
     const auto &stats = network.stats();
 
@@ -536,6 +586,8 @@ cmdNet(const Args &args)
         if (!obs.heatmapCsv.empty())
             writeTextFile(obs.heatmapCsv, latency->heatmapCsv());
     }
+    if (prof)
+        writeTextFile(obs.profJson, prof->reportJson() + "\n");
     std::printf("ports %u, k=%u m=%u d=%u, policy %s%s\n",
                 ncfg.numPorts, ncfg.k, ncfg.m, ncfg.d,
                 args.getString("policy", "full").c_str(),
@@ -627,6 +679,8 @@ cmdApp(const Args &args)
         machine.attachEventTrace(&trace);
     if (obs.latencyWanted())
         machine.enableLatency();
+    if (!obs.profJson.empty())
+        machine.enableProfiling();
     if (obs.sampling())
         machine.enableSampling(obs.sampleEvery);
     std::unique_ptr<inspect::InspectServer> iserver;
@@ -636,6 +690,7 @@ cmdApp(const Args &args)
     itargets.hash = &machine.addressHash();
     itargets.registry = &machine.registry();
     itargets.latency = machine.latency();
+    itargets.prof = machine.profiler();
     std::unique_ptr<inspect::Inspector> inspector =
         makeInspector(args, iserver, itargets);
     if (inspector) {
@@ -755,6 +810,10 @@ cmdApp(const Args &args)
             writeTextFile(obs.heatmapCsv,
                           machine.latency()->heatmapCsv());
         }
+    }
+    if (machine.profilingEnabled()) {
+        writeTextFile(obs.profJson,
+                      machine.profiler()->reportJson() + "\n");
     }
     return 0;
 }
