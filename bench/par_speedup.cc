@@ -46,13 +46,10 @@
 #include <thread>
 #include <vector>
 
-#ifdef __linux__
-#include <sched.h>
-#endif
-
 #include "common/table.h"
 #include "core/machine.h"
 #include "pe/task.h"
+#include "sweep/pool.h"
 
 namespace
 {
@@ -65,20 +62,12 @@ constexpr int kDefaultIterations = 150;
 /** Exit status of the BENCH_par.json small-host refusal. */
 constexpr int kExitRefused = 3;
 
-/** Honest usable-core count (see the file comment). */
+/** Honest usable-core count: the shared sweep-pool logic (see the
+ *  file comment for why affinity matters). */
 unsigned
 detectHostCores()
 {
-    unsigned cores = std::thread::hardware_concurrency();
-#ifdef __linux__
-    cpu_set_t set;
-    CPU_ZERO(&set);
-    if (sched_getaffinity(0, sizeof set, &set) == 0) {
-        cores = std::max(
-            cores, static_cast<unsigned>(CPU_COUNT(&set)));
-    }
-#endif
-    return std::max(cores, 1u);
+    return sweep::detectHostCores();
 }
 
 struct RunResult

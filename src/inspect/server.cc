@@ -273,8 +273,10 @@ InspectServer::send(const std::string &line)
     framed.push_back('\n');
     std::size_t off = 0;
     while (off < framed.size()) {
-        const ssize_t n = ::write(clientFd_, framed.data() + off,
-                                  framed.size() - off);
+        // MSG_NOSIGNAL: a peer that vanished mid-job must surface as
+        // EPIPE here, not as a process-killing SIGPIPE.
+        const ssize_t n = ::send(clientFd_, framed.data() + off,
+                                 framed.size() - off, MSG_NOSIGNAL);
         if (n <= 0)
             break; // peer gone; the serve thread will notice
         off += static_cast<std::size_t>(n);
@@ -311,8 +313,8 @@ InspectClient::sendLine(const std::string &line)
     framed.push_back('\n');
     std::size_t off = 0;
     while (off < framed.size()) {
-        const ssize_t n =
-            ::write(fd_, framed.data() + off, framed.size() - off);
+        const ssize_t n = ::send(fd_, framed.data() + off,
+                                 framed.size() - off, MSG_NOSIGNAL);
         if (n <= 0)
             return false;
         off += static_cast<std::size_t>(n);

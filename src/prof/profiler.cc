@@ -90,6 +90,38 @@ Profiler::runEnd(std::uint64_t cycles)
 }
 
 void
+Profiler::reset()
+{
+    for (unsigned p = 0; p < kPhaseCount; ++p) {
+        phaseNs_[p] = 0;
+        phaseCalls_[p] = 0;
+        episodeNs_[p] = 0;
+    }
+    episodeCount_ = 0;
+    episodePhase_ = Phase::Other;
+    episodeT0_ = 0;
+    for (ShardSlot &slot : shards_) {
+        slot.workNs = 0;
+        slot.episodeWorkNs = 0;
+        slot.barrierWaitNs = 0;
+        slot.stageWaitNs = 0;
+        slot.workT0 = 0;
+        slot.stageT0 = 0;
+    }
+    for (UnitSlot &slot : units_) {
+        // Counters only; the (copy, stage, group) geometry survives --
+        // it describes the attached network, not a run.
+        slot.messages = 0;
+        slot.allocs = 0;
+        slot.capacity = 0;
+        slot.stagingHighWater = 0;
+    }
+    runStartNs_ = 0;
+    runEndNs_ = 0;
+    cycles_ = 0;
+}
+
+void
 Profiler::episodeBegin()
 {
     episodeT0_ = nowNs();

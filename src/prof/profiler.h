@@ -112,6 +112,15 @@ class Profiler
     void runBegin();
     void runEnd(std::uint64_t cycles);
 
+    /**
+     * Zero every counter (phase timers, episodes, shard slots, unit
+     * loads, run window) in place, keeping the configured thread/unit
+     * geometry.  A persistent server reuses one profiler across jobs,
+     * and a job's report must cover that job alone -- without this a
+     * warmed machine leaks laps across jobs (see serve_test).
+     */
+    void reset();
+
     // -- per-phase wall timers (simulation thread) ------------------
     void
     phaseAdd(Phase p, std::uint64_t ns)

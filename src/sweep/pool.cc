@@ -1,0 +1,164 @@
+#include "sweep/pool.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
+
+#include "prof/profiler.h"
+
+namespace ultra::sweep
+{
+
+unsigned
+detectHostCores()
+{
+    unsigned cores = std::thread::hardware_concurrency();
+#ifdef __linux__
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof set, &set) == 0) {
+        cores =
+            std::max(cores, static_cast<unsigned>(CPU_COUNT(&set)));
+    }
+#endif
+    return std::max(cores, 1u);
+}
+
+namespace
+{
+
+struct Pending
+{
+    std::size_t index = 0;
+    unsigned attempt = 0;          //!< attempts already consumed
+    std::uint64_t eligibleNs = 0;  //!< earliest launch time (backoff)
+};
+
+struct Running
+{
+    pid_t pid = -1;
+    std::size_t index = 0;
+    unsigned attempt = 0;
+    std::uint64_t startNs = 0;
+    bool killed = false;
+};
+
+} // namespace
+
+PoolOutcome
+runForkPool(std::size_t count,
+            const std::function<int(std::size_t, unsigned)> &fn,
+            const PoolOptions &opts)
+{
+    PoolOutcome out;
+    const unsigned workers = std::max(opts.workers, 1u);
+    const unsigned maxAttempts = std::max(opts.maxAttempts, 1u);
+
+    std::deque<Pending> pending;
+    for (std::size_t i = 0; i < count; ++i)
+        pending.push_back(Pending{i, 0, 0});
+    std::vector<Running> running;
+
+    const auto fail = [&](std::size_t index, unsigned attempt) {
+        const unsigned used = attempt + 1;
+        if (used >= maxAttempts) {
+            ++out.failed;
+            return;
+        }
+        ++out.retried;
+        Pending p;
+        p.index = index;
+        p.attempt = used;
+        // Exponential backoff: base << (retries already burned).
+        p.eligibleNs = prof::Profiler::nowNs() +
+                       (opts.backoffNs << (used - 1));
+        pending.push_back(p);
+    };
+
+    while (!pending.empty() || !running.empty()) {
+        const std::uint64_t now = prof::Profiler::nowNs();
+
+        // Launch eligible work into free slots.
+        for (std::size_t i = 0;
+             running.size() < workers && i < pending.size();) {
+            if (pending[i].eligibleNs > now) {
+                ++i;
+                continue;
+            }
+            const Pending job = pending[i];
+            pending.erase(pending.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+            // Unflushed stdio would be duplicated into every child.
+            std::fflush(stdout);
+            std::fflush(stderr);
+            const pid_t pid = ::fork();
+            if (pid == 0) {
+                // _Exit: no atexit handlers, no double-flushed
+                // buffers, no parent-owned state teardown.
+                std::_Exit(fn(job.index, job.attempt));
+            }
+            if (pid < 0) {
+                fail(job.index, job.attempt);
+                continue;
+            }
+            Running r;
+            r.pid = pid;
+            r.index = job.index;
+            r.attempt = job.attempt;
+            r.startNs = prof::Profiler::nowNs();
+            running.push_back(r);
+        }
+
+        // Kill anything over its wall budget; it is reaped below as a
+        // signaled (failed) attempt.
+        if (opts.timeoutNs != 0) {
+            for (Running &r : running) {
+                if (!r.killed && now - r.startNs > opts.timeoutNs) {
+                    ::kill(r.pid, SIGKILL);
+                    r.killed = true;
+                }
+            }
+        }
+
+        // Reap every finished child without blocking.
+        bool reaped = false;
+        for (;;) {
+            int status = 0;
+            const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+            if (pid <= 0)
+                break;
+            auto it = std::find_if(
+                running.begin(), running.end(),
+                [pid](const Running &r) { return r.pid == pid; });
+            if (it == running.end())
+                continue; // not ours (paranoia)
+            const Running done = *it;
+            running.erase(it);
+            reaped = true;
+            if (WIFEXITED(status) && WEXITSTATUS(status) == 0)
+                ++out.succeeded;
+            else
+                fail(done.index, done.attempt);
+        }
+
+        if (!reaped && !running.empty())
+            ::poll(nullptr, 0, 2);
+        else if (!reaped && !pending.empty())
+            ::poll(nullptr, 0, 1); // everyone is in backoff
+    }
+    return out;
+}
+
+} // namespace ultra::sweep

@@ -23,6 +23,9 @@
 #ifndef ULTRASIM_BIN
 #error "build must define ULTRASIM_BIN (see tests/CMakeLists.txt)"
 #endif
+#ifndef ULTRASWEEP_BIN
+#error "build must define ULTRASWEEP_BIN (see tests/CMakeLists.txt)"
+#endif
 
 namespace
 {
@@ -363,6 +366,120 @@ TEST(CliTest, UltrascopeAnalyzesTrace)
 TEST(CliTest, BadSubcommandFails)
 {
     EXPECT_NE(runTool("frobnicate"), 0);
+}
+
+TEST(CliTest, NetSeedFlagIsDeterministic)
+{
+    // --seed rides the net allowlist: same seed, same bytes; a
+    // different seed must actually steer the traffic generator.
+    const std::string a = tmpPath("seed_a.json");
+    const std::string b = tmpPath("seed_b.json");
+    const std::string c = tmpPath("seed_c.json");
+    const std::string common =
+        "net --ports 16 --k 2 --cycles 300 --rate 0.1 --stats-json ";
+    ASSERT_EQ(runTool(common + a + " --seed 42"), 0);
+    ASSERT_EQ(runTool(common + b + " --seed 42"), 0);
+    ASSERT_EQ(runTool(common + c + " --seed 43"), 0);
+    const std::string bytes = readFile(a);
+    ASSERT_FALSE(bytes.empty());
+    EXPECT_EQ(readFile(b), bytes) << "same seed must reproduce bytes";
+    EXPECT_NE(readFile(c), bytes) << "different seed changed nothing";
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+    std::remove(c.c_str());
+}
+
+TEST(CliTest, ServeRejectsBadInvocations)
+{
+    const std::string err = tmpPath("serve_usage.err");
+    // No address operand.
+    ASSERT_EQ(runCommand(std::string(ULTRASIM_BIN) +
+                         " serve > /dev/null 2> " + err),
+              2);
+    EXPECT_NE(readFile(err).find("usage:"), std::string::npos)
+        << readFile(err);
+    // A flag where the address belongs.
+    EXPECT_EQ(runTool("serve --threads 2"), 2);
+    // Unknown flags honor the allowlist convention.
+    EXPECT_EQ(runTool("serve 0 --frobnicate 1"), 2);
+    std::remove(err.c_str());
+}
+
+TEST(CliTest, UltrasweepRejectsBadInvocations)
+{
+    const std::string err = tmpPath("sweep_usage.err");
+    // Unknown flag.
+    ASSERT_EQ(runCommand(std::string(ULTRASWEEP_BIN) +
+                         " --frobnicate > /dev/null 2> " + err),
+              2);
+    const std::string text = readFile(err);
+    EXPECT_NE(text.find("unknown flag '--frobnicate'"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("usage:"), std::string::npos) << text;
+
+    // --grid is required; a missing or malformed grid file is exit 2.
+    EXPECT_EQ(runCommand(std::string(ULTRASWEEP_BIN) +
+                         " > /dev/null 2>&1"),
+              2);
+    EXPECT_EQ(runCommand(std::string(ULTRASWEEP_BIN) +
+                         " --grid /no/such/grid.json > /dev/null 2>&1"),
+              2);
+    const std::string junk = tmpPath("sweep_junk_grid.json");
+    std::ofstream(junk) << "{ not json";
+    EXPECT_EQ(runCommand(std::string(ULTRASWEEP_BIN) + " --grid " +
+                         junk + " > /dev/null 2>&1"),
+              2);
+    // Well-formed JSON with a typo'd parameter is still exit 2: a
+    // typo must never become a default-configured sweep.
+    std::ofstream(junk) << "{\"schema\": \"sweep.grid.v1\", \"grids\":"
+                           " [{\"base\": {\"protz\": 16}}]}";
+    EXPECT_EQ(runCommand(std::string(ULTRASWEEP_BIN) + " --grid " +
+                         junk + " > /dev/null 2>&1"),
+              2);
+    std::remove(junk.c_str());
+    std::remove(err.c_str());
+}
+
+TEST(CliTest, UltrascopeSweepModeRendersAndRejects)
+{
+    // A real two-point sweep renders a per-point table...
+    const std::string grid = tmpPath("scope_sweep_grid.json");
+    std::ofstream(grid)
+        << "{\"schema\": \"sweep.grid.v1\", \"grids\": [{\"tag\": "
+           "\"mini\", \"base\": {\"ports\": 16, \"k\": 2, \"cycles\": "
+           "200}, \"axes\": {\"rate\": [0.05, 0.1]}}]}";
+    const std::string out = tmpPath("scope_sweep.json");
+    const std::string dir = out + ".points.d";
+    ASSERT_EQ(runCommand(std::string(ULTRASWEEP_BIN) + " --grid " +
+                         grid + " --out " + out + " --points-dir " +
+                         dir + " > /dev/null 2>&1"),
+              0);
+    const std::string report = tmpPath("scope_sweep_report.txt");
+    ASSERT_EQ(runCommand(std::string(ULTRASCOPE_BIN) + " --sweep " +
+                         out + " > " + report + " 2>&1"),
+              0);
+    const std::string text = readFile(report);
+    EXPECT_NE(text.find("mini"), std::string::npos) << text;
+    EXPECT_NE(text.find("2 points"), std::string::npos) << text;
+
+    // ...while non-sweep input and a missing operand are exit 2.
+    EXPECT_EQ(runCommand(std::string(ULTRASCOPE_BIN) + " --sweep " +
+                         grid + " > /dev/null 2>&1"),
+              2)
+        << "a grid file is not a sweep.v1 result";
+    EXPECT_EQ(runCommand(std::string(ULTRASCOPE_BIN) +
+                         " --sweep > /dev/null 2>&1"),
+              2);
+    EXPECT_EQ(runCommand(std::string(ULTRASCOPE_BIN) +
+                         " --sweep /no/such/sweep.json"
+                         " > /dev/null 2>&1"),
+              2);
+
+    runCommand("rm -rf " + dir);
+    std::remove(grid.c_str());
+    std::remove(out.c_str());
+    std::remove(report.c_str());
 }
 
 } // namespace

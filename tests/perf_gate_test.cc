@@ -36,13 +36,10 @@
 #include <thread>
 #include <vector>
 
-#ifdef __linux__
-#include <sched.h>
-#endif
-
 #include "common/json_lite.h"
 #include "core/machine.h"
 #include "pe/task.h"
+#include "sweep/pool.h"
 
 #if defined(__has_feature)
 #if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
@@ -60,20 +57,12 @@ namespace
 
 constexpr std::uint32_t kPes = 1024;
 
-/** Honest usable-core count (matches bench/par_speedup.cc). */
+/** Honest usable-core count: the shared sweep-pool logic (matches
+ *  bench/par_speedup.cc). */
 unsigned
 detectHostCores()
 {
-    unsigned cores = std::thread::hardware_concurrency();
-#ifdef __linux__
-    cpu_set_t set;
-    CPU_ZERO(&set);
-    if (sched_getaffinity(0, sizeof set, &set) == 0) {
-        cores = std::max(cores,
-                         static_cast<unsigned>(CPU_COUNT(&set)));
-    }
-#endif
-    return std::max(cores, 1u);
+    return sweep::detectHostCores();
 }
 
 struct Measurement

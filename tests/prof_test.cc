@@ -269,5 +269,65 @@ TEST(ProfTest, ReportIsCallableMidRunAndEmpty)
     EXPECT_EQ(doc["cycles"].number, 0.0);
 }
 
+TEST(ProfTest, ResetClearsCountersKeepsGeometry)
+{
+    // One profiler serves every job of a persistent server
+    // (`ultrasim serve`); reset must return it to the fresh state
+    // while keeping the configured shard/unit geometry, which
+    // describes the attached machine rather than any one run.
+    prof::Profiler prof;
+    prof.configureThreads(2);
+    prof.configureUnits(3);
+    prof.setUnitGeometry(2, 1, 4, 7);
+
+    prof.runBegin();
+    prof.phaseAdd(prof::Phase::Pni, 1000);
+    prof.setEpisodePhase(prof::Phase::NetArrival);
+    prof.episodeBegin();
+    prof.shardBegin(0);
+    prof.shardEnd(0);
+    prof.episodeEnd();
+    prof.unitMessages(2, 5);
+    prof.unitPool(2, 4, 16);
+    prof.runEnd(480);
+    ASSERT_GT(prof.phaseNs(prof::Phase::Pni), 0u);
+    ASSERT_GT(prof.totalEpisodeNs(), 0u);
+    ASSERT_EQ(prof.cycles(), 480u);
+
+    prof.reset();
+
+    EXPECT_EQ(prof.threads(), 2u) << "geometry must survive reset";
+    EXPECT_EQ(prof.cycles(), 0u);
+    EXPECT_EQ(prof.totalPhaseNs(), 0u);
+    EXPECT_EQ(prof.totalEpisodeNs(), 0u);
+    for (unsigned p = 0; p < prof::kPhaseCount; ++p) {
+        EXPECT_EQ(prof.phaseNs(static_cast<prof::Phase>(p)), 0u);
+        EXPECT_EQ(prof.episodeNs(static_cast<prof::Phase>(p)), 0u);
+    }
+    for (unsigned s = 0; s < prof.threads(); ++s) {
+        EXPECT_EQ(prof.shardWorkNs(s), 0u);
+        EXPECT_EQ(prof.shardBarrierWaitNs(s), 0u);
+    }
+
+    // The post-reset report equals a fresh-but-configured profiler's
+    // report: same geometry, all-zero counters.
+    prof::Profiler fresh;
+    fresh.configureThreads(2);
+    fresh.configureUnits(3);
+    fresh.setUnitGeometry(2, 1, 4, 7);
+    // Elapsed is wall-measured to the call when no run window is set,
+    // so compare everything except that one host-dependent field.
+    const jsonlite::JsonValue a = jsonlite::parse(prof.reportJson());
+    const jsonlite::JsonValue b = jsonlite::parse(fresh.reportJson());
+    EXPECT_EQ(a["cycles"].number, b["cycles"].number);
+    EXPECT_EQ(a["threads"].number, b["threads"].number);
+    EXPECT_EQ(a["units"].array.size(), b["units"].array.size());
+    for (unsigned p = 0; p < prof::kPhaseCount; ++p) {
+        const char *name = prof::phaseName(static_cast<prof::Phase>(p));
+        EXPECT_EQ(a["phases"][name]["calls"].number, 0.0) << name;
+        EXPECT_EQ(a["phases"][name]["seconds"].number, 0.0) << name;
+    }
+}
+
 } // namespace
 } // namespace ultra

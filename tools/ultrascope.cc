@@ -25,6 +25,11 @@
  * work/wait balance, and the busiest (copy, stage, column-group)
  * network units.
  *
+ * Sweep mode: `ultrascope --sweep SWEEP.json` renders an `ultrasweep`
+ * merged result (schema "sweep.v1") as a per-point table -- config,
+ * delivered traffic, transit means and model drift.  Exit 2 on
+ * anything that is not a sweep.v1 document.
+ *
  * Live mode: `ultrascope --attach ADDR` connects to a running
  * `ultrasim ... --inspect ADDR` (see DESIGN.md "Live inspection").
  * With no further arguments it resumes the run and watches it: a
@@ -433,6 +438,71 @@ profMain(const std::string &path)
 }
 
 // ------------------------------------------------------------------
+// Merged-sweep mode (--sweep)
+// ------------------------------------------------------------------
+
+/** Render an `ultrasweep` merged result (schema "sweep.v1") as a
+ *  per-point table.  Exit 2 when the file is not a sweep document. */
+int
+sweepMain(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "ultrascope: cannot read %s\n",
+                     path.c_str());
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    jsonlite::JsonValue doc;
+    try {
+        doc = jsonlite::parse(buf.str());
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "ultrascope: parse error in %s: %s\n",
+                     path.c_str(), err.what());
+        return 2;
+    }
+    if (!doc.isObject() || !doc.has("schema") ||
+        !doc["schema"].isString() || doc["schema"].string != "sweep.v1" ||
+        !doc.has("points") || !doc["points"].isArray()) {
+        std::fprintf(stderr,
+                     "ultrascope: %s is not a sweep.v1 result\n",
+                     path.c_str());
+        return 2;
+    }
+    const std::vector<jsonlite::JsonValue> &pts = doc["points"].array;
+    std::printf("%s: %zu points\n", path.c_str(), pts.size());
+    std::printf("  %5s %-12s %6s %3s %3s %3s %6s %5s %10s %8s %8s "
+                "%8s\n",
+                "index", "tag", "ports", "k", "m", "d", "rate", "hot",
+                "delivered", "one-way", "rt-mean", "drift%");
+    for (const jsonlite::JsonValue &pt : pts) {
+        if (!pt.isObject() || !pt.has("params") || !pt.has("summary"))
+            continue;
+        const jsonlite::JsonValue &p = pt["params"];
+        const jsonlite::JsonValue &s = pt["summary"];
+        const std::string tag =
+            pt.has("tag") && pt["tag"].isString() && !pt["tag"].string.empty()
+                ? pt["tag"].string
+                : "-";
+        std::printf("  %5.0f %-12s %6.0f %3.0f %3.0f %3.0f %6.3f "
+                    "%5.2f %10.0f %8.2f %8.2f",
+                    numAt(pt, "index"), tag.c_str(), numAt(p, "ports"),
+                    numAt(p, "k"), numAt(p, "m"),
+                    p.has("d") ? numAt(p, "d") : 1.0,
+                    numAt(p, "rate"), numAt(p, "hot"),
+                    numAt(s, "delivered"), numAt(s, "one_way_mean"),
+                    numAt(s, "round_trip_mean"));
+        if (numAt(s, "model_applicable") != 0.0)
+            std::printf(" %8.1f", 100.0 * numAt(s, "drift"));
+        else
+            std::printf(" %8s", "-");
+        std::printf("\n");
+    }
+    return 0;
+}
+
+// ------------------------------------------------------------------
 // Live mode (--attach)
 // ------------------------------------------------------------------
 
@@ -690,6 +760,14 @@ main(int argc, char **argv)
                 return 2;
             }
             return profMain(argv[i + 1]);
+        }
+        if (std::string(argv[i]) == "--sweep") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "usage: ultrascope --sweep SWEEP.json\n");
+                return 2;
+            }
+            return sweepMain(argv[i + 1]);
         }
     }
     std::string path;

@@ -10,6 +10,12 @@
  *   ultrasim model [options]   evaluate the analytic transit-time model
  *   ultrasim pack  [options]   section-3.6 packaging estimate
  *   ultrasim trace [options]   record an app's traffic / replay a file
+ *   ultrasim serve ADDR        persistent job server on the inspect
+ *                              transport (protocol "ultra.serve.v1",
+ *                              see src/sweep/serve.h); ADDR as in
+ *                              --inspect.  Options: --threads N
+ *                              (default job threads), --cache N
+ *                              (warmed configurations kept, default 4)
  *
  * `trace` options:
  *   --record FILE --app NAME --pes P --n N    record a workload trace
@@ -71,6 +77,8 @@
  *   --hot F        fraction of traffic to one hot F&A cell (default 0)
  *   --cycles C     measured cycles (default 10000)
  *   --closed W     closed loop with window W instead of open loop
+ *   --seed S       traffic RNG seed (default 1); lets a sweep point be
+ *                  reproduced as a standalone run
  *
  * `app` options:
  *   --app NAME     tred2 | weather | multigrid | montecarlo | sssp | accounts
@@ -124,6 +132,8 @@
 #include "par/shard.h"
 #include "prof/profiler.h"
 #include "par/tick_engine.h"
+#include "sweep/net_run.h"
+#include "sweep/serve.h"
 
 namespace
 {
@@ -360,126 +370,80 @@ cmdNet(const Args &args)
     args.rejectUnknown(
         "net", {"ports", "k", "m", "d", "queue", "policy", "burroughs",
                 "ideal", "uniform", "rate", "hot", "cycles", "closed",
-                ULTRASIM_OBS_FLAGS});
-    const net::NetSimConfig ncfg = netConfigFrom(args);
-    net::TrafficConfig tcfg;
-    tcfg.activePes = ncfg.numPorts;
-    tcfg.rate = args.getDouble("rate", 0.1);
-    tcfg.hotFraction = args.getDouble("hot", 0.0);
-    tcfg.hotAddr = 13;
-    tcfg.addrSpaceWords = std::uint64_t{ncfg.numPorts} << 8;
+                "seed", ULTRASIM_OBS_FLAGS});
+    const ObsOptions obs = ObsOptions::from(args);
+
+    // The experiment itself -- construction order, warmup/reset/
+    // measure loop, model cross-check -- lives in sweep::NetExperiment
+    // so `ultrasim net`, the ultrasweep workers and `ultrasim serve`
+    // produce identical bytes by sharing the code, not by replicating
+    // it.  This function only maps flags onto the spec and wires the
+    // byte-neutral observability hooks.
+    sweep::NetPointSpec spec;
+    spec.net = netConfigFrom(args);
+    spec.traffic.activePes = spec.net.numPorts;
+    spec.traffic.rate = args.getDouble("rate", 0.1);
+    spec.traffic.hotFraction = args.getDouble("hot", 0.0);
+    spec.traffic.hotAddr = 13;
+    spec.traffic.addrSpaceWords = std::uint64_t{spec.net.numPorts} << 8;
     if (args.has("closed")) {
-        tcfg.closedLoop = true;
-        tcfg.window =
+        spec.traffic.closedLoop = true;
+        spec.traffic.window =
             static_cast<unsigned>(args.getInt("closed", 1));
     }
+    spec.traffic.seed = args.getInt("seed", 1);
+    spec.pni.maxOutstanding = spec.traffic.closedLoop ? 0 : 8;
+    spec.cycles = args.getInt("cycles", 10000);
+    spec.threads = static_cast<unsigned>(args.getInt("threads", 1));
+    spec.netSerial = args.has("net-serial");
+    spec.wantLatency = obs.latencyWanted();
+    spec.driftTolerance = obs.driftTolerance;
 
-    mem::MemoryConfig mcfg;
-    mcfg.numModules = ncfg.numPorts;
-    mcfg.wordsPerModule = 1 << 14;
-    mcfg.accessTime = ncfg.mmAccessTime;
-    mem::MemorySystem memory(mcfg);
-    net::Network network(ncfg, memory);
-    mem::AddressHash hash(log2Exact(memory.totalWords()), true);
-    net::PniConfig pcfg;
-    pcfg.maxOutstanding = tcfg.closedLoop ? 0 : 8;
-    net::PniArray pni(pcfg, network, hash);
-    net::TrafficGenerator traffic(tcfg, pni, network);
+    sweep::NetExperiment exp(spec);
+    net::Network &network = exp.network();
+    const Cycle cycles = spec.cycles;
 
-    const ObsOptions obs = ObsOptions::from(args);
-    obs::Registry registry;
-    network.registerStats(registry, "net");
-    pni.registerStats(registry, "pni");
-    memory.registerStats(registry, "mem");
     obs::EventTrace trace;
-    if (!obs.traceEvents.empty())
-        network.setEventTrace(&trace);
-    // Attach while the network is still quiescent; the aggregates
-    // therefore cover the warmup as well (unlike the registry stats,
-    // which are reset after it) -- the decomposition invariant holds
-    // for every record either way.
-    std::unique_ptr<obs::LatencyObservatory> latency;
-    if (obs.latencyWanted()) {
-        obs::LatencyShape shape;
-        shape.stages = network.topology().stages();
-        shape.switchesPerStage = network.topology().switchesPerStage();
-        shape.mmAccessTime = ncfg.mmAccessTime;
-        latency = std::make_unique<obs::LatencyObservatory>(shape);
-        network.setLatencyObservatory(latency.get());
-        latency->registerStats(registry, "lat");
-    }
     obs::Sampler sampler;
     if (obs.sampling()) {
         for (unsigned s = 0; s < network.topology().stages(); ++s) {
             const std::string stage =
                 "net.stage" + std::to_string(s) + ".";
-            sampler.addRegistryColumn(registry, stage + "tomm_pkts");
-            sampler.addRegistryColumn(registry, stage + "wb_entries");
-            sampler.addRegistryColumn(registry, stage + "combines");
+            sampler.addRegistryColumn(exp.registry(),
+                                      stage + "tomm_pkts");
+            sampler.addRegistryColumn(exp.registry(),
+                                      stage + "wb_entries");
+            sampler.addRegistryColumn(exp.registry(),
+                                      stage + "combines");
         }
-        sampler.addRegistryColumn(registry, "pni.outstanding");
-        sampler.addRegistryColumn(registry, "net.mni_pending_pkts");
+        sampler.addRegistryColumn(exp.registry(), "pni.outstanding");
+        sampler.addRegistryColumn(exp.registry(),
+                                  "net.mni_pending_pkts");
     }
-
-    // Host parallelism: traffic generation (the compute phase here) is
-    // sharded across threads; PNI issue + network tick stay sequential.
-    unsigned threads = par::TickEngine::resolveThreads(
-        static_cast<unsigned>(args.getInt("threads", 1)));
-    if (threads > tcfg.activePes && tcfg.activePes > 0)
-        threads = tcfg.activePes;
-    par::TickEngine engine(threads);
-    if (!args.has("net-serial"))
-        network.setTickEngine(&engine);
-    const par::ShardPlan plan =
-        par::ShardPlan::contiguous(tcfg.activePes, threads);
-    std::vector<unsigned> shard_of(ncfg.numPorts, 0);
-    for (std::uint32_t pe = 0; pe < tcfg.activePes; ++pe)
-        shard_of[pe] = plan.shardOf(pe);
-    pni.setShardMap(threads, std::move(shard_of));
 
     // Wall-clock self-profiler (opt-in): times the injection episodes
     // and the network's sub-phases; the simulated run is byte-identical
     // with or without it.
     std::unique_ptr<prof::Profiler> prof;
-    if (!obs.profJson.empty()) {
+    if (!obs.profJson.empty())
         prof = std::make_unique<prof::Profiler>();
-        engine.setProfiler(prof.get());
-        network.setProfiler(prof.get());
-    }
-
-    // Kruskal-Snir cross-check (also backing live drift watchpoints):
-    // the model applies only to configurations matching its
-    // assumptions; everything static about that is known before the
-    // run, the offered load is measured during it.
-    analytic::NetworkConfig acfg;
-    acfg.n = ncfg.numPorts;
-    acfg.k = ncfg.k;
-    acfg.m = ncfg.m;
-    acfg.d = ncfg.d;
-    const bool applicable =
-        acfg.valid() && ncfg.sizing == net::PacketSizing::Uniform &&
-        ncfg.combinePolicy == net::CombinePolicy::None &&
-        !ncfg.burroughsKill && !ncfg.idealParacomputer &&
-        ncfg.queueCapacityPackets == 0 &&
-        ncfg.mmPendingCapacityPackets == 0 && tcfg.hotFraction == 0.0 &&
-        !tcfg.closedLoop;
 
     std::unique_ptr<inspect::InspectServer> iserver;
     inspect::Targets itargets;
     itargets.network = &network;
-    itargets.memory = &memory;
-    itargets.hash = &hash;
-    itargets.registry = &registry;
-    itargets.latency = latency.get();
+    itargets.memory = &exp.memory();
+    itargets.hash = &exp.addressHash();
+    itargets.registry = &exp.registry();
+    itargets.latency = exp.latency();
     itargets.prof = prof.get();
     std::unique_ptr<inspect::Inspector> inspector =
         makeInspector(args, iserver, itargets);
-    Cycle statsResetAt = 0;
-    if (inspector && applicable) {
-        inspector->setDriftProbe([&network, &statsResetAt, acfg,
-                                  ports = ncfg.numPorts]() {
+    if (inspector && exp.modelApplicable()) {
+        inspector->setDriftProbe([&exp, &network,
+                                  acfg = exp.modelConfig(),
+                                  ports = spec.net.numPorts]() {
             const auto &s = network.stats();
-            const Cycle elapsed = network.now() - statsResetAt;
+            const Cycle elapsed = network.now() - exp.statsResetAt();
             if (elapsed == 0 || s.injected == 0 ||
                 s.oneWayTransit.count() == 0) {
                 return 0.0;
@@ -491,92 +455,38 @@ cmdNet(const Args &args)
         });
     }
 
-    const Cycle cycles = args.getInt("cycles", 10000);
-    prof::Profiler *const pr = prof.get();
-    if (pr != nullptr)
-        pr->runBegin();
-    // Lap clock for phase attribution; the network laps its own
-    // sub-phases, so the tick only re-stamps after it (see
-    // core::Machine::run for the same pattern).
-    std::uint64_t mark = pr != nullptr ? prof::Profiler::nowNs() : 0;
-    const auto lap = [&](prof::Phase p) {
-        if (pr == nullptr)
-            return;
-        const std::uint64_t next = prof::Profiler::nowNs();
-        pr->phaseAdd(p, next - mark);
-        mark = next;
-    };
-    // Sampling covers the warmup too, so the series shows queues
-    // ramping from cold (the hot-spot tree-saturation onset).
-    auto runSampled = [&](Cycle count) {
-        for (Cycle c = 0; c < count; ++c) {
-            // The pause fence: between ticks nothing is mid-flight,
-            // so the inspector may block, dump and watch here.
-            if (inspector)
-                inspector->atCycleBoundary(network.now());
-            lap(prof::Phase::Hook);
-            if (pr != nullptr)
-                pr->setEpisodePhase(prof::Phase::Inject);
-            engine.forEachShard([&](unsigned shard) {
-                const par::ShardRange r = plan.range(shard);
-                traffic.tickRange(static_cast<PEId>(r.begin),
-                                  static_cast<PEId>(r.end));
-            });
-            lap(prof::Phase::Inject);
-            pni.tick();
-            lap(prof::Phase::Pni);
-            network.tick();
-            if (pr != nullptr)
-                mark = prof::Profiler::nowNs();
-            if (obs.sampling() &&
-                network.now() % obs.sampleEvery == 0) {
-                sampler.sample(network.now());
-            }
-            lap(prof::Phase::Sampler);
-            // Wall-time counter tracks next to the simulated-time
-            // timeline (same cadence as core::Machine::run).
-            if (pr != nullptr && !obs.traceEvents.empty() &&
-                network.now() % 64 == 0) {
-                pr->flushCounters(trace, network.now());
-            }
-        }
-    };
-    runSampled(cycles / 5); // warm up
-    network.resetStats();
-    pni.resetStats();
-    statsResetAt = network.now();
-    runSampled(cycles);
-    if (pr != nullptr)
-        pr->runEnd(network.now());
+    sweep::NetExperiment::Hooks hooks;
+    if (inspector) {
+        hooks.atCycle = [&inspector](Cycle now) {
+            inspector->atCycleBoundary(now);
+        };
+    }
+    if (obs.sampling()) {
+        hooks.sampler = &sampler;
+        hooks.sampleEvery = obs.sampleEvery;
+    }
+    if (!obs.traceEvents.empty())
+        hooks.trace = &trace;
+    hooks.prof = prof.get();
+    exp.run(hooks);
 
     const auto &stats = network.stats();
-
-    // Compare the measured post-warmup mean one-way transit against
-    // the model's prediction at the measured accepted load.
-    // Non-applicable configurations still publish their numbers with
-    // model.applicable = 0.
-    const double offered = static_cast<double>(stats.injected) /
-                           static_cast<double>(cycles) / ncfg.numPorts;
-    const obs::ModelCrossCheck model(acfg, offered,
-                                     stats.oneWayTransit.mean(),
-                                     applicable, obs.driftTolerance);
-    model.registerStats(registry, "model");
-    const bool model_ok = model.check();
+    const obs::ModelCrossCheck &model = exp.model();
+    const bool model_ok = exp.modelOk();
+    obs::LatencyObservatory *const latency = exp.latency();
 
     // The run is over: let an attached client take final dumps (the
     // model.* stats are registered by now), then write the files.
     if (inspector)
         inspector->finishRun(network.now(), true);
 
-    if (!obs.statsJson.empty()) {
-        writeTextFile(obs.statsJson, registry.jsonDump(network.now(),
-                                                       obs.dumpOptions()));
-    }
+    if (!obs.statsJson.empty())
+        writeTextFile(obs.statsJson, exp.statsJson(obs.dumpOptions()));
     if (!obs.sampleOut.empty())
         sampler.save(obs.sampleOut);
     if (!obs.traceEvents.empty())
         trace.save(obs.traceEvents);
-    if (latency) {
+    if (latency != nullptr) {
         if (!obs.latencyJson.empty()) {
             writeTextFile(obs.latencyJson,
                           spliceJson(latency->summaryJson(), "model",
@@ -589,13 +499,13 @@ cmdNet(const Args &args)
     if (prof)
         writeTextFile(obs.profJson, prof->reportJson() + "\n");
     std::printf("ports %u, k=%u m=%u d=%u, policy %s%s\n",
-                ncfg.numPorts, ncfg.k, ncfg.m, ncfg.d,
+                spec.net.numPorts, spec.net.k, spec.net.m, spec.net.d,
                 args.getString("policy", "full").c_str(),
-                ncfg.burroughsKill ? " (kill-on-conflict)" : "");
+                spec.net.burroughsKill ? " (kill-on-conflict)" : "");
     std::printf("injected:        %llu (%.3f/PE/cycle)\n",
                 static_cast<unsigned long long>(stats.injected),
                 static_cast<double>(stats.injected) / cycles /
-                    ncfg.numPorts);
+                    spec.net.numPorts);
     std::printf("delivered:       %llu\n",
                 static_cast<unsigned long long>(stats.delivered));
     std::printf("combined:        %llu (%.1f%% of injected)\n",
@@ -617,7 +527,7 @@ cmdNet(const Args &args)
                 static_cast<unsigned long long>(
                     stats.roundTripHist.percentile(0.99)));
     std::printf("access time:     %.2f cycles (incl. issue wait)\n",
-                pni.stats().accessTime.mean());
+                exp.pni().stats().accessTime.mean());
     std::printf("MM queue wait:   %.2f cycles\n",
                 stats.mmQueueWait.mean());
     if (latency) {
@@ -960,12 +870,35 @@ cmdPack(const Args &args)
     return 0;
 }
 
+int
+cmdServe(int argc, char **argv)
+{
+    // `ultrasim serve ADDR` (also spelled `ultrasim --serve ADDR`):
+    // the persistent job server; see src/sweep/serve.h for the
+    // protocol.
+    if (argc < 3 || argv[2][0] == '-') {
+        std::fprintf(stderr,
+                     "serve needs a port or unix-socket path\n");
+        usage();
+        return 2;
+    }
+    const std::string addr = argv[2];
+    const Args args(argc, argv, 3);
+    args.rejectUnknown("serve", {"threads", "cache"});
+    sweep::ServeOptions opts;
+    opts.threads = static_cast<unsigned>(args.getInt("threads", 1));
+    opts.cacheCapacity = args.getInt("cache", 4);
+    return sweep::serveMain(addr, opts);
+}
+
 void
 usage()
 {
     std::fprintf(stderr,
                  "usage: ultrasim <net|app|model|pack|trace> "
                  "[options]\n"
+                 "       ultrasim serve <port|unix-socket> "
+                 "[--threads N] [--cache N]\n"
                  "see the comment at the top of tools/ultrasim.cc\n");
 }
 
@@ -979,6 +912,8 @@ main(int argc, char **argv)
         return 2;
     }
     const std::string cmd = argv[1];
+    if (cmd == "serve" || cmd == "--serve")
+        return cmdServe(argc, argv);
     const Args args(argc, argv, 2);
     if (cmd == "net")
         return cmdNet(args);

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * ultrasweep -- multi-process parameter-sweep driver.
+ *
+ * Expands a JSON parameter grid (machine configuration x workload x
+ * seeds; schema "sweep.grid.v1", see src/sweep/grid.h) into experiment
+ * points, fans the points across a fork-based worker pool sized to the
+ * honest host core count, and merges the per-point stats into one
+ * sorted-key "sweep.v1" result file.
+ *
+ * Determinism contract (pinned by tests/sweep_test.cc and the CI
+ * sweep-smoke job): each point's embedded stats dump is byte-identical
+ * to the same configuration run standalone through
+ * `ultrasim net ... --stats-json`, and the merged file is
+ * byte-identical at any worker count -- per-point seeds derive from
+ * the point index, never from scheduling, and the merge is a pure
+ * concatenation in index order.
+ *
+ * Usage: ultrasweep --grid FILE [options]
+ *   --grid FILE       the sweep.grid.v1 parameter grid (required)
+ *   --out FILE        merged sweep.v1 output (default sweep.json)
+ *   --points-dir DIR  per-point scratch dir (default OUT.points.d)
+ *   --workers N       worker processes (default min(points, cores))
+ *   --retries N       attempts per point (default 3)
+ *   --timeout-s S     per-attempt wall budget, 0 = none (default 0)
+ *   --list            print the expanded points and exit
+ *   --emit-fig7 FILE  also render BENCH_fig7.json from points tagged
+ *                     --fig7-tag (default "fig7")
+ *   --emit-hotspot FILE  likewise BENCH_hotspot.json from points
+ *                     tagged --hotspot-tag (default "hotspot")
+ *
+ * Unknown flags and malformed grids are rejected with exit 2 + usage
+ * (the ultrasim allowlist convention); a point that fails every
+ * attempt exits 1.  ULTRASWEEP_CRASH_POINT=<index> makes that point's
+ * first attempt kill itself -- the retry-path test hook.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <initializer_list>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+#include <sys/stat.h>
+
+#include "obs/registry.h"
+#include "sweep/grid.h"
+#include "sweep/net_run.h"
+#include "sweep/pool.h"
+
+namespace
+{
+
+using namespace ultra;
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: ultrasweep --grid FILE [--out FILE] "
+                 "[--points-dir DIR]\n"
+                 "                 [--workers N] [--retries N] "
+                 "[--timeout-s S] [--list]\n"
+                 "                 [--emit-fig7 FILE [--fig7-tag T]]\n"
+                 "                 [--emit-hotspot FILE "
+                 "[--hotspot-tag T]]\n"
+                 "see the comment at the top of tools/ultrasweep.cc\n");
+}
+
+/** Minimal flag parser: --name value and boolean --name (the ultrasim
+ *  Args shape, with the same exit-2-on-unknown contract). */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0) {
+                std::fprintf(stderr, "unexpected argument '%s'\n",
+                             argv[i]);
+                usage();
+                std::exit(2);
+            }
+            key = key.substr(2);
+            if (i + 1 < argc && argv[i + 1][0] != '-') {
+                values_[key] = argv[++i];
+            } else {
+                values_[key] = "";
+            }
+        }
+    }
+
+    void
+    rejectUnknown(std::initializer_list<const char *> allowed) const
+    {
+        for (const auto &kv : values_) {
+            bool known = false;
+            for (const char *name : allowed)
+                known = known || kv.first == name;
+            if (!known) {
+                std::fprintf(stderr,
+                             "ultrasweep: unknown flag '--%s'\n",
+                             kv.first.c_str());
+                usage();
+                std::exit(2);
+            }
+        }
+    }
+
+    bool has(const std::string &key) const { return values_.count(key); }
+
+    std::uint64_t
+    getInt(const std::string &key, std::uint64_t fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end()
+                   ? fallback
+                   : std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+
+    std::string
+    getString(const std::string &key, const std::string &fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+std::string
+pointPath(const std::string &dir, std::size_t index, const char *kind)
+{
+    char name[64];
+    std::snprintf(name, sizeof name, "point_%05zu.%s", index, kind);
+    return dir + "/" + name;
+}
+
+/** Run one point in the forked worker: simulate, dump, record. */
+int
+runPoint(const sweep::Point &point, unsigned attempt,
+         const std::string &pointsDir)
+{
+    // Crash-injection hook for the retry-path test: the named point's
+    // first attempt dies the way a real crashed worker would.
+    const char *crash = std::getenv("ULTRASWEEP_CRASH_POINT");
+    if (crash != nullptr && attempt == 0 &&
+        std::strtoull(crash, nullptr, 10) == point.index) {
+        ::raise(SIGKILL);
+    }
+    std::string err;
+    const sweep::NetPointSpec spec =
+        sweep::specFromParams(point.params, err);
+    if (!err.empty()) {
+        std::fprintf(stderr, "point %zu: %s\n", point.index,
+                     err.c_str());
+        return 2;
+    }
+    sweep::NetExperiment exp(spec);
+    exp.run({});
+    // The stats file carries exactly the bytes a standalone
+    // `ultrasim net --stats-json` run would write for this point.
+    const obs::DumpOptions dump{.sortKeys = true, .pretty = false};
+    const std::string stats = exp.statsJson(dump);
+    if (!writeFile(pointPath(pointsDir, point.index, "stats.json"),
+                   stats)) {
+        return 1;
+    }
+    const std::string record =
+        sweep::pointRecordJson(point, stats, exp.summary());
+    if (!writeFile(pointPath(pointsDir, point.index, "json"), record))
+        return 1;
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv, 1);
+    args.rejectUnknown({"grid", "out", "points-dir", "workers",
+                        "retries", "timeout-s", "list", "emit-fig7",
+                        "fig7-tag", "emit-hotspot", "hotspot-tag"});
+    const std::string gridPath = args.getString("grid", "");
+    if (gridPath.empty()) {
+        std::fprintf(stderr, "ultrasweep: --grid FILE is required\n");
+        usage();
+        return 2;
+    }
+    std::string gridText;
+    if (!readFile(gridPath, gridText)) {
+        std::fprintf(stderr, "ultrasweep: cannot read %s\n",
+                     gridPath.c_str());
+        return 2;
+    }
+    std::string err;
+    const std::vector<sweep::Point> points =
+        sweep::expandGridFile(gridText, err);
+    if (!err.empty()) {
+        std::fprintf(stderr, "ultrasweep: %s: %s\n", gridPath.c_str(),
+                     err.c_str());
+        usage();
+        return 2;
+    }
+
+    if (args.has("list")) {
+        for (const sweep::Point &pt : points) {
+            std::printf("%5zu  %-12s ", pt.index,
+                        pt.tag.empty() ? "-" : pt.tag.c_str());
+            for (const std::string &a :
+                 sweep::argvForParams(pt.params)) {
+                std::printf(" %s", a.c_str());
+            }
+            std::printf("\n");
+        }
+        return 0;
+    }
+
+    const std::string out = args.getString("out", "sweep.json");
+    const std::string pointsDir =
+        args.getString("points-dir", out + ".points.d");
+    ::mkdir(pointsDir.c_str(), 0777);
+
+    sweep::PoolOptions popts;
+    const std::size_t defaultWorkers = std::min<std::size_t>(
+        points.size(), sweep::detectHostCores());
+    popts.workers = static_cast<unsigned>(
+        args.getInt("workers", defaultWorkers));
+    popts.maxAttempts =
+        static_cast<unsigned>(args.getInt("retries", 3));
+    popts.timeoutNs = args.getInt("timeout-s", 0) * 1000000000ull;
+    popts.backoffNs = 100000000ull; // 100 ms, doubled per retry
+
+    const sweep::PoolOutcome outcome = sweep::runForkPool(
+        points.size(),
+        [&points, &pointsDir](std::size_t index, unsigned attempt) {
+            return runPoint(points[index], attempt, pointsDir);
+        },
+        popts);
+    if (outcome.failed != 0) {
+        std::fprintf(stderr,
+                     "ultrasweep: %zu of %zu points failed every "
+                     "attempt\n",
+                     outcome.failed, points.size());
+        return 1;
+    }
+
+    std::vector<std::string> records;
+    records.reserve(points.size());
+    for (const sweep::Point &pt : points) {
+        std::string rec;
+        if (!readFile(pointPath(pointsDir, pt.index, "json"), rec)) {
+            std::fprintf(stderr,
+                         "ultrasweep: missing record for point %zu\n",
+                         pt.index);
+            return 1;
+        }
+        records.push_back(std::move(rec));
+    }
+    const std::string merged = sweep::mergeSweepJson(records);
+    if (!writeFile(out, merged)) {
+        std::fprintf(stderr, "ultrasweep: cannot write %s\n",
+                     out.c_str());
+        return 1;
+    }
+
+    if (args.has("emit-fig7")) {
+        const std::string rendered = sweep::emitFig7Json(
+            merged, args.getString("fig7-tag", "fig7"), err);
+        if (!err.empty() ||
+            !writeFile(args.getString("emit-fig7", ""), rendered)) {
+            std::fprintf(stderr, "ultrasweep: --emit-fig7: %s\n",
+                         err.empty() ? "cannot write file"
+                                     : err.c_str());
+            return 1;
+        }
+    }
+    if (args.has("emit-hotspot")) {
+        const std::string rendered = sweep::emitHotspotJson(
+            merged, args.getString("hotspot-tag", "hotspot"), err);
+        if (!err.empty() ||
+            !writeFile(args.getString("emit-hotspot", ""), rendered)) {
+            std::fprintf(stderr, "ultrasweep: --emit-hotspot: %s\n",
+                         err.empty() ? "cannot write file"
+                                     : err.c_str());
+            return 1;
+        }
+    }
+
+    std::printf("ultrasweep: %zu points, %u workers, %zu retried, "
+                "merged -> %s\n",
+                points.size(), popts.workers, outcome.retried,
+                out.c_str());
+    return 0;
+}
